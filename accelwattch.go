@@ -1,0 +1,218 @@
+// Package accelwattch is a Go implementation of AccelWattch (Kandiah et
+// al., MICRO 2021), a constant, static, and dynamic power model for modern
+// GPUs, together with everything needed to construct and validate it:
+// a synthetic-silicon measurement target, a trace-driven performance
+// simulator, the 102-microbenchmark tuning suite, the quadratic-programming
+// optimiser, the 26-kernel validation suite, and the paper's case studies.
+//
+// The typical flow mirrors Figure 1 of the paper:
+//
+//	sess, err := accelwattch.NewSession(accelwattch.Volta(), accelwattch.Quick)
+//	...
+//	res, err := sess.Validate(accelwattch.SASSSIM)
+//	fmt.Printf("MAPE %.1f%%\n", res.MAPE)
+//
+// NewSession builds the testbench (silicon device plus simulator), runs the
+// tuning pipeline — DVFS constant-power estimation, power-gating and
+// divergence-aware static modelling, idle-SM modelling, and QP dynamic
+// tuning for all four variants — and returns a Session exposing the
+// evaluation entry points.
+package accelwattch
+
+import (
+	"fmt"
+	"sync"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/eval"
+	"accelwattch/internal/gpuwattch"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/tune"
+	"accelwattch/internal/ubench"
+	"accelwattch/internal/workloads"
+)
+
+// Re-exported configuration types and constructors.
+type (
+	// Arch describes a GPU architecture (Table 3 targets).
+	Arch = config.Arch
+	// Scale trades tuning fidelity for speed.
+	Scale = ubench.Scale
+	// Variant selects how the power model is driven.
+	Variant = tune.Variant
+	// Model is a tuned AccelWattch power model.
+	Model = core.Model
+	// Activity is the per-window activity vector driving the model.
+	Activity = core.Activity
+	// Breakdown is a per-component power report.
+	Breakdown = core.Breakdown
+	// ValidationResult aggregates measured-versus-estimated statistics.
+	ValidationResult = eval.ValidationResult
+	// Kernel is one validation-suite workload.
+	Kernel = workloads.Kernel
+	// TuneResult is the complete output of the tuning pipeline.
+	TuneResult = tune.Result
+)
+
+// Variants.
+const (
+	SASSSIM = tune.SASSSIM
+	PTXSIM  = tune.PTXSIM
+	HW      = tune.HW
+	HYBRID  = tune.HYBRID
+)
+
+// Stock architectures (Table 3).
+func Volta() *Arch  { return config.Volta() }
+func Pascal() *Arch { return config.Pascal() }
+func Turing() *Arch { return config.Turing() }
+
+// Tuning scales.
+var (
+	Quick = ubench.Quick
+	Full  = ubench.Full
+)
+
+// Session is a tuned AccelWattch deployment for one architecture.
+type Session struct {
+	tb    *tune.Testbench
+	tuned *tune.Result
+	arch  *Arch
+	scale Scale
+}
+
+// NewSession builds the testbench for an architecture and runs the full
+// tuning pipeline of Figure 1 at the given scale.
+func NewSession(arch *Arch, sc Scale) (*Session, error) {
+	tb, err := tune.NewTestbench(arch, sc)
+	if err != nil {
+		return nil, err
+	}
+	tuned, err := tune.Tune(tb, tb.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{tb: tb, tuned: tuned, arch: arch, scale: sc}, nil
+}
+
+// Arch returns the session's architecture.
+func (s *Session) Arch() *Arch { return s.arch }
+
+// Tuned exposes the tuning outcome (constant power, divergence fits,
+// idle-SM model, per-variant dynamic fits).
+func (s *Session) Tuned() *TuneResult { return s.tuned }
+
+// Model returns the tuned model for a variant.
+func (s *Session) Model(v Variant) *Model { return s.tuned.Model(v) }
+
+// Testbench exposes the underlying device+simulator pair for advanced use
+// (the cmd/ tools and the benchmark harness build on it).
+func (s *Session) Testbench() *tune.Testbench { return s.tb }
+
+// ValidationSuite returns the Table 4 kernels for this architecture.
+func (s *Session) ValidationSuite() ([]Kernel, error) {
+	return workloads.ValidationSuite(s.arch, s.scale)
+}
+
+// Validate runs the validation suite under one variant (Figure 7).
+func (s *Session) Validate(v Variant) (*ValidationResult, error) {
+	suite, err := s.ValidationSuite()
+	if err != nil {
+		return nil, err
+	}
+	return eval.Validate(s.tb, s.tuned.Model(v), v, suite)
+}
+
+// ValidateAll runs all four variants (Figure 7a-d).
+func (s *Session) ValidateAll() (map[Variant]*ValidationResult, error) {
+	suite, err := s.ValidationSuite()
+	if err != nil {
+		return nil, err
+	}
+	return eval.ValidateAll(s.tb, s.tuned, suite)
+}
+
+// CaseStudy applies this session's Volta-tuned model to another
+// architecture without retuning (Section 7.1).
+func (s *Session) CaseStudy(target *Arch) (*eval.CaseStudyResult, error) {
+	return eval.CaseStudy(s.tuned, target, s.scale)
+}
+
+// DeepBench runs the Section 7.2 case study with the SASS SIM model.
+func (s *Session) DeepBench() ([]eval.DeepBenchResult, float64, error) {
+	suite := workloads.DeepBenchSuite(s.arch, s.scale)
+	return eval.DeepBenchStudy(s.tb, s.tuned.Model(SASSSIM), suite)
+}
+
+// CompareGPUWattch applies the legacy GPUWattch Fermi configuration to this
+// architecture's validation suite (Section 7.3).
+func (s *Session) CompareGPUWattch() (*eval.GPUWattchComparison, error) {
+	suite, err := s.ValidationSuite()
+	if err != nil {
+		return nil, err
+	}
+	return eval.CompareGPUWattch(s.tb, gpuwattch.Model(s.arch), suite)
+}
+
+// EstimateKernel runs an arbitrary PTX-level kernel through the performance
+// model of the chosen variant and returns the power breakdown — the
+// "experiment customisation" path of the artifact appendix.
+func (s *Session) EstimateKernel(k *isa.Kernel, setup func(*emu.Memory), v Variant) (Breakdown, error) {
+	w := tune.Workload{Name: k.Name, Kernel: k, Setup: setup}
+	a, err := s.tb.Activity(w, v)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return s.tuned.Model(v).Estimate(a)
+}
+
+// PowerTrace returns the cycle-level power trace (one sample per 500-cycle
+// window, Section 5.2) of a kernel under the SASS SIM variant, plus the
+// time-weighted average power.
+func (s *Session) PowerTrace(k *isa.Kernel, setup func(*emu.Memory)) ([]float64, float64, error) {
+	w := tune.Workload{Name: k.Name, Kernel: k, Setup: setup}
+	r, err := s.tb.Simulate(w, isa.SASS)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.tuned.Model(SASSSIM).EstimateTrace(r.Windows)
+}
+
+// Assemble compiles textual kernel assembly (see internal/isa's format) —
+// the entry point cmd/awsim uses for user-supplied kernels.
+func Assemble(src string) (*isa.Kernel, error) { return isa.Assemble(src) }
+
+// defaultSessions caches one tuned session per architecture+scale for the
+// test and benchmark harnesses: tuning is expensive and deterministic, so
+// every test shares it.
+var (
+	defaultMu       sync.Mutex
+	defaultSessions = map[string]*Session{}
+)
+
+// SharedSession returns a process-wide cached session for the architecture
+// at the given scale, tuning on first use.
+func SharedSession(arch *Arch, sc Scale) (*Session, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d", arch.Name, sc.Iters, sc.Unroll, sc.WarpsPerCTA)
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if s, ok := defaultSessions[key]; ok {
+		return s, nil
+	}
+	s, err := NewSession(arch, sc)
+	if err != nil {
+		return nil, err
+	}
+	defaultSessions[key] = s
+	return s, nil
+}
+
+// SetModel replaces the tuned model for a variant, e.g. with one loaded
+// from a saved config file (see internal/core's Save/LoadModel and the
+// awtune -o / awsim -model flags). The model must target this session's
+// architecture.
+func (s *Session) SetModel(v Variant, m *Model) {
+	s.tuned.Models[v] = m
+}

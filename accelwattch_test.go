@@ -1,0 +1,108 @@
+package accelwattch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStockArchitectures(t *testing.T) {
+	if Volta().NumSMs != 80 || Pascal().NumSMs != 28 || Turing().NumSMs != 34 {
+		t.Error("stock architecture SM counts wrong")
+	}
+}
+
+func TestAssembleFacade(t *testing.T) {
+	k, err := Assemble(".kernel k\nIADD R1, R1, 1\nEXIT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "k" {
+		t.Error("assembly lost the kernel name")
+	}
+	if _, err := Assemble("garbage"); err == nil {
+		t.Error("bad assembly accepted")
+	}
+}
+
+func TestSessionAccessors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes a session")
+	}
+	sess, err := SharedSession(Volta(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Arch().Name != "volta-gv100" {
+		t.Error("Arch accessor wrong")
+	}
+	if sess.Tuned() == nil || sess.Testbench() == nil {
+		t.Error("nil accessors")
+	}
+	for _, v := range []Variant{SASSSIM, PTXSIM, HW, HYBRID} {
+		m := sess.Model(v)
+		if m == nil || m.ConstW <= 0 {
+			t.Errorf("%v: bad model", v)
+		}
+	}
+	suite, err := sess.ValidationSuite()
+	if err != nil || len(suite) != 26 {
+		t.Errorf("validation suite: %d kernels, err %v", len(suite), err)
+	}
+}
+
+func TestSharedSessionCaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes a session")
+	}
+	s1, err := SharedSession(Volta(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SharedSession(Volta(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("SharedSession must return the cached session")
+	}
+}
+
+func TestEstimateKernelFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes a session")
+	}
+	sess, err := SharedSession(Volta(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Assemble(strings.TrimSpace(`
+.kernel facade_test
+.grid 80
+.block 256
+    S2R R1, gtid
+    MOVI R2, 8
+loop:
+    FFMA R3, R3, R3, R3
+    IADD R2, R2, -1
+    ISETP.gt P0, R2, 0
+@P0 BRA loop
+    EXIT
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := sess.EstimateKernel(k, nil, SASSSIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := bd.Total(); total < 40 || total > 260 {
+		t.Errorf("kernel power %.1f W implausible for GV100", total)
+	}
+	series, avg, err := sess.PowerTrace(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 || avg <= 0 {
+		t.Error("empty power trace")
+	}
+}

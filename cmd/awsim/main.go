@@ -1,0 +1,133 @@
+// Command awsim estimates the power of a user-supplied kernel — the
+// "experiment customisation" path of the artifact appendix. The kernel is
+// written in the textual assembly format of internal/isa (see -example for
+// a template), compiled to SASS, run through the performance simulator, and
+// priced with the tuned AccelWattch model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"accelwattch"
+	"accelwattch/internal/core"
+)
+
+const exampleKernel = `.kernel saxpy_like
+.grid 80
+.block 256
+
+    S2R R1, gtid
+    SHL R2, R1, 2
+    IADD R3, R2, 4194304      # x[]
+    IADD R4, R2, 8388608      # y[]
+    MOVI R5, 1069547520       # a = 1.5f
+    MOVI R6, 24               # trip count
+loop:
+    LDG R7, [R3]
+    LDG R8, [R4]
+    FFMA R9, R7, R5, R8
+    STG [R4], R9
+    ADD.S64 R3, R3, 81920
+    ADD.S64 R4, R4, 81920
+    IADD R6, R6, -1
+    ISETP.gt P0, R6, 0
+@P0 BRA loop
+    EXIT
+`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("awsim: ")
+	var (
+		file    = flag.String("f", "", "kernel assembly file (omit with -example)")
+		example = flag.Bool("example", false, "run the built-in example kernel")
+		showAsm = flag.Bool("print", false, "print the example kernel source and exit")
+		variant = flag.String("variant", "sass", "power-model variant: sass or ptx")
+		trace   = flag.Bool("trace", false, "print the cycle-level power trace")
+		full    = flag.Bool("full", false, "tune at full fidelity")
+		modelIn = flag.String("model", "", "load a saved model config (from awtune -o) instead of retuning the dynamic energies")
+	)
+	flag.Parse()
+
+	if *showAsm {
+		fmt.Print(exampleKernel)
+		return
+	}
+	var src string
+	switch {
+	case *example:
+		src = exampleKernel
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(data)
+	default:
+		log.Fatal("provide -f kernel.asm or -example (use -print for a template)")
+	}
+
+	k, err := accelwattch.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := accelwattch.SASSSIM
+	if *variant == "ptx" {
+		v = accelwattch.PTXSIM
+	}
+	sc := accelwattch.Quick
+	if *full {
+		sc = accelwattch.Full
+	}
+
+	fmt.Println("tuning the Volta model (cached per process)...")
+	sess, err := accelwattch.SharedSession(accelwattch.Volta(), sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *modelIn != "" {
+		m, err := core.LoadModel(*modelIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("using the saved model from %s\n", *modelIn)
+		sess.SetModel(v, m)
+	}
+
+	bd, err := sess.EstimateKernel(k, nil, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nkernel %s: grid %d x block %d, %d static instructions\n",
+		k.Name, k.Grid.X, k.Block.X, len(k.Code))
+	fmt.Printf("estimated power (%v): %.1f W\n\n", v, bd.Total())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "component\twatts\tshare")
+	for _, c := range bd.Top(core.NumComponents) {
+		if bd.Watts[c] < 0.05 {
+			continue
+		}
+		fmt.Fprintf(w, "%v\t%.2f\t%.1f%%\n", c, bd.Watts[c], 100*bd.Watts[c]/bd.Total())
+	}
+	w.Flush()
+
+	if *trace {
+		series, avg, err := sess.PowerTrace(k, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncycle-level power trace (%d windows of 500 cycles, avg %.1f W):\n", len(series), avg)
+		for i, p := range series {
+			fmt.Printf("  window %3d: %.1f W\n", i, p)
+			if i >= 19 && len(series) > 22 {
+				fmt.Printf("  ... (%d more windows)\n", len(series)-i-1)
+				break
+			}
+		}
+	}
+}

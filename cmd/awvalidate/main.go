@@ -1,0 +1,128 @@
+// Command awvalidate reproduces the paper's evaluation: the Volta
+// validation of Figures 7-9, the Pascal and Turing case studies of Figures
+// 10-12, the DeepBench case study of Figure 13, and the GPUWattch baseline
+// comparison of Section 7.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"accelwattch"
+	"accelwattch/internal/eval"
+	"accelwattch/internal/tune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("awvalidate: ")
+	var (
+		full      = flag.Bool("full", false, "use the full-fidelity workload scale")
+		doCases   = flag.Bool("casestudies", true, "run the Pascal/Turing case studies")
+		doDeep    = flag.Bool("deepbench", true, "run the DeepBench case study")
+		doLegacy  = flag.Bool("gpuwattch", true, "run the GPUWattch baseline comparison")
+		perKernel = flag.Bool("kernels", false, "print per-kernel rows (Figure 9)")
+	)
+	flag.Parse()
+
+	sc := accelwattch.Quick
+	if *full {
+		sc = accelwattch.Full
+	}
+	fmt.Println("tuning AccelWattch on the Volta testbench...")
+	sess, err := accelwattch.NewSession(accelwattch.Volta(), sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 7: validation across variants.
+	fmt.Println("\n== Figure 7: Volta validation ==")
+	all, err := sess.ValidateAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "variant\tMAPE\t95% CI\tmax err\tpearson r\tkernels")
+	for _, v := range tune.Variants() {
+		r := all[v]
+		fmt.Fprintf(w, "%v\t%.2f%%\t±%.2f\t%.1f%%\t%.3f\t%d\n",
+			v, r.MAPE, r.CI95, r.MaxAPE, r.Pearson, len(r.Kernels))
+	}
+	w.Flush()
+	fmt.Println("(paper: SASS 9.2%, PTX 13.7%, HW 7.5%, HYBRID 8.2%)")
+
+	// Figure 8: normalised breakdown.
+	fmt.Println("\n== Figure 8: normalised power breakdown (SASS SIM) ==")
+	avg := eval.AverageBreakdown(all[accelwattch.SASSSIM].Kernels)
+	for g := eval.Group(0); g < eval.NumGroups; g++ {
+		if s := avg.Share(g); s > 0.001 {
+			fmt.Printf("  %-14v %5.1f%%\n", g, 100*s)
+		}
+	}
+
+	if *perKernel {
+		fmt.Println("\n== Figure 9: per-kernel power (SASS SIM) ==")
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "kernel\tmeasured (W)\testimated (W)\terror")
+		for _, k := range all[accelwattch.SASSSIM].Kernels {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%+.1f%%\n", k.Name, k.MeasuredW, k.EstimatedW, k.RelErrPct())
+		}
+		w.Flush()
+	}
+
+	if *doCases {
+		fmt.Println("\n== Figures 10-12: Pascal & Turing case studies ==")
+		voltaSASS := all[accelwattch.SASSSIM]
+		pascal, err := sess.CaseStudy(accelwattch.Pascal())
+		if err != nil {
+			log.Fatal(err)
+		}
+		turing, err := sess.CaseStudy(accelwattch.Turing())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Pascal TITAN X : SASS MAPE %.2f%%, PTX MAPE %.2f%% (paper: 11%%, 10.8%%)\n",
+			pascal.SASS.MAPE, pascal.PTX.MAPE)
+		fmt.Printf("Turing RTX2060S: SASS MAPE %.2f%%, PTX MAPE %.2f%% (paper: 13%%, 14%%)\n",
+			turing.SASS.MAPE, turing.PTX.MAPE)
+		for _, pair := range []struct {
+			name string
+			a, b *eval.ValidationResult
+		}{
+			{"Pascal vs Volta", voltaSASS, pascal.SASS},
+			{"Turing vs Volta", voltaSASS, turing.SASS},
+			{"Turing vs Pascal", pascal.SASS, turing.SASS},
+		} {
+			rp := eval.RelativePower(pair.name, pair.a, pair.b)
+			fmt.Printf("%-17s avg relative power: modeled %+.1f%%, measured %+.1f%% (err %.1f%%; same direction %.0f%%)\n",
+				rp.PairName, rp.AvgModeledPct, rp.AvgMeasuredPct, rp.AvgErrPct, 100*rp.SameDirectionFrac)
+		}
+	}
+
+	if *doDeep {
+		fmt.Println("\n== Figure 13: DeepBench case study ==")
+		results, mape, err := sess.DeepBench()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			fmt.Printf("  %-22s measured %.1f W, estimated %.1f W\n", r.Name, r.MeasuredW, r.EstimatedW)
+		}
+		fmt.Printf("DeepBench MAPE: %.2f%% (paper: 12.79%%)\n", mape)
+	}
+
+	if *doLegacy {
+		fmt.Println("\n== Section 7.3: GPUWattch baseline on Volta ==")
+		gw, err := sess.CompareGPUWattch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GPUWattch MAPE: SASS %.0f%%, PTX %.0f%% (paper: 219%%, 225%%)\n", gw.SASSMAPE, gw.PTXMAPE)
+		fmt.Printf("average estimate %.0f W, max %.0f W (paper: 530 W, 926 W)\n", gw.AvgEstimatedW, gw.MaxEstimatedW)
+		fmt.Printf("const+static lumped at %.2f W; INT MUL share %.1f%%; DRAM share %.1f%%\n",
+			gw.ConstPlusStaticW, 100*gw.IntMulShare, 100*gw.DRAMShare)
+	}
+}

@@ -1,0 +1,85 @@
+// DVFS study: how does a kernel's power scale with the core clock, and
+// what operating point minimises energy per iteration? This exercises
+// AccelWattch's DVFS awareness (Eq. 2/3): dynamic power scales with V^2*f,
+// static with V, constant power not at all — so the energy-optimal clock
+// sits below the maximum.
+//
+//	go run ./examples/dvfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelwattch"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/tune"
+)
+
+const kernelSrc = `.kernel stencil_row
+.grid 80
+.block 256
+
+    S2R R1, gtid
+    SHL R2, R1, 2
+    IADD R3, R2, 4194304
+    MOVI R5, 1065353216
+    MOVI R6, 16
+loop:
+    LDG R7, [R3]
+    LDG R8, [R3+4]
+    LDG R9, [R3+8]
+    FFMA R10, R7, R5, R8
+    FFMA R10, R9, R5, R10
+    FMUL R11, R10, R5
+    ADD.S64 R3, R3, 81920
+    IADD R6, R6, -1
+    ISETP.gt P0, R6, 0
+@P0 BRA loop
+    STG [R2], R11
+    EXIT
+`
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("tuning AccelWattch for Volta...")
+	sess, err := accelwattch.SharedSession(accelwattch.Volta(), accelwattch.Quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := accelwattch.Assemble(kernelSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the performance simulator once; then re-price the same
+	// activity at different DVFS points, exactly as AccelWattch does per
+	// sampling interval (Section 5.2).
+	tb := sess.Testbench()
+	r, err := tb.Simulate(tune.Workload{Name: k.Name, Kernel: k}, isa.SASS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := sess.Model(accelwattch.SASSSIM)
+	arch := sess.Arch()
+
+	fmt.Printf("\n%-10s %-10s %-12s %-14s\n", "clock", "voltage", "power (W)", "energy/run (mJ)")
+	bestClock, bestEnergy := 0.0, 1e9
+	for mhz := 600.0; mhz <= arch.MaxClockMHz; mhz += 200 {
+		a := r.Aggregate
+		a.ClockMHz = mhz
+		a.Voltage = arch.Voltage(mhz)
+		p, err := model.EstimatePower(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		timeS := a.Cycles / (mhz * 1e6)
+		energy := p * timeS * 1e3
+		fmt.Printf("%6.0f MHz %7.3f V %10.1f %12.3f\n", mhz, a.Voltage, p, energy)
+		if energy < bestEnergy {
+			bestEnergy, bestClock = energy, mhz
+		}
+	}
+	fmt.Printf("\nenergy-optimal clock for this kernel: %.0f MHz\n", bestClock)
+	fmt.Println("(constant power favours racing to idle; V^2 scaling favours slowing down)")
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a tuned AccelWattch session for the Volta testbench,
+// validate it against the synthetic silicon, and price a custom kernel.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelwattch"
+)
+
+const myKernel = `.kernel dot_product
+.grid 80
+.block 256
+
+    S2R R1, gtid
+    SHL R2, R1, 2
+    IADD R3, R2, 4194304
+    IADD R4, R2, 8388608
+    MOVI R5, 0
+    MOVI R6, 16
+loop:
+    LDG R7, [R3]
+    LDG R8, [R4]
+    FFMA R5, R7, R8, R5
+    ADD.S64 R3, R3, 81920
+    ADD.S64 R4, R4, 81920
+    IADD R6, R6, -1
+    ISETP.gt P0, R6, 0
+@P0 BRA loop
+    STG [R2], R5
+    EXIT
+`
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Tune the model: this runs the whole Figure-1 flow (constant
+	// power from DVFS sweeps, divergence-aware static models, idle-SM
+	// model, QP dynamic tuning) against the synthetic GV100.
+	fmt.Println("tuning AccelWattch for Volta (takes a few seconds)...")
+	sess, err := accelwattch.NewSession(accelwattch.Volta(), accelwattch.Quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("constant power: %.1f W; idle SM: %.3f W\n",
+		sess.Tuned().ConstPower.ConstW, sess.Tuned().IdleSM.PerIdleSMW)
+
+	// 2. Validate against hardware measurements (Figure 7).
+	res, err := sess.Validate(accelwattch.SASSSIM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation: MAPE %.2f%% ± %.2f across %d kernels, Pearson r %.3f\n",
+		res.MAPE, res.CI95, len(res.Kernels), res.Pearson)
+
+	// 3. Price a custom kernel.
+	k, err := accelwattch.Assemble(myKernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bd, err := sess.EstimateKernel(k, nil, accelwattch.SASSSIM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s: %.1f W estimated\n", k.Name, bd.Total())
+	for _, c := range bd.Top(5) {
+		fmt.Printf("  %-12v %6.2f W\n", c, bd.Watts[c])
+	}
+}

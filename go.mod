@@ -1,0 +1,3 @@
+module accelwattch
+
+go 1.22

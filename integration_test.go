@@ -1,0 +1,135 @@
+package accelwattch
+
+import (
+	"testing"
+
+	"accelwattch/internal/eval"
+	"accelwattch/internal/tune"
+)
+
+// TestEndToEndVolta exercises the whole Figure 1 flow plus the evaluation
+// of Figures 7-13 at Quick scale and asserts the paper's qualitative
+// shapes.
+func TestEndToEndVolta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline")
+	}
+	sess, err := SharedSession(Volta(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	all, err := sess.ValidateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range tune.Variants() {
+		r := all[v]
+		t.Logf("%v: MAPE %.2f%% +/- %.2f, max %.1f%%, pearson %.3f (%d kernels)",
+			v, r.MAPE, r.CI95, r.MaxAPE, r.Pearson, len(r.Kernels))
+	}
+	if all[SASSSIM].MAPE >= all[PTXSIM].MAPE {
+		t.Errorf("SASS SIM (%.2f%%) should beat PTX SIM (%.2f%%)", all[SASSSIM].MAPE, all[PTXSIM].MAPE)
+	}
+	if all[HW].MAPE >= all[PTXSIM].MAPE {
+		t.Errorf("HW (%.2f%%) should beat PTX SIM (%.2f%%)", all[HW].MAPE, all[PTXSIM].MAPE)
+	}
+	for _, v := range tune.Variants() {
+		if all[v].Pearson < 0.75 {
+			t.Errorf("%v Pearson %.3f too low", v, all[v].Pearson)
+		}
+		if all[v].MAPE > 25 {
+			t.Errorf("%v MAPE %.1f%% too high", v, all[v].MAPE)
+		}
+	}
+
+	gw, err := sess.CompareGPUWattch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("GPUWattch: SASS MAPE %.0f%%, PTX MAPE %.0f%%, avg est %.0f W, max %.0f W, intmul %.1f%%, dram %.1f%%",
+		gw.SASSMAPE, gw.PTXMAPE, gw.AvgEstimatedW, gw.MaxEstimatedW, 100*gw.IntMulShare, 100*gw.DRAMShare)
+	if gw.SASSMAPE < 100 {
+		t.Errorf("GPUWattch SASS MAPE %.0f%% should exceed 100%% (paper: 219%%)", gw.SASSMAPE)
+	}
+	if gw.SASSMAPE < 4*all[SASSSIM].MAPE {
+		t.Errorf("GPUWattch error should dwarf AccelWattch's (%.0f%% vs %.1f%%)", gw.SASSMAPE, all[SASSSIM].MAPE)
+	}
+
+	// Breakdown shape (Figure 8): regfile + static + const should be a
+	// large share of total power for the SASS SIM variant.
+	avg := eval.AverageBreakdown(all[SASSSIM].Kernels)
+	big3 := avg.Share(eval.GroupRegFile) + avg.Share(eval.GroupStatic) + avg.Share(eval.GroupConst)
+	t.Logf("breakdown: const %.1f%% static %.1f%% idle %.1f%% rf %.1f%% alu %.1f%% fpu %.1f%% dram %.1f%% (big3 %.1f%%)",
+		100*avg.Share(eval.GroupConst), 100*avg.Share(eval.GroupStatic), 100*avg.Share(eval.GroupIdleSM),
+		100*avg.Share(eval.GroupRegFile), 100*avg.Share(eval.GroupALU), 100*avg.Share(eval.GroupFPUDPU),
+		100*avg.Share(eval.GroupDRAMMC), 100*big3)
+	if big3 < 0.30 {
+		t.Errorf("regfile+static+const share %.1f%% too small (paper: 55%%)", 100*big3)
+	}
+}
+
+func TestCaseStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline")
+	}
+	sess, err := SharedSession(Volta(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voltaSASS, err := sess.Validate(SASSSIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pascal, err := sess.CaseStudy(Pascal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	turing, err := sess.CaseStudy(Turing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Pascal: SASS MAPE %.2f%%, PTX MAPE %.2f%%", pascal.SASS.MAPE, pascal.PTX.MAPE)
+	t.Logf("Turing: SASS MAPE %.2f%%, PTX MAPE %.2f%%", turing.SASS.MAPE, turing.PTX.MAPE)
+	if pascal.SASS.MAPE > 30 || turing.SASS.MAPE > 30 {
+		t.Errorf("case-study MAPE too high (paper: 11%% and 13%%)")
+	}
+
+	for _, pair := range []struct {
+		name string
+		a, b *eval.ValidationResult
+	}{
+		{"pascal/volta", voltaSASS, pascal.SASS},
+		{"turing/volta", voltaSASS, turing.SASS},
+		{"turing/pascal", pascal.SASS, turing.SASS},
+	} {
+		rp := eval.RelativePower(pair.name, pair.a, pair.b)
+		t.Logf("%s: avg modeled %.1f%% measured %.1f%% (err %.1f%%), same-direction %.0f%%",
+			rp.PairName, rp.AvgModeledPct, rp.AvgMeasuredPct, rp.AvgErrPct, 100*rp.SameDirectionFrac)
+		if rp.AvgErrPct > 12 {
+			t.Errorf("%s: average relative-power error %.1f%% too high (paper: 1-3%%)", pair.name, rp.AvgErrPct)
+		}
+	}
+}
+
+func TestDeepBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline")
+	}
+	sess, err := SharedSession(Volta(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, mape, err := sess.DeepBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		t.Logf("%s: measured %.1f W, estimated %.1f W", r.Name, r.MeasuredW, r.EstimatedW)
+	}
+	t.Logf("DeepBench MAPE %.2f%% (paper: 12.79%%)", mape)
+	if mape > 30 {
+		t.Errorf("DeepBench MAPE %.1f%% too high", mape)
+	}
+}

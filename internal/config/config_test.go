@@ -1,0 +1,108 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStockArchsValidate(t *testing.T) {
+	for _, a := range []*Arch{Volta(), Pascal(), Turing()} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestTableThreeParameters(t *testing.T) {
+	v, p, tu := Volta(), Pascal(), Turing()
+	if v.NumSMs != 80 {
+		t.Errorf("GV100 has 80 SMs, config says %d", v.NumSMs)
+	}
+	if v.BaseClockMHz != 1417 || p.BaseClockMHz != 1470 || tu.BaseClockMHz != 1905 {
+		t.Error("Table 3 clock frequencies wrong")
+	}
+	if v.TechNodeNM != 12 || p.TechNodeNM != 16 || tu.TechNodeNM != 12 {
+		t.Error("Table 3 technology nodes wrong")
+	}
+	if v.PowerLimitW != 250 || p.PowerLimitW != 250 || tu.PowerLimitW != 175 {
+		t.Error("Table 3 power limits wrong")
+	}
+	if !v.HasTensorCores || p.HasTensorCores || !tu.HasTensorCores {
+		t.Error("tensor-core capabilities wrong")
+	}
+}
+
+func TestVoltageNearLinear(t *testing.T) {
+	a := Volta()
+	v1 := a.Voltage(700)
+	v2 := a.Voltage(1400)
+	// The V-f curve must be near-linear: doubling f should roughly
+	// double the slope-driven part.
+	if v2 <= v1 {
+		t.Error("voltage must increase with frequency")
+	}
+	ratio := v2 / v1
+	if ratio < 1.7 || ratio > 2.05 {
+		t.Errorf("V(2f)/V(f) = %.3f; want near 2 (near-linear with small offset)", ratio)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"volta", "gv100", "pascal", "titanx", "turing", "rtx2060s"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("fermi"); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*Arch){
+		func(a *Arch) { a.Name = "" },
+		func(a *Arch) { a.NumSMs = 0 },
+		func(a *Arch) { a.WarpSize = 64 },
+		func(a *Arch) { a.LanesPerBlock = 32 },
+		func(a *Arch) { a.MaxClockMHz = a.BaseClockMHz - 1 },
+		func(a *Arch) { a.VoltSlope = 0 },
+		func(a *Arch) { a.L2KB = 0 },
+		func(a *Arch) { a.DRAMGBps = 0 },
+		func(a *Arch) { a.TechNodeNM = 0 },
+		func(a *Arch) { a.PowerLimitW = 0 },
+	}
+	for i, mut := range mutations {
+		a := Volta()
+		mut(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("mutation %d produced a valid config", i)
+		}
+	}
+}
+
+func TestTechScale(t *testing.T) {
+	ts, err := NewTechScale(12, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Dynamic <= 1 || ts.Static <= 1 {
+		t.Errorf("12nm -> 16nm must increase energy and leakage: %+v", ts)
+	}
+	back := MustTechScale(16, 12)
+	if math.Abs(ts.Dynamic*back.Dynamic-1) > 1e-12 {
+		t.Error("round-trip scaling must cancel")
+	}
+	same := MustTechScale(12, 12)
+	if !same.Identity() || same.Dynamic != 1 || same.Static != 1 {
+		t.Error("same-node scaling must be identity")
+	}
+	if _, err := NewTechScale(12, 5); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestTotalLanes(t *testing.T) {
+	if got := Volta().TotalLanes(); got != 80*4*16*2 {
+		t.Errorf("Volta lanes = %d", got)
+	}
+}

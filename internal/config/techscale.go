@@ -1,0 +1,74 @@
+package config
+
+import "fmt"
+
+// Technology scaling (Section 7.1): when a model tuned at one process node
+// is applied to an architecture at another node, the dynamic energy per
+// access and the static power must be scaled. The factors below follow the
+// shape of published IRDS roadmap data [17]: each full node shrink reduces
+// switching energy by roughly 25-30% and leakage per transistor more slowly.
+//
+// Factors are normalised to the 12 nm node at 1.0 because the reference
+// model (Volta) is tuned at 12 nm.
+var dynamicEnergyFactor = map[int]float64{
+	7:  0.62,
+	10: 0.80,
+	12: 1.00,
+	14: 1.09,
+	16: 1.18,
+	22: 1.55,
+	28: 1.95,
+}
+
+var staticPowerFactor = map[int]float64{
+	7:  0.78,
+	10: 0.90,
+	12: 1.00,
+	14: 1.05,
+	16: 1.12,
+	22: 1.35,
+	28: 1.60,
+}
+
+// TechScale holds the multiplicative factors applied to a power model when
+// retargeting between technology nodes.
+type TechScale struct {
+	FromNM  int
+	ToNM    int
+	Dynamic float64 // multiplier on per-access dynamic energy
+	Static  float64 // multiplier on static (leakage) power
+}
+
+// Identity reports whether the scaling is a no-op (same node).
+func (t TechScale) Identity() bool { return t.FromNM == t.ToNM }
+
+// NewTechScale derives scaling factors from one node to another using the
+// IRDS-shaped tables. It returns an error for nodes outside the table; the
+// paper's use cases only need 12 nm <-> 16 nm.
+func NewTechScale(fromNM, toNM int) (TechScale, error) {
+	df, ok := dynamicEnergyFactor[fromNM]
+	if !ok {
+		return TechScale{}, fmt.Errorf("config: no technology data for %d nm", fromNM)
+	}
+	dt, ok := dynamicEnergyFactor[toNM]
+	if !ok {
+		return TechScale{}, fmt.Errorf("config: no technology data for %d nm", toNM)
+	}
+	sf := staticPowerFactor[fromNM]
+	st := staticPowerFactor[toNM]
+	return TechScale{
+		FromNM:  fromNM,
+		ToNM:    toNM,
+		Dynamic: dt / df,
+		Static:  st / sf,
+	}, nil
+}
+
+// MustTechScale is NewTechScale for nodes known to be in the table.
+func MustTechScale(fromNM, toNM int) TechScale {
+	t, err := NewTechScale(fromNM, toNM)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,81 @@
+package core
+
+import "fmt"
+
+// Activity is the vector of Eq. (12): per-component activity factors plus
+// the execution context a performance model (simulator or hardware
+// counters) reports for one kernel or one sampling window (Section 5.2).
+type Activity struct {
+	// Counts holds per-component access counts over the window. Dynamic
+	// component indices are meaningful; the three pseudo components are
+	// ignored here (their "activity" is ActiveSMs/IdleSMs/1).
+	Counts [NumDynComponents]float64
+
+	// Cycles is the window length in core cycles.
+	Cycles float64
+
+	// ClockMHz and Voltage are the DVFS point. Zero values mean "the
+	// architecture's base clock/voltage".
+	ClockMHz float64
+	Voltage  float64
+
+	// ActiveSMs is the number of SMs with resident work; fractional
+	// values are allowed for windows in which SMs drain.
+	ActiveSMs float64
+
+	// AvgLanes is y: the average number of active lanes per executed
+	// warp instruction.
+	AvgLanes float64
+
+	// Mix selects the divergence model (Section 4.5).
+	Mix MixCategory
+
+	// TemperatureC is the die temperature during the window; zero means
+	// the 65C reference temperature of the measurement methodology
+	// (Section 4.1), at which no leakage correction applies.
+	TemperatureC float64
+}
+
+// Validate reports inconsistent activity vectors.
+func (a *Activity) Validate() error {
+	if a.Cycles <= 0 {
+		return fmt.Errorf("core: activity has non-positive cycle count %g", a.Cycles)
+	}
+	if a.ActiveSMs < 0 {
+		return fmt.Errorf("core: negative active SM count %g", a.ActiveSMs)
+	}
+	if a.AvgLanes < 0 || a.AvgLanes > 32 {
+		return fmt.Errorf("core: average active lanes %g outside [0, 32]", a.AvgLanes)
+	}
+	for c, v := range a.Counts {
+		if v < 0 {
+			return fmt.Errorf("core: negative activity for %v", Component(c))
+		}
+	}
+	return nil
+}
+
+// Add accumulates another window into a (weighted by cycles for the
+// context fields), used to aggregate sampling windows into kernel totals.
+func (a *Activity) Add(b *Activity) {
+	if a.Cycles+b.Cycles > 0 {
+		w := b.Cycles / (a.Cycles + b.Cycles)
+		a.ActiveSMs = a.ActiveSMs*(1-w) + b.ActiveSMs*w
+		a.AvgLanes = a.AvgLanes*(1-w) + b.AvgLanes*w
+	}
+	for i := range a.Counts {
+		a.Counts[i] += b.Counts[i]
+	}
+	a.Cycles += b.Cycles
+}
+
+// Scale multiplies all counts and the cycle count by f, used to split an
+// aggregate into uniform sampling windows.
+func (a Activity) Scale(f float64) Activity {
+	out := a
+	for i := range out.Counts {
+		out.Counts[i] *= f
+	}
+	out.Cycles *= f
+	return out
+}

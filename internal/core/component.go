@@ -1,0 +1,118 @@
+// Package core implements the AccelWattch power model — the paper's primary
+// contribution. It models total GPU power per Eq. (10) as the sum of
+// per-component dynamic power (22 tunable components, Table 1), a
+// divergence- and power-gating-aware static power for active SMs
+// (Eqs. 4/5/9), idle-SM static power (Eq. 8), and DVFS-aware constant power
+// (Eq. 3), with voltage/frequency scaling per Eq. (2) and optional
+// technology-node scaling for design-space exploration (Section 7.1).
+package core
+
+import "fmt"
+
+// Component is one of the 22 dynamic power components of Table 1, plus the
+// three fixed pseudo-components (static, idle-SM, constant) that appear in
+// the activity vector of Eq. (12) with scaling factor pinned to 1.
+type Component int
+
+const (
+	CompIBUF   Component = iota // instruction buffer / L0 instruction cache
+	CompICACHE                  // L1 instruction cache
+	CompCCACHE                  // constant cache
+	CompL1D                     // L1 data cache
+	CompSHMEM                   // shared memory
+	CompRF                      // register file
+	CompALU                     // INT32 add-class operations
+	CompINTMUL                  // INT32 mul/mad
+	CompFPU                     // FP32 add-class
+	CompFPMUL                   // FP32 mul/fma
+	CompDPU                     // FP64 add-class
+	CompDPMUL                   // FP64 mul/fma
+	CompSQRT                    // SFU sqrt/rcp
+	CompLOG                     // SFU log
+	CompSINCOS                  // SFU sin/cos
+	CompEXP                     // SFU exp
+	CompTENSOR                  // tensor cores
+	CompTEX                     // texture unit
+	CompSCHED                   // warp scheduler + dispatch
+	CompPIPE                    // SM pipeline
+	CompL2NOC                   // L2 cache + NoC (not separable, Section 5.1)
+	CompDRAMMC                  // DRAM + memory controller (not separable)
+
+	// Pseudo components (Eq. 12 entries with x_i = 1).
+	CompStatic
+	CompIdleSM
+	CompConst
+
+	numComponents
+)
+
+// NumDynComponents is the number of tunable dynamic components (Table 1).
+const NumDynComponents = int(CompStatic)
+
+// NumComponents includes the three fixed pseudo-components.
+const NumComponents = int(numComponents)
+
+var componentNames = [NumComponents]string{
+	CompIBUF:   "inst_buffer",
+	CompICACHE: "icache",
+	CompCCACHE: "ccache",
+	CompL1D:    "l1d",
+	CompSHMEM:  "shared",
+	CompRF:     "regfile",
+	CompALU:    "alu",
+	CompINTMUL: "int_mul",
+	CompFPU:    "fpu",
+	CompFPMUL:  "fp_mul",
+	CompDPU:    "dpu",
+	CompDPMUL:  "dp_mul",
+	CompSQRT:   "sqrt",
+	CompLOG:    "log",
+	CompSINCOS: "sin_cos",
+	CompEXP:    "exp",
+	CompTENSOR: "tensor",
+	CompTEX:    "texture",
+	CompSCHED:  "scheduler",
+	CompPIPE:   "pipeline",
+	CompL2NOC:  "l2_noc",
+	CompDRAMMC: "dram_mc",
+	CompStatic: "static",
+	CompIdleSM: "idle_sm",
+	CompConst:  "const",
+}
+
+func (c Component) String() string {
+	if c >= 0 && int(c) < NumComponents {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// DynComponents lists the tunable components in index order.
+func DynComponents() []Component {
+	out := make([]Component, NumDynComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// ExecUnitComponents are the components whose scaling factors are bounded
+// by the ordering constraints of Eq. (14).
+var (
+	// X_alu <= X_fpu <= X_dpu and X_alu <= X_imul.
+	// X_fpmul <= each of {X_imul, X_dpmul, X_sqrt, X_log, X_sin, X_exp,
+	// X_tensor, X_tex}.
+	OrderConstraints = [][2]Component{
+		{CompALU, CompFPU},
+		{CompFPU, CompDPU},
+		{CompALU, CompINTMUL},
+		{CompFPMUL, CompINTMUL},
+		{CompFPMUL, CompDPMUL},
+		{CompFPMUL, CompSQRT},
+		{CompFPMUL, CompLOG},
+		{CompFPMUL, CompSINCOS},
+		{CompFPMUL, CompEXP},
+		{CompFPMUL, CompTENSOR},
+		{CompFPMUL, CompTEX},
+	}
+)

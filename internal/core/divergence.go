@@ -1,0 +1,62 @@
+package core
+
+// DivModel is the divergence-aware static power model for one instruction-
+// mix category (Section 4.4): chip-level static power (at the reference SM
+// count and base voltage/frequency) as a function of the number of active
+// lanes per warp, y.
+//
+// FirstLaneW carries the SM-wide components powered up by the first active
+// lane; AddLaneW is the static power each additional lane's own functional
+// units contribute. The linear model (Eq. 4) distributes AddLaneW equally
+// over lanes 2..32. The half-warp model (Eq. 5) reflects alternating
+// full/partial half-warps: power peaks at y=16, drops at y=17, and returns
+// to the same maximum at y=32.
+type DivModel struct {
+	FirstLaneW float64
+	AddLaneW   float64
+	HalfWarp   bool
+}
+
+// ChipStaticW evaluates the model at y active lanes per warp. y is clamped
+// to [1, 32]; fractional y (average lane occupancy over a sampling window)
+// evaluates the same closed forms.
+func (dm DivModel) ChipStaticW(y float64) float64 {
+	if y < 1 {
+		y = 1
+	}
+	if y > 32 {
+		y = 32
+	}
+	if !dm.HalfWarp {
+		// Eq. (4): linear model.
+		return dm.FirstLaneW + dm.AddLaneW*(y-1)
+	}
+	// Eq. (5): half-warp model.
+	if y <= 16 {
+		return dm.FirstLaneW + dm.AddLaneW*(y-1)
+	}
+	return dm.FirstLaneW + 0.5*dm.AddLaneW*15 + 0.5*dm.AddLaneW*(y-17)
+}
+
+// MaxW returns the model's maximum over y in [1, 32] (y=32 for the linear
+// model; y=16 and y=32 tie for the half-warp model).
+func (dm DivModel) MaxW() float64 { return dm.ChipStaticW(32) }
+
+// FitDivModel derives a DivModel from the static power measured with one
+// active lane per warp and with all 32 lanes active (the two endpoints the
+// tuning flow extracts from frequency-sweep fits, Section 4.4). Under the
+// linear model the increment spreads over 31 lanes; under the half-warp
+// model the closed form of Eq. (5) reaches the 32-lane value with an
+// effective 15-lane span, so the increment is calibrated accordingly —
+// both models then reproduce the measured endpoints exactly.
+func FitDivModel(staticFirstLaneW, static32LanesW float64, halfWarp bool) DivModel {
+	span := 31.0
+	if halfWarp {
+		span = 15.0
+	}
+	return DivModel{
+		FirstLaneW: staticFirstLaneW,
+		AddLaneW:   (static32LanesW - staticFirstLaneW) / span,
+		HalfWarp:   halfWarp,
+	}
+}

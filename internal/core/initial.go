@@ -1,0 +1,82 @@
+package core
+
+// InitialEnergiesPJ returns the initial per-access energy estimates E-hat
+// of Eq. (12) for a Volta-class GPU — the McPAT-style engineering estimates
+// AccelWattch starts from before quadratic-programming correction. They are
+// deliberately imperfect (that is the premise of Section 5.1: "the initial
+// estimate ... is likely to be inaccurate"); the tuning pipeline learns the
+// per-component scaling factors X*.
+func InitialEnergiesPJ() [NumDynComponents]float64 {
+	// McPAT-style area/capacitance models extrapolated to a 12 nm node
+	// substantially overestimate per-access energies on modern silicon
+	// (Xi et al. [48] quantify such McPAT error sources); the quadratic
+	// program of Eq. (14) therefore learns scaling factors well below 1.
+	var e [NumDynComponents]float64
+	e[CompIBUF] = 130
+	e[CompICACHE] = 280
+	e[CompCCACHE] = 380
+	e[CompL1D] = 900
+	e[CompSHMEM] = 800
+	e[CompRF] = 28
+	e[CompALU] = 16
+	e[CompINTMUL] = 25
+	e[CompFPU] = 18
+	e[CompFPMUL] = 26
+	e[CompDPU] = 55
+	e[CompDPMUL] = 95
+	e[CompSQRT] = 70
+	e[CompLOG] = 75
+	e[CompSINCOS] = 60
+	e[CompEXP] = 68
+	e[CompTENSOR] = 110
+	e[CompTEX] = 170
+	e[CompSCHED] = 200
+	e[CompPIPE] = 260
+	e[CompL2NOC] = 3300
+	e[CompDRAMMC] = 11000
+	return e
+}
+
+// FermiEnergiesPJ returns the per-access energies of the GPUWattch model
+// for the NVIDIA Fermi GTX 480 (40 nm), expressed on this framework's
+// component basis. Two roles, as in the paper:
+//
+//   - Section 5.4: the "Fermi starting point" for the quadratic program is
+//     X0_i = Fermi_i / E-hat_i, which the paper finds converges to a better
+//     model than the all-ones start;
+//   - Section 7.3: applying these energies directly (no retuning) is the
+//     GPUWattch baseline, which overestimates Volta power by >200% MAPE.
+//
+// GPUWattch does not model tensor cores; following the paper, that entry is
+// filled with AccelWattch's own initial estimate.
+func FermiEnergiesPJ() [NumDynComponents]float64 {
+	var e [NumDynComponents]float64
+	e[CompIBUF] = 64
+	e[CompICACHE] = 128
+	e[CompCCACHE] = 160
+	e[CompL1D] = 480
+	e[CompSHMEM] = 360
+	e[CompRF] = 13.6
+	e[CompALU] = 7.2
+	e[CompINTMUL] = 140 // GPUWattch's integer multipliers: Section 7.3 flags these as unrealistically hot
+	e[CompFPU] = 8.8
+	e[CompFPMUL] = 14.4
+	e[CompDPU] = 24
+	e[CompDPMUL] = 50
+	e[CompSQRT] = 34
+	e[CompLOG] = 31
+	e[CompSINCOS] = 32
+	e[CompEXP] = 30
+	e[CompTENSOR] = 110 // filled from AccelWattch's initial estimate (not in GPUWattch)
+	e[CompTEX] = 90
+	e[CompSCHED] = 96
+	e[CompPIPE] = 128
+	e[CompL2NOC] = 1700
+	e[CompDRAMMC] = 30000
+	return e
+}
+
+// GPUWattchStaticW is the lumped constant-plus-static power GPUWattch
+// reports for its Fermi configuration across all kernels (Section 7.3 cites
+// 10.45 W), used by the baseline comparison.
+const GPUWattchStaticW = 10.45

@@ -1,0 +1,82 @@
+package core
+
+import "fmt"
+
+// MixCategory is one of the nine instruction-mix categories of Section 4.5.
+// The divergence-aware static power model is selected per category: kernels
+// exercising a single functional unit follow the half-warp sawtooth model,
+// and the model drifts towards linear as more units execute concurrently.
+type MixCategory int
+
+const (
+	MixIntAdd      MixCategory = iota // homogeneous integer ADD
+	MixIntMul                         // homogeneous integer MUL/MAD
+	MixInt                            // mixed integer
+	MixIntFP                          // integer + FP32
+	MixIntFPDP                        // integer + FP32 + FP64
+	MixIntFPSFU                       // integer + FP32 + SFU
+	MixIntFPTex                       // integer + FP32 + texture
+	MixIntFPTensor                    // integer + FP32 + tensor
+	MixLight                          // only light instructions (e.g. nanosleep)
+
+	NumMixCategories
+)
+
+var mixNames = [NumMixCategories]string{
+	"INT_ADD", "INT_MUL", "INT", "INT_FP", "INT_FP_DP",
+	"INT_FP_SFU", "INT_FP_TEX", "INT_FP_TENSOR", "LIGHT",
+}
+
+func (m MixCategory) String() string {
+	if m >= 0 && m < NumMixCategories {
+		return mixNames[m]
+	}
+	return fmt.Sprintf("MixCategory(%d)", int(m))
+}
+
+// MixInput is the unit-level instruction census a performance model reports
+// for mix classification.
+type MixInput struct {
+	IntAdd float64 // integer add-class warp instructions
+	IntMul float64 // integer mul/mad warp instructions
+	FP32   float64
+	FP64   float64
+	SFU    float64
+	Tensor float64
+	Tex    float64
+	Light  float64 // nanosleep and other idle-class instructions
+	Total  float64 // all warp instructions including control/memory
+	IPC    float64 // warp instructions per cycle per active SM
+}
+
+// ClassifyMix buckets an instruction census into one of the nine
+// categories. Thresholds are fractions of compute instructions; they mirror
+// how the paper's microbenchmark categories partition real kernels.
+func ClassifyMix(in MixInput) MixCategory {
+	compute := in.IntAdd + in.IntMul + in.FP32 + in.FP64 + in.SFU + in.Tensor + in.Tex
+	if in.Total <= 0 || compute <= 0 {
+		return MixLight
+	}
+	if in.Light > 0.5*in.Total || in.IPC < 0.02 {
+		return MixLight
+	}
+	frac := func(x float64) float64 { return x / compute }
+	switch {
+	case frac(in.Tensor) > 0.03:
+		return MixIntFPTensor
+	case frac(in.Tex) > 0.03:
+		return MixIntFPTex
+	case frac(in.SFU) > 0.03:
+		return MixIntFPSFU
+	case frac(in.FP64) > 0.03:
+		return MixIntFPDP
+	case frac(in.FP32) > 0.05:
+		return MixIntFP
+	case frac(in.IntMul) > 0.60:
+		return MixIntMul
+	case frac(in.IntAdd) > 0.90:
+		return MixIntAdd
+	default:
+		return MixInt
+	}
+}

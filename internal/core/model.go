@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"accelwattch/internal/config"
+)
+
+// Model is a tuned AccelWattch power model for one architecture. Estimate
+// implements Eq. (10)/(12): dynamic power from per-component activity
+// factors and tuned energies, plus divergence-aware static power per active
+// SM, idle-SM static power, and constant power — all scaled for DVFS per
+// Eq. (2) and optionally for a different technology node.
+type Model struct {
+	Arch *config.Arch
+
+	// BaseEnergyPJ are the initial per-access energy estimates (the
+	// E-hat of Eq. 12) and Scale the tuned correction factors (the X* of
+	// Eq. 14); the effective energy of component i is their product.
+	BaseEnergyPJ [NumDynComponents]float64
+	Scale        [NumDynComponents]float64
+
+	// ConstW is the constant power estimated by the DVFS methodology of
+	// Section 4.2 (32.5 W on GV100).
+	ConstW float64
+
+	// IdleSMW is the per-idle-SM static power of Eq. (8).
+	IdleSMW float64
+
+	// Div holds the per-mix-category divergence-aware static models of
+	// Sections 4.4-4.5, expressed at chip level for RefSMs SMs.
+	Div [NumMixCategories]DivModel
+
+	// RefSMs is the SM count of the tuning architecture (80 on GV100);
+	// Eq. (9) divides the chip-level static model by it.
+	RefSMs int
+
+	// TempCoeff is the experimentally-derived temperature factor of
+	// Section 4.1: static power is multiplied by exp(TempCoeff*(T-65))
+	// when an activity window reports a die temperature. Zero means the
+	// model was tuned at the 65C reference and applies no correction.
+	TempCoeff float64
+}
+
+// Validate checks that the model is usable.
+func (m *Model) Validate() error {
+	if m.Arch == nil {
+		return fmt.Errorf("core: model has no architecture")
+	}
+	if m.RefSMs <= 0 {
+		return fmt.Errorf("core: model has non-positive RefSMs %d", m.RefSMs)
+	}
+	if m.ConstW < 0 {
+		return fmt.Errorf("core: negative constant power %g", m.ConstW)
+	}
+	for i := 0; i < NumDynComponents; i++ {
+		if m.BaseEnergyPJ[i] < 0 || m.Scale[i] < 0 {
+			return fmt.Errorf("core: negative energy or scale for %v", Component(i))
+		}
+	}
+	return nil
+}
+
+// EffectiveEnergyPJ returns BaseEnergy*Scale for a component.
+func (m *Model) EffectiveEnergyPJ(c Component) float64 {
+	return m.BaseEnergyPJ[c] * m.Scale[c]
+}
+
+// Breakdown is a per-component power report in watts.
+type Breakdown struct {
+	Watts [NumComponents]float64
+}
+
+// Total sums all components.
+func (b *Breakdown) Total() float64 {
+	t := 0.0
+	for _, w := range b.Watts {
+		t += w
+	}
+	return t
+}
+
+// Dynamic sums only the tunable dynamic components.
+func (b *Breakdown) Dynamic() float64 {
+	t := 0.0
+	for i := 0; i < NumDynComponents; i++ {
+		t += b.Watts[i]
+	}
+	return t
+}
+
+// Top returns the n largest components by wattage.
+func (b *Breakdown) Top(n int) []Component {
+	idx := make([]Component, NumComponents)
+	for i := range idx {
+		idx[i] = Component(i)
+	}
+	// Insertion sort: NumComponents is 25.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && b.Watts[idx[j]] > b.Watts[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	if n > len(idx) {
+		n = len(idx)
+	}
+	return idx[:n]
+}
+
+// Estimate evaluates the power model for one activity window (Eq. 10).
+func (m *Model) Estimate(a Activity) (Breakdown, error) {
+	var b Breakdown
+	if err := a.Validate(); err != nil {
+		return b, err
+	}
+	clock := a.ClockMHz
+	if clock == 0 {
+		clock = m.Arch.BaseClockMHz
+	}
+	volt := a.Voltage
+	if volt == 0 {
+		volt = m.Arch.Voltage(clock)
+	}
+	vRatio := volt / m.Arch.BaseVoltage()
+	timeS := a.Cycles / (clock * 1e6)
+
+	// Dynamic power: a_i * E_i * x_i / T, scaled by (V/V0)^2 (Eq. 2's
+	// CV^2f dependence; the f factor enters through T).
+	for i := 0; i < NumDynComponents; i++ {
+		b.Watts[i] = a.Counts[i] * m.BaseEnergyPJ[i] * m.Scale[i] * 1e-12 * vRatio * vRatio / timeS
+	}
+
+	// Static power per active SM with y active lanes (Eq. 9): the
+	// chip-level divergence model at RefSMs, divided by RefSMs, times the
+	// number of active SMs; static scales with V (Eq. 2's nV term) and
+	// exponentially with temperature around the 65C tuning point
+	// (Section 4.1).
+	k := a.ActiveSMs
+	if k > 0 {
+		tempF := 1.0
+		if m.TempCoeff != 0 && a.TemperatureC != 0 {
+			tempF = math.Exp(m.TempCoeff * (a.TemperatureC - 65))
+		}
+		div := m.Div[a.Mix]
+		perSM := div.ChipStaticW(a.AvgLanes) / float64(m.RefSMs)
+		b.Watts[CompStatic] = perSM * k * vRatio * tempF
+		idle := float64(m.Arch.NumSMs) - k
+		if idle < 0 {
+			idle = 0
+		}
+		b.Watts[CompIdleSM] = m.IdleSMW * idle * vRatio * tempF
+	}
+	b.Watts[CompConst] = m.ConstW
+	return b, nil
+}
+
+// EstimatePower is Estimate returning only total watts.
+func (m *Model) EstimatePower(a Activity) (float64, error) {
+	b, err := m.Estimate(a)
+	if err != nil {
+		return 0, err
+	}
+	return b.Total(), nil
+}
+
+// EstimateTrace evaluates the model over a sequence of sampling windows
+// (the cycle-level power trace of Section 5.2) and returns per-window total
+// watts plus the time-weighted average power.
+func (m *Model) EstimateTrace(windows []Activity) ([]float64, float64, error) {
+	out := make([]float64, len(windows))
+	var energy, time float64
+	for i := range windows {
+		b, err := m.Estimate(windows[i])
+		if err != nil {
+			return nil, 0, fmt.Errorf("window %d: %w", i, err)
+		}
+		p := b.Total()
+		out[i] = p
+		clock := windows[i].ClockMHz
+		if clock == 0 {
+			clock = m.Arch.BaseClockMHz
+		}
+		t := windows[i].Cycles / (clock * 1e6)
+		energy += p * t
+		time += t
+	}
+	if time == 0 {
+		return out, 0, nil
+	}
+	return out, energy / time, nil
+}
+
+// Retarget returns a copy of the model retargeted to a new architecture
+// without retuning — the design-space-exploration use case of Section 7.1.
+// Technology scaling is applied when the nodes differ (e.g. Volta 12 nm ->
+// Pascal 16 nm, per IRDS data); constMult adjusts the constant power for
+// board-level differences (the paper uses 1.7x for Turing's fans and
+// peripheral circuitry, 1.0 otherwise).
+func (m *Model) Retarget(arch *config.Arch, constMult float64) (*Model, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	ts, err := config.NewTechScale(m.Arch.TechNodeNM, arch.TechNodeNM)
+	if err != nil {
+		return nil, err
+	}
+	out := *m
+	out.Arch = arch
+	out.ConstW = m.ConstW * constMult
+	if !ts.Identity() {
+		for i := range out.BaseEnergyPJ {
+			out.BaseEnergyPJ[i] *= ts.Dynamic
+		}
+		out.IdleSMW *= ts.Static
+		for i := range out.Div {
+			out.Div[i].FirstLaneW *= ts.Static
+			out.Div[i].AddLaneW *= ts.Static
+		}
+	}
+	return &out, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"accelwattch/internal/config"
+)
+
+// This file implements the "AccelWattch config files" of Figure 1-(8): a
+// tuned model serialises to JSON so that power estimation runs (step 9) can
+// load it without re-running the tuning flow.
+
+// modelJSON is the on-disk schema. Component and mix entries are keyed by
+// name, not index, so files remain readable and robust to reordering.
+type modelJSON struct {
+	Format       string             `json:"format"`
+	Arch         string             `json:"arch"`
+	RefSMs       int                `json:"ref_sms"`
+	ConstW       float64            `json:"const_w"`
+	IdleSMW      float64            `json:"idle_sm_w"`
+	TempCoeff    float64            `json:"temp_coeff,omitempty"`
+	BaseEnergyPJ map[string]float64 `json:"base_energy_pj"`
+	Scale        map[string]float64 `json:"scale"`
+	Div          map[string]divJSON `json:"divergence"`
+}
+
+type divJSON struct {
+	FirstLaneW float64 `json:"first_lane_w"`
+	AddLaneW   float64 `json:"add_lane_w"`
+	HalfWarp   bool    `json:"half_warp"`
+}
+
+const modelFormat = "accelwattch-model-v1"
+
+// MarshalJSON serialises the model in the config-file schema.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	out := modelJSON{
+		Format:       modelFormat,
+		Arch:         m.Arch.Name,
+		RefSMs:       m.RefSMs,
+		ConstW:       m.ConstW,
+		IdleSMW:      m.IdleSMW,
+		TempCoeff:    m.TempCoeff,
+		BaseEnergyPJ: map[string]float64{},
+		Scale:        map[string]float64{},
+		Div:          map[string]divJSON{},
+	}
+	for _, c := range DynComponents() {
+		out.BaseEnergyPJ[c.String()] = m.BaseEnergyPJ[c]
+		out.Scale[c.String()] = m.Scale[c]
+	}
+	for mix := MixCategory(0); mix < NumMixCategories; mix++ {
+		d := m.Div[mix]
+		out.Div[mix.String()] = divJSON{FirstLaneW: d.FirstLaneW, AddLaneW: d.AddLaneW, HalfWarp: d.HalfWarp}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON loads a config file produced by MarshalJSON. The referenced
+// architecture must be one of the stock configurations.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("core: model config: %w", err)
+	}
+	if in.Format != modelFormat {
+		return fmt.Errorf("core: model config has format %q, want %q", in.Format, modelFormat)
+	}
+	arch, err := config.ByName(in.Arch)
+	if err != nil {
+		return err
+	}
+	m.Arch = arch
+	m.RefSMs = in.RefSMs
+	m.ConstW = in.ConstW
+	m.IdleSMW = in.IdleSMW
+	m.TempCoeff = in.TempCoeff
+	nameToComp := map[string]Component{}
+	for _, c := range DynComponents() {
+		nameToComp[c.String()] = c
+	}
+	for name, v := range in.BaseEnergyPJ {
+		c, ok := nameToComp[name]
+		if !ok {
+			return fmt.Errorf("core: model config: unknown component %q", name)
+		}
+		m.BaseEnergyPJ[c] = v
+	}
+	for name, v := range in.Scale {
+		c, ok := nameToComp[name]
+		if !ok {
+			return fmt.Errorf("core: model config: unknown component %q", name)
+		}
+		m.Scale[c] = v
+	}
+	nameToMix := map[string]MixCategory{}
+	for mix := MixCategory(0); mix < NumMixCategories; mix++ {
+		nameToMix[mix.String()] = mix
+	}
+	for name, d := range in.Div {
+		mix, ok := nameToMix[name]
+		if !ok {
+			return fmt.Errorf("core: model config: unknown mix category %q", name)
+		}
+		m.Div[mix] = DivModel{FirstLaneW: d.FirstLaneW, AddLaneW: d.AddLaneW, HalfWarp: d.HalfWarp}
+	}
+	return m.Validate()
+}
+
+// Save writes the model config file.
+func (m *Model) Save(path string) error {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModel reads a model config file.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{}
+	if err := m.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m := testModel()
+	m.TempCoeff = 0.016
+	m.Scale[CompRF] = 0.123
+	m.Div[MixIntMul] = DivModel{FirstLaneW: 29.5, AddLaneW: 1.4, HalfWarp: true}
+
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Arch.Name != m.Arch.Name || got.RefSMs != m.RefSMs {
+		t.Error("arch/refSMs lost")
+	}
+	if got.ConstW != m.ConstW || got.IdleSMW != m.IdleSMW || got.TempCoeff != m.TempCoeff {
+		t.Error("scalar parameters lost")
+	}
+	for _, c := range DynComponents() {
+		if got.BaseEnergyPJ[c] != m.BaseEnergyPJ[c] || got.Scale[c] != m.Scale[c] {
+			t.Errorf("%v: energies lost", c)
+		}
+	}
+	if got.Div[MixIntMul] != m.Div[MixIntMul] {
+		t.Error("divergence model lost")
+	}
+
+	// The loaded model estimates identically.
+	a := fullActivity()
+	p1, err := m.EstimatePower(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := got.EstimatePower(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-p2) > 1e-12 {
+		t.Errorf("loaded model estimates %v, original %v", p2, p1)
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	m := &Model{}
+	if err := m.UnmarshalJSON([]byte(`{"format":"wrong"}`)); err == nil {
+		t.Error("wrong format accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	bad := `{"format":"accelwattch-model-v1","arch":"volta","ref_sms":80,"const_w":30,
+	  "base_energy_pj":{"bogus_component":1},"scale":{},"divergence":{}}`
+	if err := m.UnmarshalJSON([]byte(bad)); err == nil {
+		t.Error("unknown component accepted")
+	}
+}
+
+func TestTemperatureFactorInEstimate(t *testing.T) {
+	m := testModel()
+	m.TempCoeff = 0.016
+	a := fullActivity()
+	b65, err := m.Estimate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.TemperatureC = 90
+	b90, err := m.Estimate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := math.Exp(0.016 * 25)
+	gotF := b90.Watts[CompStatic] / b65.Watts[CompStatic]
+	if math.Abs(gotF-wantF) > 1e-9 {
+		t.Errorf("static temperature factor %v, want %v", gotF, wantF)
+	}
+	if b90.Dynamic() != b65.Dynamic() {
+		t.Error("temperature must not change dynamic power")
+	}
+	if b90.Watts[CompConst] != b65.Watts[CompConst] {
+		t.Error("temperature must not change constant power")
+	}
+	// Explicit 65C equals the implicit reference.
+	a.TemperatureC = 65
+	b65b, _ := m.Estimate(a)
+	if math.Abs(b65b.Watts[CompStatic]-b65.Watts[CompStatic]) > 1e-9 {
+		t.Error("65C must be the no-op reference temperature")
+	}
+}

@@ -1,0 +1,479 @@
+package emu
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"accelwattch/internal/isa"
+	"accelwattch/internal/trace"
+)
+
+// MaxDynInstrsPerWarp bounds runaway kernels; exceeding it is reported as
+// an error rather than hanging the caller.
+const MaxDynInstrsPerWarp = 4 << 20
+
+// Run executes a kernel functionally and returns its dynamic trace. The
+// kernel may be at either ISA level; the trace is tagged with the level it
+// executed at. Memory is mutated in place (kernels produce results).
+func Run(k *isa.Kernel, mem *Memory) (*trace.KernelTrace, error) {
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("emu: %w", err)
+	}
+	if mem == nil {
+		mem = NewMemory()
+	}
+	kt := &trace.KernelTrace{Kernel: k}
+	nCTAs := k.Grid.Count()
+	for cta := 0; cta < nCTAs; cta++ {
+		warps, err := runCTA(k, mem, cta)
+		if err != nil {
+			return nil, err
+		}
+		kt.Warps = append(kt.Warps, warps...)
+	}
+	return kt, nil
+}
+
+// runCTA executes one CTA's warps in barrier-synchronised phases: each warp
+// runs until it reaches a barrier or exits, then the next warp runs; rounds
+// repeat until every warp has exited. This gives barrier-correct shared-
+// memory semantics without interleaving at instruction granularity.
+func runCTA(k *isa.Kernel, mem *Memory, cta int) ([]trace.WarpTrace, error) {
+	nThreads := k.Block.Count()
+	nWarps := k.Warps()
+	shared := make(map[uint64]uint64)
+
+	ws := make([]*warpState, nWarps)
+	for w := 0; w < nWarps; w++ {
+		active := uint32(0)
+		for l := 0; l < 32; l++ {
+			if w*32+l < nThreads {
+				active |= 1 << uint(l)
+			}
+		}
+		ws[w] = newWarpState(k, mem, shared, cta, w, active)
+	}
+
+	for {
+		allDone := true
+		progressed := false
+		for _, w := range ws {
+			if w.done {
+				continue
+			}
+			allDone = false
+			before := len(w.recs)
+			if err := w.runUntilBarrierOrExit(); err != nil {
+				return nil, err
+			}
+			if len(w.recs) != before || w.done {
+				progressed = true
+			}
+		}
+		if allDone {
+			break
+		}
+		if !progressed {
+			return nil, fmt.Errorf("emu: kernel %s: CTA %d deadlocked at a barrier", k.Name, cta)
+		}
+	}
+
+	out := make([]trace.WarpTrace, nWarps)
+	for w := 0; w < nWarps; w++ {
+		out[w] = trace.WarpTrace{CTA: cta, Warp: w, Recs: ws[w].recs}
+	}
+	return out, nil
+}
+
+type stackEntry struct {
+	pc   int
+	rpc  int // reconvergence PC; -1 for the base entry
+	mask uint32
+}
+
+type warpState struct {
+	k      *isa.Kernel
+	mem    *Memory
+	shared map[uint64]uint64
+	cta    int
+	warp   int
+
+	regs   [32][isa.NumRegs]uint64
+	preds  [32][isa.NumPreds]bool
+	stack  []stackEntry
+	exited uint32 // lanes that executed EXIT
+	launch uint32 // lanes that exist (partial final warp)
+	done   bool
+
+	recs  []trace.Rec
+	steps int
+}
+
+func newWarpState(k *isa.Kernel, mem *Memory, shared map[uint64]uint64, cta, warp int, active uint32) *warpState {
+	w := &warpState{
+		k: k, mem: mem, shared: shared, cta: cta, warp: warp,
+		launch: active,
+		stack:  []stackEntry{{pc: 0, rpc: -1, mask: active}},
+	}
+	return w
+}
+
+// runUntilBarrierOrExit advances the warp until it consumes a BAR (returning
+// with the barrier recorded) or all lanes exit.
+func (w *warpState) runUntilBarrierOrExit() error {
+	for {
+		if len(w.stack) == 0 {
+			w.done = true
+			return nil
+		}
+		top := &w.stack[len(w.stack)-1]
+		if top.pc == top.rpc {
+			// Reached the reconvergence point of this divergence entry.
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		if top.pc >= len(w.k.Code) {
+			return fmt.Errorf("emu: kernel %s: warp (%d,%d) ran off the end of the code", w.k.Name, w.cta, w.warp)
+		}
+		w.steps++
+		if w.steps > MaxDynInstrsPerWarp {
+			return fmt.Errorf("emu: kernel %s: warp (%d,%d) exceeded %d dynamic instructions",
+				w.k.Name, w.cta, w.warp, MaxDynInstrsPerWarp)
+		}
+
+		pc := top.pc
+		in := &w.k.Code[pc]
+		curMask := top.mask &^ w.exited
+		execMask := curMask & w.guardMask(in)
+
+		switch in.Op {
+		case isa.OpBRA:
+			w.record(pc, in, execMask, nil)
+			w.branch(top, pc, in, curMask, execMask)
+			continue
+		case isa.OpEXIT:
+			w.record(pc, in, execMask, nil)
+			w.exited |= execMask
+			if w.exited == w.launch {
+				w.done = true
+				w.stack = w.stack[:0]
+				return nil
+			}
+			top.pc++
+			continue
+		case isa.OpBAR:
+			w.record(pc, in, execMask, nil)
+			top.pc++
+			return nil
+		}
+
+		var addrs []uint64
+		if in.Op.Info().IsMem && execMask != 0 {
+			addrs = w.execMem(in, execMask)
+		} else if execMask != 0 {
+			w.execALU(in, execMask)
+		}
+		w.record(pc, in, execMask, addrs)
+		top.pc++
+	}
+}
+
+// branch implements the SIMT reconvergence stack. Forward branches
+// reconverge at the branch target; backward branches at the fall-through.
+// Only the path that is not already at the reconvergence point is pushed.
+func (w *warpState) branch(top *stackEntry, pc int, in *isa.Instr, curMask, takenMask uint32) {
+	ntMask := curMask &^ takenMask
+	switch {
+	case takenMask == 0:
+		top.pc = pc + 1
+	case ntMask == 0:
+		top.pc = in.Target
+	case in.Target > pc:
+		// Forward divergent branch: not-taken lanes run the skipped
+		// region; taken lanes wait at the target.
+		rpc := in.Target
+		top.pc = rpc
+		w.stack = append(w.stack, stackEntry{pc: pc + 1, rpc: rpc, mask: ntMask})
+	default:
+		// Backward divergent branch (loop): taken lanes iterate; exiting
+		// lanes wait at the fall-through.
+		rpc := pc + 1
+		top.pc = rpc
+		w.stack = append(w.stack, stackEntry{pc: in.Target, rpc: rpc, mask: takenMask})
+	}
+}
+
+func (w *warpState) guardMask(in *isa.Instr) uint32 {
+	if in.Pred == isa.PT {
+		if in.PredNeg {
+			return 0
+		}
+		return ^uint32(0)
+	}
+	var m uint32
+	for l := 0; l < 32; l++ {
+		v := w.preds[l][in.Pred]
+		if in.PredNeg {
+			v = !v
+		}
+		if v {
+			m |= 1 << uint(l)
+		}
+	}
+	return m
+}
+
+func (w *warpState) record(pc int, in *isa.Instr, mask uint32, addrs []uint64) {
+	w.recs = append(w.recs, trace.Rec{
+		PC:    int32(pc),
+		Op:    in.Op,
+		Mask:  mask,
+		Space: in.Space,
+		Addrs: addrs,
+	})
+}
+
+// semOp returns the opcode whose semantics to evaluate.
+func semOp(in *isa.Instr) isa.Op {
+	if in.SemOp != isa.OpInvalid {
+		return in.SemOp
+	}
+	return in.Op
+}
+
+func (w *warpState) execMem(in *isa.Instr, mask uint32) []uint64 {
+	addrs := make([]uint64, 0, bits.OnesCount32(mask))
+	for l := 0; l < 32; l++ {
+		if mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		addr := w.regs[l][in.Srcs[0]] + uint64(in.Imm)
+		addrs = append(addrs, addr)
+		if in.SemNop {
+			continue
+		}
+		switch in.Op {
+		case isa.OpLDG:
+			w.regs[l][in.Dst] = w.mem.LoadGlobal(addr)
+		case isa.OpSTG:
+			w.mem.StoreGlobal(addr, w.regs[l][in.Srcs[1]])
+		case isa.OpLDS:
+			w.regs[l][in.Dst] = w.shared[addr]
+		case isa.OpSTS:
+			w.shared[addr] = w.regs[l][in.Srcs[1]]
+		case isa.OpLDC:
+			idx := addr / 8
+			if idx < uint64(len(w.k.Params)) {
+				w.regs[l][in.Dst] = w.k.Params[idx]
+			} else {
+				w.regs[l][in.Dst] = 0
+			}
+		case isa.OpTEX:
+			w.regs[l][in.Dst] = w.mem.LoadTexture(addr)
+		case isa.OpATOMG:
+			old := w.mem.LoadGlobal(addr)
+			w.regs[l][in.Dst] = old
+			w.mem.StoreGlobal(addr, uint64(uint32(old)+uint32(w.regs[l][in.Srcs[1]])))
+		}
+	}
+	return addrs
+}
+
+func (w *warpState) execALU(in *isa.Instr, mask uint32) {
+	if in.SemNop {
+		return
+	}
+	op := semOp(in)
+	info := op.Info()
+	for l := 0; l < 32; l++ {
+		if mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		r := &w.regs[l]
+		// Second integer/float operand may come from the immediate.
+		src1 := func() uint64 {
+			if in.HasImm && in.NSrc < 2 {
+				return uint64(in.Imm)
+			}
+			return r[in.Srcs[1]]
+		}
+		switch op {
+		case isa.OpNOP, isa.OpNANOSLEEP:
+		case isa.OpMOV:
+			r[in.Dst] = r[in.Srcs[0]]
+		case isa.OpMOVI:
+			r[in.Dst] = uint64(in.Imm)
+		case isa.OpS2R:
+			r[in.Dst] = w.sreg(in.SReg, l)
+		case isa.OpIADD:
+			r[in.Dst] = u32(uint32(r[in.Srcs[0]]) + uint32(src1()))
+		case isa.OpIADD3:
+			r[in.Dst] = u32(uint32(r[in.Srcs[0]]) + uint32(r[in.Srcs[1]]) + uint32(r[in.Srcs[2]]))
+		case isa.OpIMUL:
+			r[in.Dst] = u32(uint32(r[in.Srcs[0]]) * uint32(src1()))
+		case isa.OpIMAD:
+			r[in.Dst] = u32(uint32(r[in.Srcs[0]])*uint32(r[in.Srcs[1]]) + uint32(r[in.Srcs[2]]))
+		case isa.OpSHL:
+			r[in.Dst] = u32(uint32(r[in.Srcs[0]]) << (uint32(src1()) & 31))
+		case isa.OpSHR:
+			r[in.Dst] = u32(uint32(r[in.Srcs[0]]) >> (uint32(src1()) & 31))
+		case isa.OpAND:
+			r[in.Dst] = u32(uint32(r[in.Srcs[0]]) & uint32(src1()))
+		case isa.OpOR:
+			r[in.Dst] = u32(uint32(r[in.Srcs[0]]) | uint32(src1()))
+		case isa.OpXOR:
+			r[in.Dst] = u32(uint32(r[in.Srcs[0]]) ^ uint32(src1()))
+		case isa.OpIMIN:
+			r[in.Dst] = u32(uint32(min32(int32(r[in.Srcs[0]]), int32(src1()))))
+		case isa.OpIMAX:
+			r[in.Dst] = u32(uint32(max32(int32(r[in.Srcs[0]]), int32(src1()))))
+		case isa.OpIABSDIFF:
+			d := int64(int32(r[in.Srcs[0]])) - int64(int32(src1()))
+			if d < 0 {
+				d = -d
+			}
+			r[in.Dst] = u32(uint32(d))
+		case isa.OpISETP:
+			w.preds[l][in.Dst] = cmpInt(in.Cmp, int32(r[in.Srcs[0]]), int32(src1()))
+		case isa.OpFADD:
+			r[in.Dst] = fbits(f32v(r[in.Srcs[0]]) + f32v(src1()))
+		case isa.OpFMUL:
+			r[in.Dst] = fbits(f32v(r[in.Srcs[0]]) * f32v(src1()))
+		case isa.OpFFMA, isa.OpHMMA:
+			r[in.Dst] = fbits(f32v(r[in.Srcs[0]])*f32v(r[in.Srcs[1]]) + f32v(r[in.Srcs[2]]))
+		case isa.OpFMIN:
+			r[in.Dst] = fbits(float32(math.Min(float64(f32v(r[in.Srcs[0]])), float64(f32v(src1())))))
+		case isa.OpFMAX:
+			r[in.Dst] = fbits(float32(math.Max(float64(f32v(r[in.Srcs[0]])), float64(f32v(src1())))))
+		case isa.OpFSETP:
+			w.preds[l][in.Dst] = cmpFloat(in.Cmp, f32v(r[in.Srcs[0]]), f32v(src1()))
+		case isa.OpDADD:
+			r[in.Dst] = math.Float64bits(math.Float64frombits(r[in.Srcs[0]]) + math.Float64frombits(src1()))
+		case isa.OpDMUL:
+			r[in.Dst] = math.Float64bits(math.Float64frombits(r[in.Srcs[0]]) * math.Float64frombits(src1()))
+		case isa.OpDFMA:
+			r[in.Dst] = math.Float64bits(math.Float64frombits(r[in.Srcs[0]])*math.Float64frombits(r[in.Srcs[1]]) + math.Float64frombits(r[in.Srcs[2]]))
+		case isa.OpMUFURCP:
+			r[in.Dst] = fbits(1 / f32v(r[in.Srcs[0]]))
+		case isa.OpMUFUSQRT, isa.OpSQRTF32:
+			r[in.Dst] = fbits(float32(math.Sqrt(float64(f32v(r[in.Srcs[0]])))))
+		case isa.OpRSQRTF32:
+			r[in.Dst] = fbits(float32(1 / math.Sqrt(float64(f32v(r[in.Srcs[0]])))))
+		case isa.OpMUFULG2:
+			r[in.Dst] = fbits(float32(math.Log2(float64(f32v(r[in.Srcs[0]])))))
+		case isa.OpMUFUEX2:
+			r[in.Dst] = fbits(float32(math.Exp2(float64(f32v(r[in.Srcs[0]])))))
+		case isa.OpMUFUSIN, isa.OpSINF32:
+			r[in.Dst] = fbits(float32(math.Sin(float64(f32v(r[in.Srcs[0]])))))
+		case isa.OpMUFUCOS, isa.OpCOSF32:
+			r[in.Dst] = fbits(float32(math.Cos(float64(f32v(r[in.Srcs[0]])))))
+		case isa.OpRRO:
+			r[in.Dst] = r[in.Srcs[0]]
+		case isa.OpEXPF32:
+			r[in.Dst] = fbits(float32(math.Exp(float64(f32v(r[in.Srcs[0]])))))
+		case isa.OpLOGF32:
+			r[in.Dst] = fbits(float32(math.Log(float64(f32v(r[in.Srcs[0]])))))
+		case isa.OpDIVS32:
+			d := int32(src1())
+			if d == 0 {
+				r[in.Dst] = 0
+			} else {
+				r[in.Dst] = u32(uint32(int32(r[in.Srcs[0]]) / d))
+			}
+		case isa.OpREMS32:
+			d := int32(src1())
+			if d == 0 {
+				r[in.Dst] = 0
+			} else {
+				r[in.Dst] = u32(uint32(int32(r[in.Srcs[0]]) % d))
+			}
+		case isa.OpDIVF32:
+			r[in.Dst] = fbits(f32v(r[in.Srcs[0]]) / f32v(src1()))
+		case isa.OpADDS64:
+			r[in.Dst] = r[in.Srcs[0]] + src1()
+		default:
+			if info.Name != "" {
+				panic(fmt.Sprintf("emu: unhandled opcode %s", info.Name))
+			}
+		}
+	}
+}
+
+func (w *warpState) sreg(sr isa.SReg, lane int) uint64 {
+	switch sr {
+	case isa.SRegLaneID:
+		return uint64(lane)
+	case isa.SRegTIDX:
+		return uint64(w.warp*32 + lane)
+	case isa.SRegCTAIDX:
+		return uint64(w.cta)
+	case isa.SRegNTIDX:
+		return uint64(w.k.Block.Count())
+	case isa.SRegNCTAIDX:
+		return uint64(w.k.Grid.Count())
+	case isa.SRegWarpID:
+		return uint64(w.warp)
+	case isa.SRegGridTID:
+		return uint64(w.cta*w.k.Block.Count() + w.warp*32 + lane)
+	}
+	return 0
+}
+
+func u32(v uint32) uint64 { return uint64(v) }
+
+func f32v(bits64 uint64) float32 { return math.Float32frombits(uint32(bits64)) }
+
+func fbits(f float32) uint64 { return uint64(math.Float32bits(f)) }
+
+func f32bits(f float32) uint32 { return math.Float32bits(f) }
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func cmpInt(c isa.CmpOp, a, b int32) bool {
+	switch c {
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	case isa.CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat(c isa.CmpOp, a, b float32) bool {
+	switch c {
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	case isa.CmpGE:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+// Package emu is the functional SIMT executor. It runs kernels thread-
+// accurately — SIMT reconvergence stack, predication, barriers, shared and
+// global memory — and records the per-warp dynamic instruction trace that
+// the timing models replay. It is the framework's stand-in for NVBit
+// instrumentation on real silicon.
+package emu
+
+// Memory is the device memory image a kernel executes against. Global and
+// texture spaces are sparse word maps keyed by byte address; values are
+// 64-bit words holding 32-bit data in their low half (loads and stores in
+// this framework are 4-byte accesses addressed exactly).
+type Memory struct {
+	Global  map[uint64]uint64
+	Texture map[uint64]uint64
+}
+
+// NewMemory returns an empty device memory image.
+func NewMemory() *Memory {
+	return &Memory{
+		Global:  make(map[uint64]uint64),
+		Texture: make(map[uint64]uint64),
+	}
+}
+
+// LoadGlobal reads a word from global memory (0 when untouched).
+func (m *Memory) LoadGlobal(addr uint64) uint64 { return m.Global[addr] }
+
+// StoreGlobal writes a word to global memory.
+func (m *Memory) StoreGlobal(addr, v uint64) { m.Global[addr] = v }
+
+// LoadTexture reads a word from texture memory.
+func (m *Memory) LoadTexture(addr uint64) uint64 { return m.Texture[addr] }
+
+// FillGlobalU32 writes consecutive 32-bit words starting at base with
+// 4-byte stride.
+func (m *Memory) FillGlobalU32(base uint64, vals []uint32) {
+	for i, v := range vals {
+		m.Global[base+uint64(i)*4] = uint64(v)
+	}
+}
+
+// FillGlobalF32 writes consecutive float32 bit patterns starting at base.
+func (m *Memory) FillGlobalF32(base uint64, vals []float32) {
+	for i, v := range vals {
+		m.Global[base+uint64(i)*4] = uint64(f32bits(v))
+	}
+}
+
+// PointerChase builds a pointer-chasing ring of n nodes with the given byte
+// stride starting at base: mem[base + i*stride] holds the address of the
+// next node, with a permutation step that defeats simple prefetching, as in
+// the paper's memory-hierarchy microbenchmarks.
+func (m *Memory) PointerChase(base uint64, n int, stride uint64) {
+	if n <= 0 {
+		return
+	}
+	// A fixed odd multiplier permutes the ring when n is a power of two;
+	// otherwise fall back to a simple next-neighbour ring.
+	perm := func(i int) int { return (i*17 + 7) % n }
+	if n&(n-1) != 0 {
+		perm = func(i int) int { return (i + 1) % n }
+	}
+	for i := 0; i < n; i++ {
+		m.Global[base+uint64(i)*stride] = base + uint64(perm(i))*stride
+	}
+}

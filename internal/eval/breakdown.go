@@ -1,0 +1,128 @@
+package eval
+
+import "accelwattch/internal/core"
+
+// Figure 8/9 present breakdowns in coarser groups than the 22 raw
+// components. Group mirrors the paper's legend.
+type Group int
+
+const (
+	GroupConst Group = iota
+	GroupStatic
+	GroupIdleSM
+	GroupRegFile
+	GroupALU
+	GroupFPUDPU
+	GroupSFU
+	GroupTensor
+	GroupL1DShared
+	GroupICacheCCache
+	GroupL2NoC
+	GroupDRAMMC
+	GroupOthers
+
+	NumGroups
+)
+
+var groupNames = [NumGroups]string{
+	"Const", "Static", "Idle_SM", "RegFile", "ALU", "FPU+DPU", "SFU",
+	"TENSOR", "L1D+SHRD", "icache+Ccache", "L2+NOC", "DRAM+MC", "Others",
+}
+
+func (g Group) String() string {
+	if g >= 0 && g < NumGroups {
+		return groupNames[g]
+	}
+	return "?"
+}
+
+// groupOf maps a component to its Figure 9 group. The Others category
+// comprises the instruction buffer, scheduler, SM pipeline, and texture
+// unit (as in the paper's Figure 8 caption; tensor appears separately in
+// Figure 9).
+func groupOf(c core.Component) Group {
+	switch c {
+	case core.CompConst:
+		return GroupConst
+	case core.CompStatic:
+		return GroupStatic
+	case core.CompIdleSM:
+		return GroupIdleSM
+	case core.CompRF:
+		return GroupRegFile
+	case core.CompALU, core.CompINTMUL:
+		return GroupALU
+	case core.CompFPU, core.CompFPMUL, core.CompDPU, core.CompDPMUL:
+		return GroupFPUDPU
+	case core.CompSQRT, core.CompLOG, core.CompSINCOS, core.CompEXP:
+		return GroupSFU
+	case core.CompTENSOR:
+		return GroupTensor
+	case core.CompL1D, core.CompSHMEM:
+		return GroupL1DShared
+	case core.CompICACHE, core.CompCCACHE:
+		return GroupICacheCCache
+	case core.CompL2NOC:
+		return GroupL2NoC
+	case core.CompDRAMMC:
+		return GroupDRAMMC
+	default:
+		return GroupOthers
+	}
+}
+
+// GroupedBreakdown is one kernel's (or one average's) power by group.
+type GroupedBreakdown struct {
+	Watts [NumGroups]float64
+}
+
+// Total sums all groups.
+func (g *GroupedBreakdown) Total() float64 {
+	t := 0.0
+	for _, w := range g.Watts {
+		t += w
+	}
+	return t
+}
+
+// Share returns the group's fraction of total power.
+func (g *GroupedBreakdown) Share(grp Group) float64 {
+	t := g.Total()
+	if t == 0 {
+		return 0
+	}
+	return g.Watts[grp] / t
+}
+
+// GroupBreakdown folds a component breakdown into Figure 9 groups.
+func GroupBreakdown(b core.Breakdown) GroupedBreakdown {
+	var out GroupedBreakdown
+	for c := 0; c < core.NumComponents; c++ {
+		out.Watts[groupOf(core.Component(c))] += b.Watts[c]
+	}
+	return out
+}
+
+// AverageBreakdown returns the normalised average grouped breakdown across
+// kernels — the Figure 8 bars (each kernel normalised to its own total,
+// then averaged).
+func AverageBreakdown(results []KernelResult) GroupedBreakdown {
+	var avg GroupedBreakdown
+	if len(results) == 0 {
+		return avg
+	}
+	for i := range results {
+		g := GroupBreakdown(results[i].Breakdown)
+		t := g.Total()
+		if t == 0 {
+			continue
+		}
+		for j := range g.Watts {
+			avg.Watts[j] += g.Watts[j] / t
+		}
+	}
+	for j := range avg.Watts {
+		avg.Watts[j] /= float64(len(results))
+	}
+	return avg
+}

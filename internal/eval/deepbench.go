@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"fmt"
+
+	"accelwattch/internal/core"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/stats"
+	"accelwattch/internal/trace"
+	"accelwattch/internal/tune"
+	"accelwattch/internal/workloads"
+)
+
+// DeepBenchResult is one benchmark of Figure 13: measured (hardware runs
+// the schedule concurrently) versus estimated (the simulator runs each
+// hand-constructed concurrent group) average power.
+type DeepBenchResult struct {
+	Name       string
+	MeasuredW  float64
+	EstimatedW float64
+}
+
+// DeepBenchStudy runs the Section 7.2 case study: for each benchmark, each
+// concurrent kernel group is replayed on silicon and on the simulator, and
+// group powers combine energy-weighted into the benchmark's average power.
+func DeepBenchStudy(tb *tune.Testbench, model *core.Model, suite []workloads.DeepBenchmark) ([]DeepBenchResult, float64, error) {
+	var out []DeepBenchResult
+	var meas, est []float64
+	for _, db := range suite {
+		// Collect traces once per kernel.
+		traces := make([]*trace.KernelTrace, len(db.Kernels))
+		for i := range db.Kernels {
+			k := &db.Kernels[i]
+			w := tune.Workload{Name: k.Name, Kernel: k.Kernel, Setup: k.Setup}
+			kt, err := tb.Trace(w, isa.SASS)
+			if err != nil {
+				return nil, 0, err
+			}
+			traces[i] = kt
+		}
+		var mEnergy, mTime, eEnergy, eTime float64
+		for _, group := range db.Groups {
+			gts := make([]*trace.KernelTrace, 0, len(group))
+			for _, gi := range group {
+				gts = append(gts, traces[gi])
+			}
+			// Hardware measurement of the concurrent group.
+			m, err := tb.Device.Run(gts...)
+			if err != nil {
+				return nil, 0, err
+			}
+			mEnergy += m.AvgPowerW * m.RuntimeS
+			mTime += m.RuntimeS
+			// Simulator + power model on the same group.
+			r, err := tb.Sim.Run(gts...)
+			if err != nil {
+				return nil, 0, err
+			}
+			p, err := model.EstimatePower(r.Aggregate)
+			if err != nil {
+				return nil, 0, fmt.Errorf("eval: deepbench %s: %w", db.Name, err)
+			}
+			t := r.Cycles / (tb.Arch.BaseClockMHz * 1e6)
+			eEnergy += p * t
+			eTime += t
+		}
+		res := DeepBenchResult{
+			Name:       db.Name,
+			MeasuredW:  mEnergy / mTime,
+			EstimatedW: eEnergy / eTime,
+		}
+		out = append(out, res)
+		meas = append(meas, res.MeasuredW)
+		est = append(est, res.EstimatedW)
+	}
+	mape, err := stats.MAPE(meas, est)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, mape, nil
+}

@@ -1,0 +1,108 @@
+// Package eval runs the paper's evaluation: Volta validation across the
+// four AccelWattch variants (Figures 7-9), the Pascal/Turing design-space
+// case studies (Figures 10-12), the DeepBench case study (Figure 13), and
+// the GPUWattch baseline comparison (Section 7.3).
+package eval
+
+import (
+	"fmt"
+
+	"accelwattch/internal/core"
+	"accelwattch/internal/stats"
+	"accelwattch/internal/tune"
+	"accelwattch/internal/workloads"
+)
+
+// KernelResult is one kernel's measured-versus-estimated comparison.
+type KernelResult struct {
+	Name       string
+	MeasuredW  float64
+	EstimatedW float64
+	Breakdown  core.Breakdown
+}
+
+// RelErrPct returns the signed relative error in percent.
+func (k *KernelResult) RelErrPct() float64 {
+	return 100 * (k.EstimatedW - k.MeasuredW) / k.MeasuredW
+}
+
+// ValidationResult aggregates one variant's run over a suite.
+type ValidationResult struct {
+	Variant tune.Variant
+	Kernels []KernelResult
+	MAPE    float64
+	CI95    float64
+	MaxAPE  float64
+	Pearson float64
+}
+
+// inSuite reports whether a kernel participates in the given variant's
+// validation suite (Section 6.1's exclusions).
+func inSuite(k *workloads.Kernel, v tune.Variant) bool {
+	switch v {
+	case tune.PTXSIM:
+		return k.ForVariantPTX()
+	case tune.HW, tune.HYBRID:
+		return k.ForVariantHW()
+	default:
+		return true
+	}
+}
+
+// Validate runs the model over the validation suite under one variant and
+// compares against silicon measurements (the Figure 7 experiment).
+func Validate(tb *tune.Testbench, model *core.Model, v tune.Variant, suite []workloads.Kernel) (*ValidationResult, error) {
+	res := &ValidationResult{Variant: v}
+	var meas, est []float64
+	for i := range suite {
+		k := &suite[i]
+		if !inSuite(k, v) {
+			continue
+		}
+		w := tune.Workload{Name: k.Name, Kernel: k.Kernel, Setup: k.Setup}
+		m, err := tb.Measure(w, 0)
+		if err != nil {
+			return nil, err
+		}
+		a, err := tb.Activity(w, v)
+		if err != nil {
+			return nil, err
+		}
+		bd, err := model.Estimate(a)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", k.Name, err)
+		}
+		kr := KernelResult{Name: k.Name, MeasuredW: m.AvgPowerW, EstimatedW: bd.Total(), Breakdown: bd}
+		res.Kernels = append(res.Kernels, kr)
+		meas = append(meas, kr.MeasuredW)
+		est = append(est, kr.EstimatedW)
+	}
+	if len(meas) == 0 {
+		return nil, fmt.Errorf("eval: empty suite for variant %v", v)
+	}
+	var err error
+	res.MAPE, res.CI95, err = stats.MAPEWithCI(meas, est)
+	if err != nil {
+		return nil, err
+	}
+	if res.MaxAPE, err = stats.MaxAPE(meas, est); err != nil {
+		return nil, err
+	}
+	if res.Pearson, err = stats.Pearson(meas, est); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ValidateAll runs all four variants over the suite (Figure 7).
+func ValidateAll(tb *tune.Testbench, tuned *tune.Result, suite []workloads.Kernel) (map[tune.Variant]*ValidationResult, error) {
+	out := make(map[tune.Variant]*ValidationResult, tune.NumVariants)
+	for _, v := range tune.Variants() {
+		r, err := Validate(tb, tuned.Model(v), v, suite)
+		if err != nil {
+			return nil, fmt.Errorf("eval: variant %v: %w", v, err)
+		}
+		out[v] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,36 @@
+// Package gpuwattch implements the baseline of Section 7.3: the GPUWattch
+// power model with its NVIDIA Fermi GTX 480 configuration applied, without
+// retuning, to a modern architecture. GPUWattch predates aggressive power
+// gating and DVFS: its per-access energies are Fermi-era (40 nm), its
+// constant-plus-static power is a single small lump (10.45 W across all
+// validation kernels), and it has no divergence, power-gating, or idle-SM
+// model. Applied to Volta it overestimates wildly — the paper reports 219%
+// (SASS) and 225% (PTX) MAPE with an average estimate of 530 W.
+package gpuwattch
+
+import (
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+)
+
+// Model returns the GPUWattch Fermi-configuration model expressed on the
+// AccelWattch component basis, enhanced (as in the paper) with
+// AccelWattch's estimate for tensor cores, which GPUWattch does not model.
+func Model(arch *config.Arch) *core.Model {
+	m := &core.Model{
+		Arch:         arch,
+		BaseEnergyPJ: core.FermiEnergiesPJ(),
+		ConstW:       core.GPUWattchStaticW, // constant+static lumped into one small term
+		IdleSMW:      0,
+		RefSMs:       arch.NumSMs,
+	}
+	for i := range m.Scale {
+		m.Scale[i] = 1
+	}
+	// No divergence- or gating-aware static model: all mix categories get
+	// a zero static contribution (it is inside the lumped constant).
+	for i := range m.Div {
+		m.Div[i] = core.DivModel{}
+	}
+	return m
+}

@@ -1,0 +1,69 @@
+package gpuwattch
+
+import (
+	"testing"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+)
+
+func TestModelStructure(t *testing.T) {
+	m := Model(config.Volta())
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// GPUWattch lumps constant+static into one small term (Section 7.3
+	// cites 10.45 W) and has no gating/idle/divergence model.
+	if m.ConstW != core.GPUWattchStaticW {
+		t.Errorf("ConstW = %v, want %v", m.ConstW, core.GPUWattchStaticW)
+	}
+	if m.IdleSMW != 0 {
+		t.Error("GPUWattch has no idle-SM model")
+	}
+	for _, d := range m.Div {
+		if d.FirstLaneW != 0 || d.AddLaneW != 0 {
+			t.Error("GPUWattch has no divergence-aware static model")
+		}
+	}
+	for i := range m.Scale {
+		if m.Scale[i] != 1 {
+			t.Error("GPUWattch applies its Fermi energies unscaled")
+		}
+	}
+}
+
+func TestFermiEnergiesExceedTuned(t *testing.T) {
+	// The Fermi-era (40 nm) energies must dwarf modern initial
+	// estimates' tuned outcomes — that is why GPUWattch overestimates by
+	// >200% on Volta. Sanity-check the table is uniformly "hot":
+	fermi := core.FermiEnergiesPJ()
+	for _, c := range []core.Component{core.CompALU, core.CompFPU, core.CompRF, core.CompDRAMMC} {
+		if fermi[c] <= 0 {
+			t.Errorf("fermi energy for %v missing", c)
+		}
+	}
+	if fermi[core.CompINTMUL] < 5*fermi[core.CompFPU] {
+		t.Error("GPUWattch's INT MUL energy should be disproportionately large (Section 7.3)")
+	}
+}
+
+func TestEstimateOverestimates(t *testing.T) {
+	m := Model(config.Volta())
+	var a core.Activity
+	a.Cycles = 1e5
+	a.ActiveSMs = 80
+	a.AvgLanes = 32
+	// A modest compute activity.
+	a.Counts[core.CompALU] = 5e8
+	a.Counts[core.CompRF] = 1.5e9
+	a.Counts[core.CompIBUF] = 2e7
+	a.Counts[core.CompSCHED] = 2e7
+	a.Counts[core.CompPIPE] = 2e7
+	p, err := m.EstimatePower(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 250 {
+		t.Errorf("GPUWattch estimate %.0f W; the Fermi config should exceed the 250 W board limit on busy kernels", p)
+	}
+}

@@ -1,0 +1,566 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a textual assembly format for kernels, used by the
+// awsim command and by tests. The format is line oriented:
+//
+//	.kernel vecadd
+//	.grid 80
+//	.block 256
+//	.shared 1024
+//	.param 4096
+//	    S2R R1, tid.x
+//	loop:
+//	    IADD R2, R2, 1
+//	    ISETP.lt P0, R2, R3
+//	@P0 BRA loop
+//	    EXIT
+//
+// Guards are written `@P0` or `@!P0` before the mnemonic; comparisons are
+// suffixed to SETP mnemonics; memory operands use `[Rn+off]`.
+
+// Assemble parses the textual form into a PTX-level kernel.
+func Assemble(src string) (*Kernel, error) {
+	k := &Kernel{Level: PTX, Grid: Dim3{X: 1}, Block: Dim3{X: 32}}
+	labels := make(map[string]int)
+	type fix struct {
+		pc    int
+		label string
+		line  int
+	}
+	var fixes []fix
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("isa: line %d: "+format, append([]any{lineNo + 1}, args...)...)
+		}
+
+		// Directives.
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".kernel":
+				if len(fields) != 2 {
+					return nil, errf(".kernel needs a name")
+				}
+				k.Name = fields[1]
+			case ".grid", ".block", ".shared":
+				if len(fields) != 2 {
+					return nil, errf("%s needs one integer", fields[0])
+				}
+				v, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, errf("%s: %v", fields[0], err)
+				}
+				switch fields[0] {
+				case ".grid":
+					k.Grid = Dim3{X: v}
+				case ".block":
+					k.Block = Dim3{X: v}
+				case ".shared":
+					k.SharedBytes = v
+				}
+			case ".param":
+				for _, f := range fields[1:] {
+					v, err := strconv.ParseUint(f, 0, 64)
+					if err != nil {
+						return nil, errf(".param: %v", err)
+					}
+					k.Params = append(k.Params, v)
+				}
+			default:
+				return nil, errf("unknown directive %s", fields[0])
+			}
+			continue
+		}
+
+		// Labels.
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if !isIdent(name) {
+				return nil, errf("bad label %q", name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, errf("duplicate label %q", name)
+			}
+			labels[name] = len(k.Code)
+			continue
+		}
+
+		in := Instr{Pred: PT}
+
+		// Guard.
+		if strings.HasPrefix(line, "@") {
+			sp := strings.IndexByte(line, ' ')
+			if sp < 0 {
+				return nil, errf("guard without instruction")
+			}
+			g := line[1:sp]
+			line = strings.TrimSpace(line[sp+1:])
+			if strings.HasPrefix(g, "!") {
+				in.PredNeg = true
+				g = g[1:]
+			}
+			p, err := parsePred(g)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			in.Pred = p
+		}
+
+		// Mnemonic (with optional .cmp suffix for SETP).
+		mn := line
+		rest := ""
+		if sp := strings.IndexByte(line, ' '); sp >= 0 {
+			mn, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+		}
+		var cmp CmpOp
+		hasCmp := false
+		if dot := strings.LastIndexByte(mn, '.'); dot >= 0 {
+			if c, ok := parseCmp(mn[dot+1:]); ok {
+				cmp, hasCmp = c, true
+				mn = mn[:dot]
+			}
+		}
+		op, ok := OpByName(mn)
+		if !ok {
+			return nil, errf("unknown mnemonic %q", mn)
+		}
+		in.Op = op
+		in.Cmp = cmp
+		in.Space = spaceOf(op)
+		info := op.Info()
+		if info.WritesPred != hasCmp {
+			return nil, errf("%s: comparison suffix mismatch", mn)
+		}
+
+		ops := splitOperands(rest)
+		if err := parseOperands(&in, info, ops, labels, func(label string) {
+			fixes = append(fixes, fix{pc: len(k.Code), label: label, line: lineNo + 1})
+		}); err != nil {
+			return nil, errf("%s: %v", mn, err)
+		}
+		k.Code = append(k.Code, in)
+	}
+
+	for _, f := range fixes {
+		t, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+		}
+		k.Code[f.pc].Target = t
+	}
+	if k.Name == "" {
+		k.Name = "anonymous"
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+func parseOperands(in *Instr, info OpInfo, ops []string, labels map[string]int, defer_ func(string)) error {
+	switch in.Op {
+	case OpNOP, OpEXIT, OpBAR:
+		if len(ops) != 0 {
+			return fmt.Errorf("takes no operands")
+		}
+		return nil
+	case OpNANOSLEEP:
+		if len(ops) != 1 {
+			return fmt.Errorf("needs one immediate")
+		}
+		v, err := strconv.ParseInt(ops[0], 0, 64)
+		if err != nil {
+			return err
+		}
+		in.Imm, in.HasImm = v, true
+		return nil
+	case OpBRA:
+		if len(ops) != 1 || !isIdent(ops[0]) {
+			return fmt.Errorf("needs one label")
+		}
+		if t, ok := labels[ops[0]]; ok {
+			in.Target = t
+		} else {
+			defer_(ops[0])
+		}
+		return nil
+	case OpS2R:
+		if len(ops) != 2 {
+			return fmt.Errorf("needs Rd, sreg")
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		sr, err := parseSReg(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Dst, in.SReg = d, sr
+		return nil
+	case OpMOVI:
+		if len(ops) != 2 {
+			return fmt.Errorf("needs Rd, imm")
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(ops[1], 0, 64)
+		if err != nil {
+			return err
+		}
+		in.Dst, in.Imm, in.HasImm = d, v, true
+		return nil
+	}
+
+	if info.IsMem {
+		return parseMemOperands(in, ops)
+	}
+	if info.WritesPred {
+		// SETP.cmp Pd, Ra, (Rb|imm)
+		if len(ops) != 3 {
+			return fmt.Errorf("needs Pd, Ra, Rb|imm")
+		}
+		p, err := parsePred(ops[0])
+		if err != nil {
+			return err
+		}
+		in.Dst = Reg(p)
+		a, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Srcs[0], in.NSrc = a, 1
+		return parseRegOrImm(in, ops[2])
+	}
+
+	// Generic register-form ALU/FPU/SFU ops: Rd, then sources, with the
+	// last operand optionally an immediate.
+	if len(ops) < 1 {
+		return fmt.Errorf("needs a destination")
+	}
+	d, err := parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	in.Dst = d
+	for i, o := range ops[1:] {
+		if i == len(ops[1:])-1 && !strings.HasPrefix(o, "R") {
+			return parseRegOrImm(in, o)
+		}
+		r, err := parseReg(o)
+		if err != nil {
+			return err
+		}
+		if in.NSrc >= 3 {
+			return fmt.Errorf("too many sources")
+		}
+		in.Srcs[in.NSrc] = r
+		in.NSrc++
+	}
+	if int(in.NSrc) < int(info.NSrcMin) && !in.HasImm {
+		return fmt.Errorf("needs at least %d sources", info.NSrcMin)
+	}
+	return nil
+}
+
+func parseRegOrImm(in *Instr, o string) error {
+	if strings.HasPrefix(o, "R") {
+		r, err := parseReg(o)
+		if err != nil {
+			return err
+		}
+		if in.NSrc >= 3 {
+			return fmt.Errorf("too many sources")
+		}
+		in.Srcs[in.NSrc] = r
+		in.NSrc++
+		return nil
+	}
+	v, err := strconv.ParseInt(o, 0, 64)
+	if err != nil {
+		return err
+	}
+	in.Imm, in.HasImm = v, true
+	return nil
+}
+
+func parseMemOperands(in *Instr, ops []string) error {
+	info := in.Op.Info()
+	switch {
+	case in.Op == OpATOMG:
+		if len(ops) != 3 {
+			return fmt.Errorf("needs Rd, [Ra+off], Rv")
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		a, off, err := parseAddr(ops[1])
+		if err != nil {
+			return err
+		}
+		v, err := parseReg(ops[2])
+		if err != nil {
+			return err
+		}
+		in.Dst, in.Srcs, in.NSrc, in.Imm, in.HasImm = d, [3]Reg{a, v}, 2, off, true
+		return nil
+	case info.IsStore:
+		if len(ops) != 2 {
+			return fmt.Errorf("needs [Ra+off], Rv")
+		}
+		a, off, err := parseAddr(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Srcs, in.NSrc, in.Imm, in.HasImm = [3]Reg{a, v}, 2, off, true
+		return nil
+	default: // load
+		if len(ops) != 2 {
+			return fmt.Errorf("needs Rd, [Ra+off]")
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		a, off, err := parseAddr(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Dst, in.Srcs, in.NSrc, in.Imm, in.HasImm = d, [3]Reg{a}, 1, off, true
+		return nil
+	}
+}
+
+func parseAddr(s string) (Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad address %q", s)
+	}
+	body := s[1 : len(s)-1]
+	off := int64(0)
+	regPart := body
+	if i := strings.IndexAny(body, "+-"); i > 0 {
+		regPart = body[:i]
+		v, err := strconv.ParseInt(body[i:], 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad address offset in %q: %v", s, err)
+		}
+		off = v
+	}
+	r, err := parseReg(regPart)
+	return r, off, err
+}
+
+func parseReg(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "R") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parsePred(s string) (PredReg, error) {
+	if s == "PT" {
+		return PT, nil
+	}
+	if !strings.HasPrefix(s, "P") {
+		return 0, fmt.Errorf("expected predicate, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumPreds {
+		return 0, fmt.Errorf("bad predicate %q", s)
+	}
+	return PredReg(n), nil
+}
+
+func parseSReg(s string) (SReg, error) {
+	for i, n := range sregNames {
+		if n == s {
+			return SReg(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown special register %q", s)
+}
+
+func parseCmp(s string) (CmpOp, bool) {
+	for i, n := range cmpNames {
+		if n == s {
+			return CmpOp(i), true
+		}
+	}
+	return 0, false
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	// Register/predicate names would shadow labels in branch operands.
+	if _, err := parseReg(s); err == nil {
+		return false
+	}
+	return true
+}
+
+// Disassemble renders a kernel in the textual form accepted by Assemble.
+// SASS-level artefacts (SemNop, SemOp) are rendered as trailing comments so
+// lowered kernels remain human-readable even though only PTX-level kernels
+// round-trip.
+func Disassemble(k *Kernel) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".kernel %s\n.grid %d\n.block %d\n", k.Name, k.Grid.X, k.Block.X)
+	if k.SharedBytes > 0 {
+		fmt.Fprintf(&sb, ".shared %d\n", k.SharedBytes)
+	}
+	if len(k.Params) > 0 {
+		sb.WriteString(".param")
+		for _, p := range k.Params {
+			fmt.Fprintf(&sb, " %#x", p)
+		}
+		sb.WriteByte('\n')
+	}
+
+	// Collect branch targets and name them L<pc>.
+	targets := map[int]string{}
+	for _, in := range k.Code {
+		if in.Op == OpBRA {
+			targets[in.Target] = fmt.Sprintf("L%d", in.Target)
+		}
+	}
+	var tpcs []int
+	for pc := range targets {
+		tpcs = append(tpcs, pc)
+	}
+	sort.Ints(tpcs)
+
+	for pc, in := range k.Code {
+		if name, ok := targets[pc]; ok {
+			fmt.Fprintf(&sb, "%s:\n", name)
+		}
+		sb.WriteString("    ")
+		sb.WriteString(formatInstr(&in, targets))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func formatInstr(in *Instr, targets map[int]string) string {
+	var sb strings.Builder
+	if in.Pred != PT {
+		if in.PredNeg {
+			fmt.Fprintf(&sb, "@!P%d ", in.Pred)
+		} else {
+			fmt.Fprintf(&sb, "@P%d ", in.Pred)
+		}
+	}
+	info := in.Op.Info()
+	sb.WriteString(info.Name)
+	if info.WritesPred {
+		sb.WriteByte('.')
+		sb.WriteString(in.Cmp.String())
+	}
+	var ops []string
+	switch {
+	case in.Op == OpBRA:
+		ops = append(ops, targets[in.Target])
+	case in.Op == OpNANOSLEEP:
+		ops = append(ops, strconv.FormatInt(in.Imm, 10))
+	case in.Op == OpS2R:
+		ops = append(ops, regName(in.Dst), in.SReg.String())
+	case in.Op == OpMOVI:
+		ops = append(ops, regName(in.Dst), strconv.FormatInt(in.Imm, 10))
+	case in.Op == OpATOMG:
+		ops = append(ops, regName(in.Dst), addrString(in), regName(in.Srcs[1]))
+	case info.IsMem && info.IsStore:
+		ops = append(ops, addrString(in), regName(in.Srcs[1]))
+	case info.IsMem:
+		ops = append(ops, regName(in.Dst), addrString(in))
+	case info.WritesPred:
+		ops = append(ops, fmt.Sprintf("P%d", in.Dst), regName(in.Srcs[0]))
+		if in.HasImm {
+			ops = append(ops, strconv.FormatInt(in.Imm, 10))
+		} else {
+			ops = append(ops, regName(in.Srcs[1]))
+		}
+	case in.Op == OpNOP, in.Op == OpEXIT, in.Op == OpBAR:
+	default:
+		ops = append(ops, regName(in.Dst))
+		for i := 0; i < int(in.NSrc); i++ {
+			ops = append(ops, regName(in.Srcs[i]))
+		}
+		if in.HasImm {
+			ops = append(ops, strconv.FormatInt(in.Imm, 10))
+		}
+	}
+	if len(ops) > 0 {
+		sb.WriteByte(' ')
+		sb.WriteString(strings.Join(ops, ", "))
+	}
+	if in.SemNop {
+		sb.WriteString("  # sem-nop")
+	} else if in.SemOp != OpInvalid {
+		fmt.Fprintf(&sb, "  # sem %s", in.SemOp)
+	}
+	return sb.String()
+}
+
+func regName(r Reg) string { return "R" + strconv.Itoa(int(r)) }
+
+func addrString(in *Instr) string {
+	if in.Imm == 0 {
+		return fmt.Sprintf("[%s]", regName(in.Srcs[0]))
+	}
+	if in.Imm < 0 {
+		return fmt.Sprintf("[%s%d]", regName(in.Srcs[0]), in.Imm)
+	}
+	return fmt.Sprintf("[%s+%d]", regName(in.Srcs[0]), in.Imm)
+}

@@ -1,0 +1,192 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleProgram = `
+.kernel vecloop
+.grid 4
+.block 128
+.shared 1024
+.param 0x1000 64
+
+    S2R R1, tid.x
+    S2R R2, ctaid.x
+    MOVI R3, 16
+    IADD R4, R1, R2
+loop:
+    IMAD R5, R4, R4, R4
+    LDG R6, [R4+8]
+    STG [R4+8], R6
+    LDS R7, [R1]
+    STS [R1], R7
+    LDC R8, [R1+0]
+    ATOMG R9, [R4], R5
+    ISETP.gt P0, R3, 0
+    IADD R3, R3, -1
+@P0 BRA loop
+@!P1 IADD R10, R10, 1
+    NANOSLEEP 100
+    EXIT
+`
+
+func TestAssembleSample(t *testing.T) {
+	k, err := Assemble(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "vecloop" || k.Grid.X != 4 || k.Block.X != 128 || k.SharedBytes != 1024 {
+		t.Errorf("directives mis-parsed: %+v", k)
+	}
+	if len(k.Params) != 2 || k.Params[0] != 0x1000 || k.Params[1] != 64 {
+		t.Errorf("params mis-parsed: %v", k.Params)
+	}
+	var bra *Instr
+	for i := range k.Code {
+		if k.Code[i].Op == OpBRA {
+			bra = &k.Code[i]
+		}
+	}
+	if bra == nil || bra.Pred != 0 || bra.PredNeg {
+		t.Fatalf("guarded branch mis-parsed: %+v", bra)
+	}
+	if k.Code[bra.Target].Op != OpIMAD {
+		t.Errorf("branch target resolves to %v, want IMAD at loop:", k.Code[bra.Target].Op)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown mnemonic", ".kernel k\nFROB R1, R2\nEXIT", "unknown mnemonic"},
+		{"undefined label", ".kernel k\nBRA nowhere\nEXIT", "undefined label"},
+		{"duplicate label", ".kernel k\na:\na:\nEXIT", "duplicate label"},
+		{"bad register", ".kernel k\nIADD R99, R1, R2\nEXIT", "bad register"},
+		{"bad predicate", ".kernel k\nISETP.lt P9, R1, R2\nEXIT", "bad predicate"},
+		{"bad directive", ".bogus 3\nEXIT", "unknown directive"},
+		{"store operand order", ".kernel k\nSTG R1, [R2]\nEXIT", "bad address"},
+		{"missing exit", ".kernel k\nIADD R1, R1, R2", "EXIT"},
+		{"cmp suffix on non-setp", ".kernel k\nIADD.lt R1, R2, R3\nEXIT", "comparison suffix"},
+		{"setp without cmp", ".kernel k\nISETP P0, R1, R2\nEXIT", "comparison suffix"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	k, err := Assemble(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(k)
+	k2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(k.Code, k2.Code) {
+		t.Errorf("round trip changed code:\n%s", text)
+	}
+	if k.Grid != k2.Grid || k.Block != k2.Block || k.SharedBytes != k2.SharedBytes {
+		t.Error("round trip changed launch geometry")
+	}
+}
+
+// randomKernel builds a random but valid straight-line PTX kernel for the
+// property test.
+func randomKernel(r *rand.Rand) *Kernel {
+	b := NewKernel("prop").Grid(1 + r.Intn(4)).Block(32 * (1 + r.Intn(4)))
+	n := 1 + r.Intn(30)
+	regOps := []Op{OpIADD, OpIMUL, OpIMAD, OpFADD, OpFMUL, OpFFMA, OpXOR,
+		OpIMIN, OpMUFUSQRT, OpDADD, OpHMMA, OpDIVS32, OpSINF32, OpADDS64}
+	for i := 0; i < n; i++ {
+		dst := Reg(r.Intn(NumRegs))
+		a, b2, c := Reg(r.Intn(NumRegs)), Reg(r.Intn(NumRegs)), Reg(r.Intn(NumRegs))
+		var in *Instr
+		switch r.Intn(8) {
+		case 0:
+			in = b.MovI(dst, int64(r.Intn(1000)-500))
+		case 1:
+			in = b.S2R(dst, SReg(r.Intn(int(numSRegs))))
+		case 2:
+			in = b.Ld(OpLDG, dst, a, int64(r.Intn(64)*4))
+		case 3:
+			in = b.St(OpSTS, a, b2, int64(r.Intn(64)*4))
+		case 4:
+			in = b.SetPi(OpISETP, PredReg(r.Intn(NumPreds)), CmpOp(r.Intn(6)), a, int64(r.Intn(100)))
+		case 5:
+			op := regOps[r.Intn(len(regOps))]
+			switch op.Info().NSrcMin {
+			case 1:
+				in = b.Op1(op, dst, a)
+			case 3:
+				in = b.Op3(op, dst, a, b2, c)
+			default:
+				in = b.Op2(op, dst, a, b2)
+			}
+		case 6:
+			in = b.Op2i(OpIADD, dst, a, int64(r.Intn(100)))
+		default:
+			in = b.Nanosleep(int64(1 + r.Intn(200)))
+		}
+		if r.Intn(4) == 0 {
+			if r.Intn(2) == 0 {
+				in.Guard(PredReg(r.Intn(NumPreds)))
+			} else {
+				in.GuardNot(PredReg(r.Intn(NumPreds)))
+			}
+		}
+	}
+	b.Exit()
+	return b.MustBuild()
+}
+
+// Property: disassemble-then-assemble is the identity on generated kernels.
+func TestQuickAsmRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := randomKernel(r)
+		text := Disassemble(k)
+		k2, err := Assemble(text)
+		if err != nil {
+			t.Logf("assemble failed: %v\n%s", err, text)
+			return false
+		}
+		k2.Name = k.Name
+		return reflect.DeepEqual(k.Code, k2.Code)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lower preserves validity and expands by the expected amount.
+func TestQuickLowerLengths(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := randomKernel(r)
+		want := 0
+		for _, in := range k.Code {
+			want += ExpansionLen(in.Op)
+		}
+		sass, err := Lower(k)
+		if err != nil {
+			return false
+		}
+		if len(sass.Code) != want {
+			return false
+		}
+		return sass.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

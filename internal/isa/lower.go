@@ -1,0 +1,111 @@
+package isa
+
+import "fmt"
+
+// expansion describes the SASS sequence a PTX-only opcode lowers to. All but
+// the last instruction are semantic NOPs that occupy the listed functional
+// units; the last instruction carries the PTX opcode's semantics via SemOp.
+// The sequences follow the shape of real NVCC output: integer division
+// becomes a reciprocal-plus-Newton-iteration IMAD chain, transcendental PTX
+// ops become range-reduction plus MUFU pairs, and 64-bit address arithmetic
+// splits into two 32-bit adds.
+var expansions = map[Op][]Op{
+	OpDIVS32:   {OpMUFURCP, OpIMAD, OpIMAD, OpIMAD, OpIMAD},
+	OpREMS32:   {OpMUFURCP, OpIMAD, OpIMAD, OpIMAD, OpIMAD, OpIMAD},
+	OpDIVF32:   {OpMUFURCP, OpFFMA, OpFFMA, OpFMUL},
+	OpSQRTF32:  {OpMUFUSQRT, OpFFMA},
+	OpRSQRTF32: {OpMUFUSQRT},
+	OpSINF32:   {OpRRO, OpMUFUSIN},
+	OpCOSF32:   {OpRRO, OpMUFUCOS},
+	OpEXPF32:   {OpFMUL, OpMUFUEX2},
+	OpLOGF32:   {OpMUFULG2, OpFMUL},
+	OpADDS64:   {OpIADD, OpIADD3},
+}
+
+// ExpansionLen returns the number of SASS instructions a PTX opcode lowers
+// to (1 for opcodes that map 1:1).
+func ExpansionLen(op Op) int {
+	if seq, ok := expansions[op]; ok {
+		return len(seq)
+	}
+	return 1
+}
+
+// Lower compiles a PTX-level kernel into a SASS-level kernel. Machine
+// opcodes pass through unchanged; PTX-only opcodes expand into their SASS
+// sequences with branch targets remapped. The result is functionally
+// identical to the input (see Instr.SemOp) but has a different instruction
+// stream, which is exactly the PTX/SASS mismatch the paper's PTX SIM
+// variant suffers from.
+func Lower(k *Kernel) (*Kernel, error) {
+	if k.Level != PTX {
+		return nil, fmt.Errorf("isa: Lower: kernel %s is already %v", k.Name, k.Level)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: Lower: %w", err)
+	}
+
+	// First pass: compute the new index of each original instruction.
+	newIndex := make([]int, len(k.Code)+1)
+	n := 0
+	for i := range k.Code {
+		newIndex[i] = n
+		n += ExpansionLen(k.Code[i].Op)
+	}
+	newIndex[len(k.Code)] = n
+
+	out := k.Clone()
+	out.Level = SASS
+	out.Code = make([]Instr, 0, n)
+	for i := range k.Code {
+		in := k.Code[i]
+		if in.Op == OpBRA {
+			in.Target = newIndex[in.Target]
+		}
+		seq, ok := expansions[in.Op]
+		if !ok {
+			out.Code = append(out.Code, in)
+			continue
+		}
+		for j, sop := range seq {
+			ni := in
+			ni.Op = sop
+			ni.Target = 0
+			if j < len(seq)-1 {
+				ni.SemNop = true
+				ni.SemOp = OpInvalid
+			} else {
+				ni.SemNop = false
+				ni.SemOp = in.Op
+			}
+			out.Code = append(out.Code, ni)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: Lower: produced invalid kernel: %w", err)
+	}
+	return out, nil
+}
+
+// MustLower is Lower for kernels known to be valid, such as the generated
+// microbenchmark and validation suites.
+func MustLower(k *Kernel) *Kernel {
+	out, err := Lower(k)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ForLevel returns the kernel at the requested ISA level, lowering when
+// needed. Requesting PTX from a SASS kernel is an error since lowering is
+// not reversible.
+func ForLevel(k *Kernel, level Level) (*Kernel, error) {
+	if k.Level == level {
+		return k, nil
+	}
+	if level == SASS {
+		return Lower(k)
+	}
+	return nil, fmt.Errorf("isa: cannot raise kernel %s from %v to %v", k.Name, k.Level, level)
+}

@@ -1,0 +1,125 @@
+package isa
+
+import "testing"
+
+func ptxKernelWithOps(ops ...Op) *Kernel {
+	b := NewKernel("lower-test").Block(32)
+	for _, op := range ops {
+		switch op.Info().NSrcMin {
+		case 1:
+			b.Op1(op, 1, 2)
+		case 3:
+			b.Op3(op, 1, 2, 3, 4)
+		default:
+			b.Op2(op, 1, 2, 3)
+		}
+	}
+	b.Exit()
+	return b.MustBuild()
+}
+
+func TestLowerExpansions(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want int
+	}{
+		{OpDIVS32, 5},
+		{OpREMS32, 6},
+		{OpDIVF32, 4},
+		{OpSQRTF32, 2},
+		{OpRSQRTF32, 1},
+		{OpSINF32, 2},
+		{OpCOSF32, 2},
+		{OpEXPF32, 2},
+		{OpLOGF32, 2},
+		{OpADDS64, 2},
+		{OpIADD, 1},
+		{OpFFMA, 1},
+	}
+	for _, c := range cases {
+		if got := ExpansionLen(c.op); got != c.want {
+			t.Errorf("ExpansionLen(%v) = %d, want %d", c.op, got, c.want)
+		}
+		k := ptxKernelWithOps(c.op)
+		sass := MustLower(k)
+		if len(sass.Code) != c.want+1 { // +EXIT
+			t.Errorf("%v: lowered to %d instrs, want %d", c.op, len(sass.Code), c.want+1)
+			continue
+		}
+		// All but the last instruction of the expansion are semantic
+		// NOPs; the last carries SemOp.
+		for i := 0; i < c.want-1; i++ {
+			if !sass.Code[i].SemNop {
+				t.Errorf("%v: instr %d should be a semantic NOP", c.op, i)
+			}
+		}
+		last := sass.Code[c.want-1]
+		if c.want > 1 && last.SemOp != c.op {
+			t.Errorf("%v: final instr carries SemOp %v", c.op, last.SemOp)
+		}
+		if last.SemNop {
+			t.Errorf("%v: final instr must not be a semantic NOP", c.op)
+		}
+	}
+}
+
+func TestLowerRemapsBranches(t *testing.T) {
+	b := NewKernel("branchy").Block(32)
+	b.MovI(1, 4)
+	b.Label("loop")
+	b.Op2(OpDIVS32, 2, 3, 4) // expands to 5 instrs
+	b.Op2i(OpIADD, 1, 1, -1)
+	b.SetPi(OpISETP, 0, CmpGT, 1, 0)
+	b.Bra("loop").Guard(0)
+	b.Exit()
+	k := b.MustBuild()
+	sass := MustLower(k)
+	var bra *Instr
+	for i := range sass.Code {
+		if sass.Code[i].Op == OpBRA {
+			bra = &sass.Code[i]
+		}
+	}
+	if bra == nil {
+		t.Fatal("no branch in lowered kernel")
+	}
+	// The loop head is the first instruction of the DIV expansion.
+	if sass.Code[bra.Target].Op != OpMUFURCP {
+		t.Errorf("branch target is %v, want MUFU.RCP (head of DIV expansion)", sass.Code[bra.Target].Op)
+	}
+}
+
+func TestLowerGuardsPropagate(t *testing.T) {
+	b := NewKernel("guarded").Block(32)
+	b.Op1(OpSINF32, 1, 2).Guard(3)
+	b.Exit()
+	sass := MustLower(b.MustBuild())
+	for i := 0; i < 2; i++ {
+		if sass.Code[i].Pred != 3 {
+			t.Errorf("expansion instr %d lost its guard", i)
+		}
+	}
+}
+
+func TestLowerRejectsSASS(t *testing.T) {
+	k := ptxKernelWithOps(OpIADD)
+	sass := MustLower(k)
+	if _, err := Lower(sass); err == nil {
+		t.Error("Lower accepted a SASS kernel")
+	}
+}
+
+func TestForLevel(t *testing.T) {
+	k := ptxKernelWithOps(OpSINF32)
+	same, err := ForLevel(k, PTX)
+	if err != nil || same != k {
+		t.Errorf("ForLevel(PTX) should return the kernel unchanged")
+	}
+	sass, err := ForLevel(k, SASS)
+	if err != nil || sass.Level != SASS {
+		t.Errorf("ForLevel(SASS) failed: %v", err)
+	}
+	if _, err := ForLevel(sass, PTX); err == nil {
+		t.Error("raising SASS to PTX must fail")
+	}
+}

@@ -1,0 +1,235 @@
+package isa
+
+import "fmt"
+
+// Op is an opcode. The zero value is invalid so that a zero Instr is caught
+// by Kernel.Validate rather than silently executing as a NOP.
+type Op uint8
+
+// Machine (SASS-level) opcodes. Names follow the Volta SASS mnemonics the
+// paper's Table 1 maps to power components.
+const (
+	OpInvalid Op = iota
+
+	// Integer (INT32 core).
+	OpNOP
+	OpMOV
+	OpMOVI
+	OpS2R
+	OpIADD
+	OpIADD3
+	OpIMUL
+	OpIMAD
+	OpISETP
+	OpSHL
+	OpSHR
+	OpAND
+	OpOR
+	OpXOR
+	OpIMIN
+	OpIMAX
+	OpIABSDIFF
+
+	// 32-bit floating point (FP32 core).
+	OpFADD
+	OpFMUL
+	OpFFMA
+	OpFSETP
+	OpFMIN
+	OpFMAX
+
+	// 64-bit floating point (FP64 core).
+	OpDADD
+	OpDMUL
+	OpDFMA
+
+	// Special function unit.
+	OpMUFURCP
+	OpMUFUSQRT
+	OpMUFULG2
+	OpMUFUEX2
+	OpMUFUSIN
+	OpMUFUCOS
+	OpRRO
+
+	// Tensor core and texture unit.
+	OpHMMA
+	OpTEX
+
+	// Memory.
+	OpLDG
+	OpSTG
+	OpLDS
+	OpSTS
+	OpLDC
+	OpATOMG
+
+	// Control.
+	OpBRA
+	OpEXIT
+	OpBAR
+	OpNANOSLEEP
+
+	// Virtual (PTX-only) opcodes. These appear only in Level==PTX kernels
+	// and are expanded by Lower into multi-instruction SASS sequences,
+	// reproducing the non-1:1 PTX-to-SASS mapping the paper identifies as
+	// a source of PTX SIM inaccuracy.
+	OpDIVS32
+	OpREMS32
+	OpDIVF32
+	OpSQRTF32
+	OpRSQRTF32
+	OpSINF32
+	OpCOSF32
+	OpEXPF32
+	OpLOGF32
+	OpADDS64
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes including OpInvalid.
+const NumOps = int(numOps)
+
+// Unit identifies the functional unit an opcode executes on. Timing models
+// use it for issue/occupancy; the power model maps (Op, Unit) pairs onto
+// Table 1 components.
+type Unit uint8
+
+const (
+	UnitNone Unit = iota
+	UnitALU       // INT32 cores
+	UnitFPU       // FP32 cores
+	UnitDPU       // FP64 cores
+	UnitSFU       // special function units
+	UnitTensor
+	UnitTex
+	UnitMem  // LD/ST units
+	UnitCtrl // branch/exit/barrier/sleep
+)
+
+var unitNames = [...]string{
+	UnitNone: "none", UnitALU: "alu", UnitFPU: "fpu", UnitDPU: "dpu",
+	UnitSFU: "sfu", UnitTensor: "tensor", UnitTex: "tex", UnitMem: "mem",
+	UnitCtrl: "ctrl",
+}
+
+func (u Unit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return fmt.Sprintf("Unit(%d)", uint8(u))
+}
+
+// OpInfo is static metadata about an opcode.
+type OpInfo struct {
+	Name       string
+	Unit       Unit
+	PTXOnly    bool // exists only at the PTX level
+	WritesReg  bool // writes Dst as a general register
+	WritesPred bool // writes Dst as a predicate register
+	IsMem      bool // loads or stores memory
+	IsStore    bool
+	IsBranch   bool
+	IsBarrier  bool
+	NSrcMin    uint8 // operands required for semantics
+}
+
+var opInfos = [NumOps]OpInfo{
+	OpNOP:  {Name: "NOP", Unit: UnitALU},
+	OpMOV:  {Name: "MOV", Unit: UnitALU, WritesReg: true, NSrcMin: 1},
+	OpMOVI: {Name: "MOVI", Unit: UnitALU, WritesReg: true},
+	OpS2R:  {Name: "S2R", Unit: UnitALU, WritesReg: true},
+
+	OpIADD:     {Name: "IADD", Unit: UnitALU, WritesReg: true, NSrcMin: 1},
+	OpIADD3:    {Name: "IADD3", Unit: UnitALU, WritesReg: true, NSrcMin: 3},
+	OpIMUL:     {Name: "IMUL", Unit: UnitALU, WritesReg: true, NSrcMin: 2},
+	OpIMAD:     {Name: "IMAD", Unit: UnitALU, WritesReg: true, NSrcMin: 3},
+	OpISETP:    {Name: "ISETP", Unit: UnitALU, WritesPred: true, NSrcMin: 2},
+	OpSHL:      {Name: "SHL", Unit: UnitALU, WritesReg: true, NSrcMin: 1},
+	OpSHR:      {Name: "SHR", Unit: UnitALU, WritesReg: true, NSrcMin: 1},
+	OpAND:      {Name: "AND", Unit: UnitALU, WritesReg: true, NSrcMin: 2},
+	OpOR:       {Name: "OR", Unit: UnitALU, WritesReg: true, NSrcMin: 2},
+	OpXOR:      {Name: "XOR", Unit: UnitALU, WritesReg: true, NSrcMin: 2},
+	OpIMIN:     {Name: "IMIN", Unit: UnitALU, WritesReg: true, NSrcMin: 2},
+	OpIMAX:     {Name: "IMAX", Unit: UnitALU, WritesReg: true, NSrcMin: 2},
+	OpIABSDIFF: {Name: "IABSDIFF", Unit: UnitALU, WritesReg: true, NSrcMin: 2},
+
+	OpFADD:  {Name: "FADD", Unit: UnitFPU, WritesReg: true, NSrcMin: 2},
+	OpFMUL:  {Name: "FMUL", Unit: UnitFPU, WritesReg: true, NSrcMin: 2},
+	OpFFMA:  {Name: "FFMA", Unit: UnitFPU, WritesReg: true, NSrcMin: 3},
+	OpFSETP: {Name: "FSETP", Unit: UnitFPU, WritesPred: true, NSrcMin: 2},
+	OpFMIN:  {Name: "FMIN", Unit: UnitFPU, WritesReg: true, NSrcMin: 2},
+	OpFMAX:  {Name: "FMAX", Unit: UnitFPU, WritesReg: true, NSrcMin: 2},
+
+	OpDADD: {Name: "DADD", Unit: UnitDPU, WritesReg: true, NSrcMin: 2},
+	OpDMUL: {Name: "DMUL", Unit: UnitDPU, WritesReg: true, NSrcMin: 2},
+	OpDFMA: {Name: "DFMA", Unit: UnitDPU, WritesReg: true, NSrcMin: 3},
+
+	OpMUFURCP:  {Name: "MUFU.RCP", Unit: UnitSFU, WritesReg: true, NSrcMin: 1},
+	OpMUFUSQRT: {Name: "MUFU.SQRT", Unit: UnitSFU, WritesReg: true, NSrcMin: 1},
+	OpMUFULG2:  {Name: "MUFU.LG2", Unit: UnitSFU, WritesReg: true, NSrcMin: 1},
+	OpMUFUEX2:  {Name: "MUFU.EX2", Unit: UnitSFU, WritesReg: true, NSrcMin: 1},
+	OpMUFUSIN:  {Name: "MUFU.SIN", Unit: UnitSFU, WritesReg: true, NSrcMin: 1},
+	OpMUFUCOS:  {Name: "MUFU.COS", Unit: UnitSFU, WritesReg: true, NSrcMin: 1},
+	OpRRO:      {Name: "RRO", Unit: UnitSFU, WritesReg: true, NSrcMin: 1},
+
+	OpHMMA: {Name: "HMMA", Unit: UnitTensor, WritesReg: true, NSrcMin: 3},
+	OpTEX:  {Name: "TEX", Unit: UnitTex, WritesReg: true, IsMem: true, NSrcMin: 1},
+
+	OpLDG:   {Name: "LDG", Unit: UnitMem, WritesReg: true, IsMem: true, NSrcMin: 1},
+	OpSTG:   {Name: "STG", Unit: UnitMem, IsMem: true, IsStore: true, NSrcMin: 2},
+	OpLDS:   {Name: "LDS", Unit: UnitMem, WritesReg: true, IsMem: true, NSrcMin: 1},
+	OpSTS:   {Name: "STS", Unit: UnitMem, IsMem: true, IsStore: true, NSrcMin: 2},
+	OpLDC:   {Name: "LDC", Unit: UnitMem, WritesReg: true, IsMem: true, NSrcMin: 1},
+	OpATOMG: {Name: "ATOMG", Unit: UnitMem, WritesReg: true, IsMem: true, IsStore: true, NSrcMin: 2},
+
+	OpBRA:       {Name: "BRA", Unit: UnitCtrl, IsBranch: true},
+	OpEXIT:      {Name: "EXIT", Unit: UnitCtrl},
+	OpBAR:       {Name: "BAR", Unit: UnitCtrl, IsBarrier: true},
+	OpNANOSLEEP: {Name: "NANOSLEEP", Unit: UnitCtrl},
+
+	OpDIVS32:   {Name: "DIV.S32", Unit: UnitALU, PTXOnly: true, WritesReg: true, NSrcMin: 2},
+	OpREMS32:   {Name: "REM.S32", Unit: UnitALU, PTXOnly: true, WritesReg: true, NSrcMin: 2},
+	OpDIVF32:   {Name: "DIV.F32", Unit: UnitFPU, PTXOnly: true, WritesReg: true, NSrcMin: 2},
+	OpSQRTF32:  {Name: "SQRT.F32", Unit: UnitSFU, PTXOnly: true, WritesReg: true, NSrcMin: 1},
+	OpRSQRTF32: {Name: "RSQRT.F32", Unit: UnitSFU, PTXOnly: true, WritesReg: true, NSrcMin: 1},
+	OpSINF32:   {Name: "SIN.F32", Unit: UnitSFU, PTXOnly: true, WritesReg: true, NSrcMin: 1},
+	OpCOSF32:   {Name: "COS.F32", Unit: UnitSFU, PTXOnly: true, WritesReg: true, NSrcMin: 1},
+	OpEXPF32:   {Name: "EXP.F32", Unit: UnitSFU, PTXOnly: true, WritesReg: true, NSrcMin: 1},
+	OpLOGF32:   {Name: "LOG.F32", Unit: UnitSFU, PTXOnly: true, WritesReg: true, NSrcMin: 1},
+	OpADDS64:   {Name: "ADD.S64", Unit: UnitALU, PTXOnly: true, WritesReg: true, NSrcMin: 2},
+}
+
+// Info returns the opcode's static metadata. Unknown opcodes return a zero
+// OpInfo whose empty Name marks them invalid.
+func (o Op) Info() OpInfo {
+	if int(o) < NumOps {
+		return opInfos[o]
+	}
+	return OpInfo{}
+}
+
+func (o Op) String() string {
+	if info := o.Info(); info.Name != "" {
+		return info.Name
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// opsByName is built once for the assembler.
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(1); int(op) < NumOps; op++ {
+		if n := op.Info().Name; n != "" {
+			m[n] = op
+		}
+	}
+	return m
+}()
+
+// OpByName resolves an opcode mnemonic (as produced by Op.String).
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}

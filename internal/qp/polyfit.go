@@ -1,0 +1,86 @@
+package qp
+
+import (
+	"fmt"
+	"math"
+)
+
+// CubicFit is Eq. (3): P(f) = Beta*f^3 + Tau*f + Const — a cubic with a
+// missing quadratic term, which is the shape total GPU power takes under
+// DVFS with a near-linear V(f) curve (Section 4.2). Frequencies are in GHz
+// by convention so the coefficients stay well scaled.
+type CubicFit struct {
+	Beta  float64
+	Tau   float64
+	Const float64
+}
+
+// Eval evaluates the fitted curve.
+func (c CubicFit) Eval(fGHz float64) float64 {
+	return c.Beta*fGHz*fGHz*fGHz + c.Tau*fGHz + c.Const
+}
+
+// StaticAt returns the static-power term Tau*f at a frequency — the
+// quantity Section 4.4 extracts per divergence configuration.
+func (c CubicFit) StaticAt(fGHz float64) float64 { return c.Tau * fGHz }
+
+// FitCubicNoQuad fits power measurements against Eq. (3) by least squares
+// on the basis {f^3, f, 1}.
+func FitCubicNoQuad(fGHz, powerW []float64) (CubicFit, error) {
+	if len(fGHz) != len(powerW) || len(fGHz) < 3 {
+		return CubicFit{}, fmt.Errorf("qp: cubic fit needs >=3 matched samples, got %d/%d", len(fGHz), len(powerW))
+	}
+	a := make([][]float64, len(fGHz))
+	for i, f := range fGHz {
+		a[i] = []float64{f * f * f, f, 1}
+	}
+	x, err := LeastSquares(a, powerW)
+	if err != nil {
+		return CubicFit{}, err
+	}
+	return CubicFit{Beta: x[0], Tau: x[1], Const: x[2]}, nil
+}
+
+// LinearFit is the legacy GPUWattch constant-power methodology (Section
+// 4.2): fit P(f) = Slope*f + Intercept and extrapolate to f=0. On
+// DVFS-capable GPUs this produces a negative intercept — the failure mode
+// AccelWattch corrects.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+}
+
+// Eval evaluates the line.
+func (l LinearFit) Eval(fGHz float64) float64 { return l.Slope*fGHz + l.Intercept }
+
+// FitLinear fits measurements to a line by least squares.
+func FitLinear(fGHz, powerW []float64) (LinearFit, error) {
+	if len(fGHz) != len(powerW) || len(fGHz) < 2 {
+		return LinearFit{}, fmt.Errorf("qp: linear fit needs >=2 matched samples")
+	}
+	a := make([][]float64, len(fGHz))
+	for i, f := range fGHz {
+		a[i] = []float64{f, 1}
+	}
+	x, err := LeastSquares(a, powerW)
+	if err != nil {
+		return LinearFit{}, err
+	}
+	return LinearFit{Slope: x[0], Intercept: x[1]}, nil
+}
+
+// FitMAPE reports the mean absolute percentage error of a fitted curve
+// against its samples.
+func FitMAPE(eval func(float64) float64, fGHz, powerW []float64) float64 {
+	if len(fGHz) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, f := range fGHz {
+		if powerW[i] == 0 {
+			continue
+		}
+		s += math.Abs(eval(f)-powerW[i]) / math.Abs(powerW[i])
+	}
+	return 100 * s / float64(len(fGHz))
+}

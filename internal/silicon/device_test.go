@@ -1,0 +1,273 @@
+package silicon
+
+import (
+	"math"
+	"testing"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/qp"
+	"accelwattch/internal/ubench"
+)
+
+func TestDeviceRejectsPTX(t *testing.T) {
+	d := MustNewDevice(config.Volta())
+	b := ubench.DivergenceBench(config.Volta(), ubench.Quick, core.MixIntAdd, 32)
+	kt, err := emu.Run(b.Kernel, b.NewMemory()) // PTX-level trace
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(kt); err == nil {
+		t.Error("silicon executed a PTX trace; real hardware runs SASS only")
+	}
+}
+
+func TestClockControls(t *testing.T) {
+	d := MustNewDevice(config.Volta())
+	if err := d.SetClock(50); err == nil {
+		t.Error("clock below minimum accepted")
+	}
+	if err := d.SetClock(5000); err == nil {
+		t.Error("clock above maximum accepted")
+	}
+	if err := d.SetClock(1000); err != nil {
+		t.Fatal(err)
+	}
+	if d.ClockMHz() != 1000 {
+		t.Error("clock not applied")
+	}
+	d.ResetClock()
+	if d.ClockMHz() != config.Volta().BaseClockMHz {
+		t.Error("ResetClock did not restore the base clock")
+	}
+}
+
+func measureAt(t *testing.T, d *Device, b ubench.Bench, mhz float64) *Measurement {
+	t.Helper()
+	sass := isa.MustLower(b.Kernel)
+	kt, err := emu.Run(sass, b.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetClock(mhz); err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Run(kt)
+	d.ResetClock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// The DVFS curve of a compute-bound workload must fit Eq. (3) tightly and
+// extrapolate to roughly the true constant power (Section 4.2 / Figure 2).
+func TestDVFSCubicShape(t *testing.T) {
+	arch := config.Volta()
+	d := MustNewDevice(arch)
+	b := ubench.DVFSSuite(arch, ubench.Quick)[1] // INT_ADD
+	var fs, ps []float64
+	for mhz := 300.0; mhz <= 1500; mhz += 200 {
+		m := measureAt(t, d, b, mhz)
+		fs = append(fs, mhz/1000)
+		ps = append(ps, m.AvgPowerW)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			t.Fatalf("power not increasing with clock: %v", ps)
+		}
+	}
+	fit, err := qp.FitCubicNoQuad(fs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := qp.FitMAPE(fit.Eval, fs, ps); m > 2.0 {
+		t.Errorf("Eq. (3) fit MAPE %.2f%%, paper reports ~1%%", m)
+	}
+	if fit.Const < 25 || fit.Const > 45 {
+		t.Errorf("extrapolated constant power %.1f W, true value 32.5 W", fit.Const)
+	}
+}
+
+// NANOSLEEP workloads sit barely above constant power at the lowest clock.
+func TestLightWorkloadNearConstPower(t *testing.T) {
+	arch := config.Volta()
+	d := MustNewDevice(arch)
+	b := ubench.DVFSSuite(arch, ubench.Quick)[4] // NANOSLEEP
+	m := measureAt(t, d, b, arch.MinClockMHz+65)
+	if m.AvgPowerW < 30 || m.AvgPowerW > 80 {
+		t.Errorf("nanosleep at min clock: %.1f W; paper: lightest workload >30 W", m.AvgPowerW)
+	}
+}
+
+func TestTemperatureRaisesStaticPower(t *testing.T) {
+	arch := config.Volta()
+	d := MustNewDevice(arch)
+	b := ubench.OccupancyBench(arch, ubench.Quick, arch.NumSMs)
+	sass := isa.MustLower(b.Kernel)
+	kt, err := emu.Run(sass, b.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetTemperature(65)
+	m65, _ := d.Run(kt)
+	d.SetTemperature(90)
+	m90, _ := d.Run(kt)
+	d.SetTemperature(65)
+	if m90.AvgPowerW <= m65.AvgPowerW {
+		t.Errorf("leakage must grow with temperature: %.1f @65C vs %.1f @90C",
+			m65.AvgPowerW, m90.AvgPowerW)
+	}
+	growth := m90.AvgPowerW / m65.AvgPowerW
+	if growth > 1.5 {
+		t.Errorf("temperature effect implausibly large: %.2fx", growth)
+	}
+}
+
+func TestMeasurementDeterminismAndNoise(t *testing.T) {
+	arch := config.Volta()
+	d := MustNewDevice(arch)
+	b := ubench.OccupancyBench(arch, ubench.Quick, 16)
+	sass := isa.MustLower(b.Kernel)
+	kt, err := emu.Run(sass, b.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := d.Run(kt)
+	m2, _ := d.Run(kt)
+	if m1.AvgPowerW != m2.AvgPowerW {
+		t.Error("measurements must be deterministic for reproducible experiments")
+	}
+	// Sample variance must be within the paper's 0.0018-1.9% band.
+	mean := m1.AvgPowerW
+	var maxDev float64
+	for _, s := range m1.Samples {
+		if dev := math.Abs(s-mean) / mean; dev > maxDev {
+			maxDev = dev
+		}
+	}
+	if maxDev == 0 {
+		t.Error("NVML samples should carry noise")
+	}
+	if maxDev > 0.05 {
+		t.Errorf("sample deviation %.2f%% too large", 100*maxDev)
+	}
+}
+
+func TestProfileCounters(t *testing.T) {
+	arch := config.Volta()
+	d := MustNewDevice(arch)
+	benches, err := ubench.Suite(arch, ubench.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench *ubench.Bench
+	for i := range benches {
+		if benches[i].Name == "l2_chase" {
+			bench = &benches[i]
+		}
+	}
+	sass := isa.MustLower(bench.Kernel)
+	kt, err := emu.Run(sass, bench.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Profile(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ElapsedCycles <= 0 || c.ActiveSMs != arch.NumSMs {
+		t.Errorf("cycles %v, active SMs %d", c.ElapsedCycles, c.ActiveSMs)
+	}
+	if c.InstIssued <= 0 || c.ThreadInst < c.InstIssued {
+		t.Error("instruction counters inconsistent")
+	}
+	if c.L1Accesses == 0 || c.L2Accesses == 0 {
+		t.Error("an L2-resident chase must touch L1 and L2")
+	}
+	if c.L1Misses > c.L1Accesses {
+		t.Error("more L1 misses than accesses")
+	}
+	if c.AvgLanes <= 0 || c.AvgLanes > 32 {
+		t.Errorf("avg lanes %v", c.AvgLanes)
+	}
+}
+
+func TestIdleChipConsumesConstOnly(t *testing.T) {
+	d := MustNewDevice(config.Volta())
+	b := isa.NewKernel("empty").Grid(1).Block(32)
+	b.Exit()
+	kt, err := emu.Run(isa.MustLower(b.MustBuild()), emu.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = kt
+	// A truly inactive chip (no trace) is modelled by power(): approach
+	// it with the minimal kernel and confirm power is near const+first-SM.
+	m, err := d.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgPowerW < 32 || m.AvgPowerW > 55 {
+		t.Errorf("near-idle chip draws %.1f W; want slightly above the 32.5 W constant", m.AvgPowerW)
+	}
+}
+
+func TestAllTruthModelsExist(t *testing.T) {
+	for _, arch := range []*config.Arch{config.Volta(), config.Pascal(), config.Turing()} {
+		if _, err := NewDevice(arch); err != nil {
+			t.Errorf("%s: %v", arch.Name, err)
+		}
+	}
+	bogus := config.Volta()
+	bogus.Name = "imaginary"
+	if _, err := NewDevice(bogus); err == nil {
+		t.Error("device created without a ground-truth model")
+	}
+}
+
+// Memory-bound workloads flatten under DVFS: cycles at low clock shrink
+// because DRAM bandwidth is clock-independent.
+func TestMemoryBoundDVFSFlattening(t *testing.T) {
+	arch := config.Volta()
+	d := MustNewDevice(arch)
+	benches, _ := ubench.Suite(arch, ubench.Quick)
+	var mem, cmp ubench.Bench
+	for _, b := range benches {
+		switch b.Name {
+		case "dram_stream_read":
+			mem = b
+		case "int_add":
+			cmp = b
+		}
+	}
+	ratio := func(b ubench.Bench) float64 {
+		lo := measureAt(t, d, b, 500)
+		hi := measureAt(t, d, b, 1400)
+		return lo.Cycles / hi.Cycles
+	}
+	memRatio, cmpRatio := ratio(mem), ratio(cmp)
+	if memRatio >= cmpRatio {
+		t.Errorf("memory-bound kernel should lose cycles at low clock (mem %.2f, compute %.2f)",
+			memRatio, cmpRatio)
+	}
+}
+
+func TestMeasureIdleIsConstOnly(t *testing.T) {
+	d := MustNewDevice(config.Volta())
+	m := d.MeasureIdle()
+	if m.AvgPowerW < 31 || m.AvgPowerW > 34.5 {
+		t.Errorf("inactive chip draws %.2f W, want ~32.5 W constant power", m.AvgPowerW)
+	}
+	// Idle power must not depend on the locked clock (it is constant).
+	if err := d.SetClock(500); err != nil {
+		t.Fatal(err)
+	}
+	m2 := d.MeasureIdle()
+	d.ResetClock()
+	if diff := m2.AvgPowerW - m.AvgPowerW; diff > 1 || diff < -1 {
+		t.Errorf("idle power moved with clock: %.2f vs %.2f", m.AvgPowerW, m2.AvgPowerW)
+	}
+}

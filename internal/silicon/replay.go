@@ -1,0 +1,387 @@
+package silicon
+
+import (
+	"fmt"
+	"math/bits"
+
+	"accelwattch/internal/cachesim"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/trace"
+)
+
+// The golden timing engine is an interval-analysis model: each warp's trace
+// is walked once with a register scoreboard to get its dependency-limited
+// time, while per-scheduler issue bandwidth, per-functional-unit half-warp
+// slots, and memory-system bandwidth impose throughput bounds. The SM's
+// time is the maximum of all bounds. This linear-time formulation keeps
+// full-chip replays fast while preserving the behaviours that matter to the
+// power model:
+//
+//   - half-warp execution: a warp instruction with active lanes confined to
+//     one 16-lane half occupies its unit for one pass instead of two, so
+//     single-unit kernels double their throughput at <=16 active lanes and
+//     the measured power exhibits the paper's sawtooth (Section 4.4);
+//   - with two or more units in the mix, the 1-instruction/cycle scheduler
+//     becomes the bottleneck and the sawtooth flattens into the linear
+//     model (Section 4.5);
+//   - memory-bound kernels are limited by DRAM bytes per core cycle, so
+//     their runtime in cycles shrinks at low clocks and total power
+//     flattens, as real DVFS sweeps show.
+type replayAcct struct {
+	cycles       float64
+	dynEnergyPJ  float64
+	activeSMs    int
+	poweredLanes float64 // sum over active SMs of powered (union) lanes
+	counters     Counters
+}
+
+type smState struct {
+	issue    [4]float64
+	fuSlots  [4][9]float64 // per scheduler, per isa.Unit
+	l1Trans  float64
+	maxWarpT float64
+	laneSum  float64 // lane-weighted issue count (temporal lane gating)
+	issued   float64
+	used     bool
+}
+
+// replay runs the golden model over one or more concurrent kernel traces.
+func (d *Device) replay(kts []*trace.KernelTrace) (*replayAcct, error) {
+	for _, kt := range kts {
+		if kt.Kernel.Level != isa.SASS {
+			return nil, fmt.Errorf("silicon: kernel %s is %v; real silicon executes SASS only",
+				kt.Kernel.Name, kt.Kernel.Level)
+		}
+	}
+	a := &replayAcct{}
+	t := d.t
+	arch := d.arch
+	latScale := d.clockMHz / arch.BaseClockMHz
+
+	sms := make([]smState, arch.NumSMs)
+	l2 := cachesim.MustNew(cachesim.Config{
+		SizeBytes: arch.L2KB * 1024, LineBytes: arch.L2LineBytes,
+		Assoc: arch.L2Assoc, Sectored: true, WriteAllocate: true,
+	})
+	l1s := make(map[int]*cachesim.Cache)
+	l1For := func(sm int) *cachesim.Cache {
+		c, ok := l1s[sm]
+		if !ok {
+			c = cachesim.MustNew(cachesim.Config{
+				SizeBytes: arch.L1KBPerSM * 1024, LineBytes: arch.L1LineBytes,
+				Assoc: arch.L1Assoc, Sectored: true, WriteAllocate: false,
+			})
+			l1s[sm] = c
+		}
+		return c
+	}
+	rowState := make([]uint64, arch.DRAMChannels)
+	for i := range rowState {
+		rowState[i] = ^uint64(0)
+	}
+	var dramBytes float64
+
+	// Assign warps to SMs round-robin by global CTA index across all
+	// concurrent kernels, and to schedulers round-robin within the SM.
+	warpIdxInSM := make([]int, arch.NumSMs)
+	ctaBase := 0
+	for _, kt := range kts {
+		code := kt.Kernel.Code
+		for wi := range kt.Warps {
+			wt := &kt.Warps[wi]
+			sm := (ctaBase + wt.CTA) % arch.NumSMs
+			st := &sms[sm]
+			st.used = true
+			sched := warpIdxInSM[sm] % 4
+			warpIdxInSM[sm]++
+
+			var wb [isa.NumRegs]float64
+			tIssue := -1.0
+			for ri := range wt.Recs {
+				r := &wt.Recs[ri]
+				in := &code[r.PC]
+				info := in.Op.Info()
+				lanes := bits.OnesCount32(r.Mask)
+				st.laneSum += float64(lanes)
+				st.issued++
+
+				// Issue point: program order plus RAW dependencies.
+				start := tIssue + 1
+				for s := 0; s < int(in.NSrc); s++ {
+					if w := wb[in.Srcs[s]]; w > start {
+						start = w
+					}
+				}
+
+				// Resolve latency and energy.
+				lat := t.lat[r.Op]
+				switch {
+				case r.Op == isa.OpNANOSLEEP:
+					lat = float64(in.Imm) * latScale
+				case info.IsMem && lanes > 0:
+					lat = d.memAccess(a, st, r, l1For(sm), l2, rowState, &dramBytes, latScale)
+				}
+
+				if info.WritesReg && !in.SemNop {
+					wb[in.Dst] = start + lat
+				}
+				tIssue = start
+				if e := start + lat; e > st.maxWarpT {
+					st.maxWarpT = e
+				}
+
+				// Throughput accounting.
+				st.issue[sched]++
+				st.fuSlots[sched][info.Unit] += passes(r.Mask, info.Unit)
+
+				// Dynamic energy: per-lane op energy, register file
+				// (reads plus a write), and front-end overheads.
+				ops := float64(lanes)
+				rfOperands := float64(in.NSrc)
+				if info.WritesReg {
+					rfOperands++
+				}
+				a.dynEnergyPJ += t.opEnergyPJ[r.Op]*ops +
+					t.regFilePJ*rfOperands*ops +
+					t.ibufPJ + t.schedPJ + t.pipePJ +
+					t.l1iPJ*t.l1iPerInstr
+
+				// Hardware counters.
+				c := &a.counters
+				c.InstIssued++
+				c.ThreadInst += int64(lanes)
+				switch info.Unit {
+				case isa.UnitALU:
+					c.InstINT++
+				case isa.UnitFPU:
+					c.InstFP32++
+				case isa.UnitDPU:
+					c.InstFP64++
+				case isa.UnitSFU:
+					c.InstSFU++
+				case isa.UnitTensor:
+					c.InstTensor++
+				case isa.UnitTex:
+					c.InstTex++
+				case isa.UnitMem:
+					c.InstLDST++
+				default:
+					c.InstCtrl++
+				}
+			}
+		}
+		ctaBase += kt.Kernel.Grid.Count()
+	}
+
+	// Per-SM time bounds.
+	var chipCycles float64
+	for i := range sms {
+		st := &sms[i]
+		if !st.used {
+			continue
+		}
+		a.activeSMs++
+		// Lanes power-gate when inactive, so the leaking lane count is
+		// the time-weighted average of the active mask (Section 4.3).
+		if st.issued > 0 {
+			a.poweredLanes += st.laneSum / st.issued
+		}
+		smT := st.maxWarpT
+		for s := 0; s < 4; s++ {
+			if st.issue[s] > smT {
+				smT = st.issue[s]
+			}
+			for u := range st.fuSlots[s] {
+				if st.fuSlots[s][u] > smT {
+					smT = st.fuSlots[s][u]
+				}
+			}
+		}
+		if b := st.l1Trans / 4; b > smT {
+			smT = b
+		}
+		if smT > chipCycles {
+			chipCycles = smT
+		}
+	}
+
+	// Chip-level memory bounds (in core cycles at the current clock).
+	l2Bound := float64(l2.Stats().Accesses) / float64(arch.L2Slices)
+	if l2Bound > chipCycles {
+		chipCycles = l2Bound
+	}
+	bytesPerCycle := arch.DRAMGBps * 1e9 / (d.clockMHz * 1e6)
+	if b := dramBytes / bytesPerCycle; b > chipCycles {
+		chipCycles = b
+	}
+
+	if chipCycles < 1 {
+		chipCycles = 1
+	}
+	a.cycles = chipCycles
+
+	// Fold cache statistics into the counter block.
+	var l1a, l1m uint64
+	for _, c := range l1s {
+		s := c.Stats()
+		l1a += s.Accesses
+		l1m += s.Misses + s.SectorMisses
+	}
+	a.counters.L1Accesses = l1a
+	a.counters.L1Misses = l1m
+	l2s := l2.Stats()
+	a.counters.L2Accesses = l2s.Accesses
+	a.counters.L2Misses = l2s.Misses + l2s.SectorMisses
+	a.counters.DramReads = l2s.Misses + l2s.SectorMisses
+	a.counters.DramWrites = l2s.Writebacks
+	return a, nil
+}
+
+// memAccess resolves one warp-level memory instruction through the memory
+// hierarchy, charging energy and returning the exposed latency in cycles.
+func (d *Device) memAccess(a *replayAcct, st *smState, r *trace.Rec,
+	l1, l2 *cachesim.Cache, rowState []uint64, dramBytes *float64, latScale float64) float64 {
+
+	t := d.t
+	switch r.Space {
+	case isa.SpaceShared:
+		passes := float64(trace.BankConflicts(r.Addrs, 32))
+		if passes < 1 {
+			passes = 1
+		}
+		a.dynEnergyPJ += t.sharedPJ * passes
+		a.counters.SharedAccesses += uint64(passes)
+		return t.latShared + (passes-1)*2
+
+	case isa.SpaceConst:
+		a.dynEnergyPJ += t.constPJ
+		a.counters.ConstAccesses++
+		return t.latConst
+
+	case isa.SpaceTexture:
+		n := float64(trace.UniqueLines(r.Addrs, 32))
+		a.dynEnergyPJ += t.texPJ * n
+		a.counters.TexAccesses += uint64(n)
+		return t.latTex
+
+	case isa.SpaceGlobal:
+		write := r.Op == isa.OpSTG
+		atomic := r.Op == isa.OpATOMG
+		maxLat := 0.0
+		for _, sector := range uniqueSectors(r.Addrs) {
+			st.l1Trans++
+			var lat float64
+			switch {
+			case atomic:
+				// Atomics resolve at the L2.
+				res := l2.Access(sector, true)
+				a.dynEnergyPJ += 2*t.l2PJ + t.nocPJ
+				a.counters.L2Accesses += 0 // counted by cache stats
+				lat = t.latL2Hit*latScale + 20
+				if !res.Hit {
+					lat += t.latDRAM * latScale
+					d.dramAccess(a, sector, rowState, dramBytes, false)
+				}
+			default:
+				res := l1.Access(sector, write)
+				a.dynEnergyPJ += t.l1PJ
+				switch {
+				case res.Hit:
+					lat = t.latL1Hit
+				case res.SectorFill:
+					a.dynEnergyPJ += t.sectorFillPJ + t.l2PJ + t.nocPJ
+					lat = t.latSector * latScale
+					l2res := l2.Access(sector, false)
+					if !l2res.Hit {
+						lat += (t.latDRAM - t.latL2Hit) * latScale
+						d.dramAccess(a, sector, rowState, dramBytes, false)
+					}
+				default:
+					// Line (sector) miss: goes to L2 over the NoC.
+					a.dynEnergyPJ += t.l2PJ + t.nocPJ
+					l2res := l2.Access(sector, write)
+					lat = t.latL2Hit * latScale
+					if !l2res.Hit {
+						lat = t.latDRAM * latScale
+						d.dramAccess(a, sector, rowState, dramBytes, write)
+					}
+					if l2res.Writeback {
+						a.dynEnergyPJ += t.dramWrPJ + t.memCtrlPJ
+						*dramBytes += 32
+						a.counters.DramWrites++
+					}
+				}
+			}
+			if write {
+				// Stores do not stall the warp.
+				lat = t.lat[r.Op]
+			}
+			if lat > maxLat {
+				maxLat = lat
+			}
+		}
+		return maxLat
+	}
+	return t.lat[r.Op]
+}
+
+// dramAccess charges DRAM access energy with a per-channel open-row model.
+func (d *Device) dramAccess(a *replayAcct, sector uint64, rowState []uint64, dramBytes *float64, write bool) {
+	t := d.t
+	ch := (sector / 256) % uint64(len(rowState))
+	row := sector / t.dramRowBytes
+	if rowState[ch] != row {
+		rowState[ch] = row
+		a.dynEnergyPJ += t.dramActPJ
+	}
+	if write {
+		a.dynEnergyPJ += t.dramWrPJ + t.memCtrlPJ
+	} else {
+		a.dynEnergyPJ += t.dramRdPJ + t.memCtrlPJ
+	}
+	*dramBytes += 32
+}
+
+// uniqueSectors returns the distinct 32-byte sector base addresses covered
+// by the warp's lane addresses, in first-touch order.
+func uniqueSectors(addrs []uint64) []uint64 {
+	out := make([]uint64, 0, 4)
+	seen := make(map[uint64]struct{}, 4)
+	for _, a := range addrs {
+		s := a &^ 31
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}
+
+// passes returns the functional-unit occupancy (in issue slots) of one warp
+// instruction given its active mask, implementing half-warp execution on
+// 16-lane units, quarter-warp groups on 8-lane FP64 and LD/ST units, and
+// 4-lane groups on the SFUs.
+func passes(mask uint32, unit isa.Unit) float64 {
+	groups := func(groupLanes uint) float64 {
+		n := 0.0
+		for off := uint(0); off < 32; off += groupLanes {
+			if mask>>off&((1<<groupLanes)-1) != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	switch unit {
+	case isa.UnitALU, isa.UnitFPU:
+		return groups(16)
+	case isa.UnitDPU, isa.UnitMem:
+		return groups(8)
+	case isa.UnitSFU:
+		return groups(4)
+	case isa.UnitTensor:
+		return 4
+	default:
+		return 1
+	}
+}

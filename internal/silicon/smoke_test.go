@@ -1,0 +1,56 @@
+package silicon
+
+import (
+	"testing"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/ubench"
+)
+
+func runBench(t *testing.T, d *Device, b ubench.Bench) *Measurement {
+	t.Helper()
+	sass, err := isa.Lower(b.Kernel)
+	if err != nil {
+		t.Fatalf("lower %s: %v", b.Name, err)
+	}
+	kt, err := emu.Run(sass, b.NewMemory())
+	if err != nil {
+		t.Fatalf("emu %s: %v", b.Name, err)
+	}
+	m, err := d.Run(kt)
+	if err != nil {
+		t.Fatalf("silicon %s: %v", b.Name, err)
+	}
+	return m
+}
+
+func TestSmokeIntMul(t *testing.T) {
+	arch := config.Volta()
+	d := MustNewDevice(arch)
+	b := ubench.DivergenceBench(arch, ubench.Quick, 1, 32) // MixIntMul
+	m := runBench(t, d, b)
+	t.Logf("int_mul y=32: %.1f W, %.0f cycles", m.AvgPowerW, m.Cycles)
+	if m.AvgPowerW < 60 || m.AvgPowerW > 260 {
+		t.Errorf("int_mul power %.1f W outside plausible GV100 range", m.AvgPowerW)
+	}
+}
+
+func TestSmokeGatingShape(t *testing.T) {
+	arch := config.Volta()
+	d := MustNewDevice(arch)
+	sc := ubench.Quick
+
+	p1x1 := runBench(t, d, ubench.GatingBench(arch, sc, 1, 1)).AvgPowerW
+	p1x80 := runBench(t, d, ubench.GatingBench(arch, sc, arch.NumSMs, 1)).AvgPowerW
+	p32x80 := runBench(t, d, ubench.GatingBench(arch, sc, arch.NumSMs, 32)).AvgPowerW
+	t.Logf("1Lx1SM=%.1f  1Lx80SM=%.1f  32Lx80SM=%.1f", p1x1, p1x80, p32x80)
+	if !(p1x1 < p1x80 && p1x80 < p32x80) {
+		t.Errorf("gating powers not monotone: %.1f %.1f %.1f", p1x1, p1x80, p32x80)
+	}
+	ratio := p1x80 / p1x1
+	if ratio < 1.4 || ratio > 2.1 {
+		t.Errorf("1Lx80SM / 1Lx1SM = %.2f, want ~1.7 (paper: 70%% more)", ratio)
+	}
+}

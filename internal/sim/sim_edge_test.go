@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/trace"
+	"accelwattch/internal/ubench"
+)
+
+// PTX-mode coalescing works at 128-byte granularity (legacy GPGPU-Sim
+// memory model), SASS mode at 32-byte sectors — a dense 128-byte warp
+// access becomes 1 vs 4 L1 transactions.
+func TestPTXCoalescingGranularity(t *testing.T) {
+	arch := config.Volta()
+	s := MustNew(arch)
+	b := isa.NewKernel("coal").Grid(1).Block(32)
+	b.S2R(1, isa.SRegLaneID)
+	b.Op2i(isa.OpSHL, 2, 1, 2)
+	b.Op2i(isa.OpIADD, 2, 2, 1<<20)
+	b.Ld(isa.OpLDG, 3, 2, 0)
+	b.Exit()
+	ptx := b.MustBuild()
+
+	run := func(k *isa.Kernel) float64 {
+		kt, err := emuRun(t, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(kt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Aggregate.Counts[core.CompL1D]
+	}
+	ptxL1 := run(ptx)
+	sassL1 := run(isa.MustLower(ptx))
+	if ptxL1 != 1 || sassL1 != 4 {
+		t.Errorf("L1 transactions: PTX %v (want 1 line), SASS %v (want 4 sectors)", ptxL1, sassL1)
+	}
+}
+
+func emuRun(t *testing.T, k *isa.Kernel) (*trace.KernelTrace, error) {
+	t.Helper()
+	return emu.Run(k, emu.NewMemory())
+}
+
+func TestConcurrentTracesShareTheChip(t *testing.T) {
+	arch := config.Volta()
+	s := MustNew(arch)
+	b := ubench.OccupancyBench(arch, ubench.Quick, arch.NumSMs/2)
+	kt := traceOf(t, b, isa.SASS)
+	single, err := s.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := s.Run(kt, kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two concurrent instances of a half-chip kernel fill the chip.
+	if double.ActiveSMs <= single.ActiveSMs {
+		t.Errorf("concurrent run occupies %d SMs, single %d", double.ActiveSMs, single.ActiveSMs)
+	}
+	if double.WarpInstrs != 2*single.WarpInstrs {
+		t.Error("concurrent run must execute both traces")
+	}
+}
+
+func TestWindowConservation(t *testing.T) {
+	arch := config.Volta()
+	s := MustNew(arch)
+	for _, name := range []string{"int_add", "l2_chase", "dram_stream_read"} {
+		var bench ubench.Bench
+		for _, b := range ubench.MustSuite(arch, ubench.Quick) {
+			if b.Name == name {
+				bench = b
+			}
+		}
+		r, err := s.Run(traceOf(t, bench, isa.SASS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cyc float64
+		var counts [core.NumDynComponents]float64
+		for _, w := range r.Windows {
+			cyc += w.Cycles
+			for c := range counts {
+				counts[c] += w.Counts[c]
+			}
+		}
+		if math.Abs(cyc-r.Cycles) > 1 {
+			t.Errorf("%s: windows cover %.1f of %.1f cycles", name, cyc, r.Cycles)
+		}
+		for c := range counts {
+			if math.Abs(counts[c]-r.Aggregate.Counts[c]) > 1e-6*(1+r.Aggregate.Counts[c]) {
+				t.Errorf("%s: window activity for %v not conserved (%.2f vs %.2f)",
+					name, core.Component(c), counts[c], r.Aggregate.Counts[c])
+			}
+		}
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	arch := config.Volta()
+	s := MustNew(arch)
+	b := ubench.DivergenceBench(arch, ubench.Quick, core.MixIntFP, 24)
+	kt := traceOf(t, b, isa.SASS)
+	r1, err := s.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Aggregate.Counts != r2.Aggregate.Counts {
+		t.Error("simulation must be deterministic")
+	}
+}

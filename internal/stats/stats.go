@@ -1,0 +1,123 @@
+// Package stats provides the error and correlation metrics the paper
+// reports: mean absolute percentage error (MAPE) with a 95% confidence
+// interval, the Pearson r coefficient, and geometric means.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MAPE returns the mean absolute percentage error (in percent) of estimates
+// against measurements, as defined in [9] of the paper.
+func MAPE(measured, estimated []float64) (float64, error) {
+	if len(measured) != len(estimated) || len(measured) == 0 {
+		return 0, fmt.Errorf("stats: MAPE needs matched non-empty series")
+	}
+	s := 0.0
+	for i := range measured {
+		if measured[i] == 0 {
+			return 0, fmt.Errorf("stats: MAPE undefined for zero measurement at %d", i)
+		}
+		s += math.Abs(estimated[i]-measured[i]) / math.Abs(measured[i])
+	}
+	return 100 * s / float64(len(measured)), nil
+}
+
+// MAPEWithCI returns MAPE plus the half-width of its 95% confidence
+// interval (normal approximation over the per-sample absolute percentage
+// errors), matching the paper's "9.2 +/- 3.12%" style of reporting.
+func MAPEWithCI(measured, estimated []float64) (mape, ci float64, err error) {
+	mape, err = MAPE(measured, estimated)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := float64(len(measured))
+	if n < 2 {
+		return mape, 0, nil
+	}
+	mean := mape / 100
+	varSum := 0.0
+	for i := range measured {
+		e := math.Abs(estimated[i]-measured[i])/math.Abs(measured[i]) - mean
+		varSum += e * e
+	}
+	sd := math.Sqrt(varSum / (n - 1))
+	return mape, 100 * 1.96 * sd / math.Sqrt(n), nil
+}
+
+// MaxAPE returns the maximum absolute percentage error (in percent).
+func MaxAPE(measured, estimated []float64) (float64, error) {
+	if len(measured) != len(estimated) || len(measured) == 0 {
+		return 0, fmt.Errorf("stats: MaxAPE needs matched non-empty series")
+	}
+	m := 0.0
+	for i := range measured {
+		if measured[i] == 0 {
+			return 0, fmt.Errorf("stats: MaxAPE undefined for zero measurement at %d", i)
+		}
+		e := math.Abs(estimated[i]-measured[i]) / math.Abs(measured[i])
+		if e > m {
+			m = e
+		}
+	}
+	return 100 * m, nil
+}
+
+// Pearson returns the Pearson correlation coefficient r.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, fmt.Errorf("stats: Pearson needs matched series of length >= 2")
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, fmt.Errorf("stats: Pearson undefined for a constant series")
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}
+
+// Geomean returns the geometric mean of positive values — Eq. (8) combines
+// per-microbenchmark idle-SM estimates this way.
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geomean of empty set")
+	}
+	s := 0.0
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean needs positive values, got %g at %d", x, i)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// RelErr returns (estimated-measured)/measured.
+func RelErr(measured, estimated float64) float64 {
+	return (estimated - measured) / measured
+}

@@ -1,0 +1,139 @@
+// Package trace defines the dynamic instruction trace format shared by the
+// synthetic silicon and the performance simulator. It plays the role NVBit
+// SASS traces play in the paper: the functional executor (package emu)
+// produces one trace per kernel launch, and both timing models replay it.
+package trace
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/bits"
+
+	"accelwattch/internal/isa"
+)
+
+// Rec is one dynamic instruction executed by one warp.
+type Rec struct {
+	PC    int32        // static instruction index in the kernel
+	Op    isa.Op       // executed opcode (machine op after lowering)
+	Mask  uint32       // active-lane mask at execution
+	Space isa.MemSpace // memory space for memory operations
+	Addrs []uint64     // per-active-lane addresses (ascending lane order), mem ops only
+}
+
+// ActiveLanes returns the number of active lanes.
+func (r *Rec) ActiveLanes() int { return bits.OnesCount32(r.Mask) }
+
+// WarpTrace is the full dynamic instruction stream of one warp.
+type WarpTrace struct {
+	CTA  int // CTA index within the grid
+	Warp int // warp index within the CTA
+	Recs []Rec
+}
+
+// KernelTrace is the trace of one kernel launch.
+type KernelTrace struct {
+	Kernel *isa.Kernel // the kernel at the level that was traced
+	Warps  []WarpTrace
+}
+
+// Stats summarises a kernel trace.
+type Stats struct {
+	WarpCount     int
+	DynInstrs     int64            // total warp-level dynamic instructions
+	ThreadInstrs  int64            // lane-weighted dynamic instructions
+	OpCounts      map[isa.Op]int64 // warp-level counts per opcode
+	UnitCounts    map[isa.Unit]int64
+	AvgLanes      float64 // average active lanes per warp instruction
+	MemAccesses   int64   // warp-level memory instructions
+	GlobalLines   int64   // unique 128B lines touched per global warp access (coalescing)
+	SharedBankMax int64   // worst-case shared bank conflicts observed
+}
+
+// Summarize computes trace statistics.
+func Summarize(kt *KernelTrace) Stats {
+	s := Stats{
+		WarpCount:  len(kt.Warps),
+		OpCounts:   make(map[isa.Op]int64),
+		UnitCounts: make(map[isa.Unit]int64),
+	}
+	var laneSum int64
+	for wi := range kt.Warps {
+		for ri := range kt.Warps[wi].Recs {
+			r := &kt.Warps[wi].Recs[ri]
+			s.DynInstrs++
+			lanes := int64(r.ActiveLanes())
+			s.ThreadInstrs += lanes
+			laneSum += lanes
+			s.OpCounts[r.Op]++
+			s.UnitCounts[r.Op.Info().Unit]++
+			if r.Op.Info().IsMem {
+				s.MemAccesses++
+				if r.Space == isa.SpaceGlobal {
+					s.GlobalLines += int64(UniqueLines(r.Addrs, 128))
+				}
+				if r.Space == isa.SpaceShared {
+					if c := int64(BankConflicts(r.Addrs, 32)); c > s.SharedBankMax {
+						s.SharedBankMax = c
+					}
+				}
+			}
+		}
+	}
+	if s.DynInstrs > 0 {
+		s.AvgLanes = float64(laneSum) / float64(s.DynInstrs)
+	}
+	return s
+}
+
+// UniqueLines counts the distinct cache lines of the given size covered by
+// the addresses; this is the number of memory transactions a coalescing
+// unit issues for one warp access.
+func UniqueLines(addrs []uint64, lineBytes uint64) int {
+	if len(addrs) == 0 {
+		return 0
+	}
+	seen := make(map[uint64]struct{}, 4)
+	for _, a := range addrs {
+		seen[a/lineBytes] = struct{}{}
+	}
+	return len(seen)
+}
+
+// BankConflicts returns the maximum number of addresses mapping to a single
+// shared-memory bank (1 means conflict-free), with 4-byte bank interleaving
+// across the given bank count.
+func BankConflicts(addrs []uint64, banks uint64) int {
+	if len(addrs) == 0 {
+		return 0
+	}
+	counts := make(map[uint64]int, banks)
+	max := 0
+	for _, a := range addrs {
+		b := (a / 4) % banks
+		counts[b]++
+		if counts[b] > max {
+			max = counts[b]
+		}
+	}
+	return max
+}
+
+// Encode serialises a kernel trace (the NVBit trace-file stand-in).
+func Encode(kt *KernelTrace) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(kt); err != nil {
+		return nil, fmt.Errorf("trace: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserialises a kernel trace produced by Encode.
+func Decode(data []byte) (*KernelTrace, error) {
+	var kt KernelTrace
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&kt); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &kt, nil
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"testing"
+
+	"accelwattch/internal/isa"
+)
+
+func TestUniqueLines(t *testing.T) {
+	cases := []struct {
+		addrs []uint64
+		line  uint64
+		want  int
+	}{
+		{nil, 128, 0},
+		{[]uint64{0, 4, 8, 124}, 128, 1},
+		{[]uint64{0, 128}, 128, 2},
+		{[]uint64{0, 31, 32, 63, 64}, 32, 3},
+		{[]uint64{1000, 1000, 1000}, 32, 1},
+	}
+	for i, c := range cases {
+		if got := UniqueLines(c.addrs, c.line); got != c.want {
+			t.Errorf("case %d: got %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestBankConflicts(t *testing.T) {
+	// Stride-4 bytes across 32 banks: conflict free.
+	var dense, conflict []uint64
+	for l := 0; l < 32; l++ {
+		dense = append(dense, uint64(l*4))
+		conflict = append(conflict, uint64(l*128)) // all hit bank 0
+	}
+	if got := BankConflicts(dense, 32); got != 1 {
+		t.Errorf("dense pattern conflicts = %d, want 1", got)
+	}
+	if got := BankConflicts(conflict, 32); got != 32 {
+		t.Errorf("degenerate pattern conflicts = %d, want 32", got)
+	}
+	if got := BankConflicts(nil, 32); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	k := &isa.Kernel{Name: "k", Level: isa.SASS}
+	kt := &KernelTrace{
+		Kernel: k,
+		Warps: []WarpTrace{{
+			CTA: 0, Warp: 0,
+			Recs: []Rec{
+				{Op: isa.OpIADD, Mask: 0xFFFFFFFF},
+				{Op: isa.OpFFMA, Mask: 0xFFFF},
+				{Op: isa.OpLDG, Mask: 0xF, Space: isa.SpaceGlobal, Addrs: []uint64{0, 4, 8, 300}},
+			},
+		}},
+	}
+	s := Summarize(kt)
+	if s.DynInstrs != 3 || s.ThreadInstrs != 32+16+4 {
+		t.Errorf("instr counts: %+v", s)
+	}
+	if s.OpCounts[isa.OpIADD] != 1 || s.UnitCounts[isa.UnitFPU] != 1 {
+		t.Error("op/unit counts wrong")
+	}
+	if s.MemAccesses != 1 || s.GlobalLines != 2 {
+		t.Errorf("memory stats: %+v", s)
+	}
+	wantAvg := float64(52) / 3
+	if s.AvgLanes != wantAvg {
+		t.Errorf("avg lanes %v, want %v", s.AvgLanes, wantAvg)
+	}
+}
+
+func TestRecActiveLanes(t *testing.T) {
+	r := Rec{Mask: 0x0000FFFF}
+	if r.ActiveLanes() != 16 {
+		t.Error("popcount wrong")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	k := &isa.Kernel{Name: "k", Level: isa.SASS, Grid: isa.Dim3{X: 1}, Block: isa.Dim3{X: 32},
+		Code: []isa.Instr{{Op: isa.OpEXIT, Pred: isa.PT}}}
+	kt := &KernelTrace{Kernel: k, Warps: []WarpTrace{{Recs: []Rec{{Op: isa.OpEXIT, Mask: 1}}}}}
+	data, err := Encode(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt2.Kernel.Name != "k" || len(kt2.Warps) != 1 || kt2.Warps[0].Recs[0].Op != isa.OpEXIT {
+		t.Error("round trip lost data")
+	}
+	if _, err := Decode([]byte("garbage")); err == nil {
+		t.Error("garbage decoded")
+	}
+}

@@ -1,0 +1,97 @@
+package tune
+
+import (
+	"fmt"
+
+	"accelwattch/internal/qp"
+	"accelwattch/internal/stats"
+	"accelwattch/internal/ubench"
+)
+
+// FreqSweep describes the clock ladder used for the DVFS experiments. The
+// default covers the GV100's supported range as in Figure 2.
+type FreqSweep struct {
+	MinMHz, MaxMHz, StepMHz float64
+}
+
+// DefaultSweep returns a 200 MHz-step ladder inside the device's range.
+func DefaultSweep(minMHz, maxMHz float64) FreqSweep {
+	return FreqSweep{MinMHz: minMHz, MaxMHz: maxMHz, StepMHz: 200}
+}
+
+// Points lists the sweep frequencies.
+func (fs FreqSweep) Points() []float64 {
+	var out []float64
+	for f := fs.MinMHz; f <= fs.MaxMHz+1e-9; f += fs.StepMHz {
+		out = append(out, f)
+	}
+	return out
+}
+
+// DVFSCurve is one workload's frequency sweep with its Eq. (3) fit —
+// the raw material of Figure 2.
+type DVFSCurve struct {
+	Name    string
+	FreqGHz []float64
+	PowerW  []float64
+	Fit     qp.CubicFit
+	FitMAPE float64 // how well Eq. (3) matches the measurements
+	LineFit qp.LinearFit
+}
+
+// ConstPowerResult is the outcome of the Section 4.2 methodology.
+type ConstPowerResult struct {
+	Curves []DVFSCurve
+	// ConstW is the estimated constant power: the mean y-intercept of
+	// the Eq. (3) fits (32.5 W on the paper's GV100).
+	ConstW float64
+	// LegacyConstW is what the GPUWattch linear-extrapolation
+	// methodology would report — negative on DVFS-capable GPUs.
+	LegacyConstW float64
+}
+
+// EstimateConstPower runs the five DVFS workloads of Figure 2 across the
+// frequency ladder, fits each to Eq. (3), and estimates constant power from
+// the y-intercepts. It also reports the (broken) legacy linear estimate for
+// the GPUWattch comparison.
+func (tb *Testbench) EstimateConstPower(sweep FreqSweep) (*ConstPowerResult, error) {
+	benches := ubench.DVFSSuite(tb.Arch, tb.Scale)
+	res := &ConstPowerResult{}
+	var intercepts, lineIntercepts []float64
+	for _, b := range benches {
+		w := FromBench(b)
+		var fs, ps []float64
+		for _, mhz := range sweep.Points() {
+			m, err := tb.Measure(w, mhz)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, mhz/1000)
+			ps = append(ps, m.AvgPowerW)
+		}
+		fit, err := qp.FitCubicNoQuad(fs, ps)
+		if err != nil {
+			return nil, fmt.Errorf("tune: DVFS fit for %s: %w", b.Name, err)
+		}
+		lfit, err := qp.FitLinear(fs, ps)
+		if err != nil {
+			return nil, err
+		}
+		res.Curves = append(res.Curves, DVFSCurve{
+			Name:    b.Name,
+			FreqGHz: fs,
+			PowerW:  ps,
+			Fit:     fit,
+			FitMAPE: qp.FitMAPE(fit.Eval, fs, ps),
+			LineFit: lfit,
+		})
+		intercepts = append(intercepts, fit.Const)
+		lineIntercepts = append(lineIntercepts, lfit.Intercept)
+	}
+	res.ConstW = stats.Mean(intercepts)
+	res.LegacyConstW = stats.Mean(lineIntercepts)
+	if res.ConstW <= 0 {
+		return nil, fmt.Errorf("tune: constant power estimate %.2f W is non-positive; Eq. (3) fit failed", res.ConstW)
+	}
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package tune
+
+import (
+	"fmt"
+
+	"accelwattch/internal/core"
+	"accelwattch/internal/qp"
+	"accelwattch/internal/stats"
+	"accelwattch/internal/ubench"
+)
+
+// StartPoint names the two QP starting points of Section 5.4.
+type StartPoint int
+
+const (
+	StartOnes StartPoint = iota
+	StartFermi
+)
+
+func (s StartPoint) String() string {
+	if s == StartOnes {
+		return "ones"
+	}
+	return "fermi"
+}
+
+// DynamicFit is the outcome of the Eq. (14) optimisation for one variant
+// and one starting point.
+type DynamicFit struct {
+	Variant    Variant
+	Start      StartPoint
+	Scale      [core.NumDynComponents]float64
+	TrainMAPE  float64 // MAPE across the tuning microbenchmarks
+	Objective  float64
+	Iterations int
+}
+
+// buildProblem assembles the Eq. (13) system for one variant: one row per
+// microbenchmark, one column per dynamic component, with the fixed static /
+// idle-SM / constant contributions moved to the right-hand side (they carry
+// scaling factor 1 by construction).
+func (tb *Testbench) buildProblem(benches []ubench.Bench, v Variant, m *core.Model) (*qp.Problem, []core.Activity, []float64, error) {
+	var (
+		rows [][]float64
+		rhs  []float64
+		wts  []float64
+		acts []core.Activity
+		meas []float64
+	)
+	for _, b := range benches {
+		w := FromBench(b)
+		a, err := tb.Activity(w, v)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		mm, err := tb.Measure(w, 0)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// Fixed terms at x=1: evaluate the model with zero dynamic
+		// scales.
+		fixed := *m
+		for i := range fixed.Scale {
+			fixed.Scale[i] = 0
+		}
+		fb, err := fixed.Estimate(a)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("tune: %s: %w", b.Name, err)
+		}
+		timeS := a.Cycles / (tb.Arch.BaseClockMHz * 1e6)
+		row := make([]float64, core.NumDynComponents)
+		for i := 0; i < core.NumDynComponents; i++ {
+			row[i] = a.Counts[i] * m.BaseEnergyPJ[i] * 1e-12 / timeS
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, mm.AvgPowerW-fb.Total())
+		wts = append(wts, 1/mm.AvgPowerW) // minimise relative error
+		acts = append(acts, a)
+		meas = append(meas, mm.AvgPowerW)
+	}
+
+	n := core.NumDynComponents
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i] = 0.001
+		hi[i] = 1000
+	}
+	var orders []qp.Order
+	for _, oc := range core.OrderConstraints {
+		i, j := int(oc[0]), int(oc[1])
+		// E_i x_i <= E_j x_j  <=>  x_i <= (E_j/E_i) x_j.
+		orders = append(orders, qp.Order{I: i, J: j, Ratio: m.BaseEnergyPJ[j] / m.BaseEnergyPJ[i]})
+	}
+	return &qp.Problem{A: rows, B: rhs, W: wts, Lo: lo, Hi: hi, Orders: orders}, acts, meas, nil
+}
+
+// startVector builds the initial scaling factors for a starting point.
+func startVector(sp StartPoint, base [core.NumDynComponents]float64) []float64 {
+	x := make([]float64, core.NumDynComponents)
+	if sp == StartOnes {
+		for i := range x {
+			x[i] = 1
+		}
+		return x
+	}
+	fermi := core.FermiEnergiesPJ()
+	for i := range x {
+		x[i] = fermi[i] / base[i]
+	}
+	return x
+}
+
+// TuneDynamic solves Eq. (14) for one variant from both starting points and
+// returns both fits, ranked (Section 5.4 adopts the Fermi-start model when
+// it wins, which the paper observed on Volta).
+func (tb *Testbench) TuneDynamic(benches []ubench.Bench, v Variant, m *core.Model, opts qp.Options) (best, other *DynamicFit, err error) {
+	prob, acts, meas, err := tb.buildProblem(benches, v, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	fits := make([]*DynamicFit, 0, 2)
+	for _, sp := range []StartPoint{StartFermi, StartOnes} {
+		res, err := qp.Solve(prob, startVector(sp, m.BaseEnergyPJ), opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tune: QP (%v, %v): %w", v, sp, err)
+		}
+		fit := &DynamicFit{Variant: v, Start: sp, Objective: res.Objective, Iterations: res.Iterations}
+		copy(fit.Scale[:], res.X)
+
+		// Training MAPE: evaluate the tuned model over the tuning set.
+		tuned := *m
+		tuned.Scale = fit.Scale
+		var est []float64
+		for _, a := range acts {
+			p, err := tuned.EstimatePower(a)
+			if err != nil {
+				return nil, nil, err
+			}
+			est = append(est, p)
+		}
+		fit.TrainMAPE, err = stats.MAPE(meas, est)
+		if err != nil {
+			return nil, nil, err
+		}
+		fits = append(fits, fit)
+	}
+	if fits[0].TrainMAPE <= fits[1].TrainMAPE {
+		return fits[0], fits[1], nil
+	}
+	return fits[1], fits[0], nil
+}

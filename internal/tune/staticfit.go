@@ -1,0 +1,174 @@
+package tune
+
+import (
+	"fmt"
+
+	"accelwattch/internal/core"
+	"accelwattch/internal/qp"
+	"accelwattch/internal/stats"
+	"accelwattch/internal/ubench"
+)
+
+// DivergenceFit records the per-mix-category static model construction of
+// Sections 4.4-4.5.
+type DivergenceFit struct {
+	Mix              core.MixCategory
+	StaticFirstLaneW float64 // tau*f0 from the y=1 frequency sweep
+	Static32LanesW   float64 // tau*f0 from the y=32 frequency sweep
+	HalfWarp         bool    // whether the measured y-sweep shows the sawtooth
+	MeasuredYSweep   []float64
+	YSweepLanes      []int
+	Model            core.DivModel
+}
+
+// staticFreqs is the reduced ladder used for the per-y Eq. (3) fits.
+func staticFreqs(tb *Testbench) []float64 {
+	min, max := tb.Arch.MinClockMHz, tb.Arch.MaxClockMHz
+	var out []float64
+	for i := 0; i < 6; i++ {
+		out = append(out, min+(max-min)*float64(i)/5)
+	}
+	return out
+}
+
+// fitStaticAt fits the frequency sweep of one divergence microbenchmark and
+// returns the static power (the tau*f term) at the base clock.
+func (tb *Testbench) fitStaticAt(mix core.MixCategory, lanes int) (float64, error) {
+	b := ubench.DivergenceBench(tb.Arch, tb.Scale, mix, lanes)
+	w := FromBench(b)
+	var fs, ps []float64
+	for _, mhz := range staticFreqs(tb) {
+		m, err := tb.Measure(w, mhz)
+		if err != nil {
+			return 0, err
+		}
+		fs = append(fs, mhz/1000)
+		ps = append(ps, m.AvgPowerW)
+	}
+	fit, err := qp.FitCubicNoQuad(fs, ps)
+	if err != nil {
+		return 0, fmt.Errorf("tune: static fit %v y=%d: %w", mix, lanes, err)
+	}
+	return fit.StaticAt(tb.Arch.BaseClockMHz / 1000), nil
+}
+
+// FitDivergenceModels builds the divergence-aware static models for every
+// instruction-mix category: static endpoints from Eq. (3) fits at y=1 and
+// y=32, and the half-warp/linear selection from the measured y-sweep at the
+// base clock (the sawtooth test of Figure 4 — does power drop when the
+// second half-warp activates?).
+func (tb *Testbench) FitDivergenceModels() ([core.NumMixCategories]core.DivModel, []DivergenceFit, error) {
+	var models [core.NumMixCategories]core.DivModel
+	var fits []DivergenceFit
+	sweepLanes := []int{4, 8, 12, 16, 20, 24, 28, 32}
+
+	for _, mix := range ubench.DivergenceMixes(tb.Arch) {
+		first, err := tb.fitStaticAt(mix, 1)
+		if err != nil {
+			return models, nil, err
+		}
+		full, err := tb.fitStaticAt(mix, 32)
+		if err != nil {
+			return models, nil, err
+		}
+		if full < first {
+			full = first // leakage cannot shrink with more active lanes
+		}
+
+		var ys []float64
+		for _, y := range sweepLanes {
+			b := ubench.DivergenceBench(tb.Arch, tb.Scale, mix, y)
+			m, err := tb.Measure(FromBench(b), 0)
+			if err != nil {
+				return models, nil, err
+			}
+			ys = append(ys, m.AvgPowerW)
+		}
+		// Sawtooth detection: with half-warp execution, total power at
+		// y=20 sits below the y=16 peak (Section 4.4). A small margin
+		// keeps measurement noise from flipping the decision.
+		p16, p20 := ys[3], ys[4]
+		halfWarp := p20 < p16*0.995
+
+		dm := core.FitDivModel(first, full, halfWarp)
+		models[mix] = dm
+		fits = append(fits, DivergenceFit{
+			Mix:              mix,
+			StaticFirstLaneW: first,
+			Static32LanesW:   full,
+			HalfWarp:         halfWarp,
+			MeasuredYSweep:   ys,
+			YSweepLanes:      sweepLanes,
+			Model:            dm,
+		})
+	}
+
+	// Categories not measurable on this architecture (e.g. tensor mixes
+	// on Pascal) inherit the INT_FP model.
+	for i := range models {
+		if models[i].FirstLaneW == 0 && models[i].AddLaneW == 0 {
+			models[i] = models[core.MixIntFP]
+		}
+	}
+	return models, fits, nil
+}
+
+// IdleSMResult is the Section 4.6 construction.
+type IdleSMResult struct {
+	PerIdleSMW float64   // Eq. (8): geomean across microbenchmarks
+	Estimates  []float64 // per-observation estimates entering the geomean
+}
+
+// FitIdleSM estimates the static power of an idle SM from the Active/Idle
+// occupancy microbenchmarks: Eq. (6) gives the per-active-SM power from the
+// all-SM run, Eq. (7) the residual attributed to idle SMs, and Eq. (8)
+// combines per-benchmark estimates with a geometric mean.
+func (tb *Testbench) FitIdleSM(constW float64) (*IdleSMResult, error) {
+	n := tb.Arch.NumSMs
+	ladder := []int{n / 8, n / 4, n / 2, 3 * n / 4}
+	bodies := []struct {
+		name string
+		full ubench.Bench
+		at   func(int) ubench.Bench
+	}{
+		{"intmul", ubench.OccupancyBench(tb.Arch, tb.Scale, n),
+			func(k int) ubench.Bench { return ubench.OccupancyBench(tb.Arch, tb.Scale, k) }},
+		{"ffma", ubench.OccupancyBenchFP(tb.Arch, tb.Scale, n),
+			func(k int) ubench.Bench { return ubench.OccupancyBenchFP(tb.Arch, tb.Scale, k) }},
+	}
+
+	var ests []float64
+	for _, body := range bodies {
+		mFull, err := tb.Measure(FromBench(body.full), 0)
+		if err != nil {
+			return nil, err
+		}
+		perActive := (mFull.AvgPowerW - constW) / float64(n) // Eq. (6)
+		if perActive <= 0 {
+			return nil, fmt.Errorf("tune: per-active-SM power non-positive for %s", body.name)
+		}
+		for _, k := range ladder {
+			if k <= 0 || k >= n {
+				continue
+			}
+			b := body.at(k)
+			m, err := tb.Measure(FromBench(b), 0)
+			if err != nil {
+				return nil, err
+			}
+			idle := m.AvgPowerW - constW - perActive*float64(k) // Eq. (7)
+			perIdle := idle / float64(n-k)
+			if perIdle > 0 {
+				ests = append(ests, perIdle)
+			}
+		}
+	}
+	if len(ests) == 0 {
+		return nil, fmt.Errorf("tune: no positive idle-SM estimates; Eq. (7) residuals all negative")
+	}
+	g, err := stats.Geomean(ests)
+	if err != nil {
+		return nil, err
+	}
+	return &IdleSMResult{PerIdleSMW: g, Estimates: ests}, nil
+}

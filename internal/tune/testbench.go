@@ -1,0 +1,186 @@
+// Package tune implements the AccelWattch model-construction flow of
+// Figure 1: DVFS-aware constant-power estimation (Section 4.2), power-
+// gating- and divergence-aware static modelling (Sections 4.3-4.5), idle-SM
+// modelling (Section 4.6), and quadratic-programming dynamic tuning from
+// the 102-microbenchmark suite (Sections 5.1-5.4), for each of the four
+// AccelWattch variants (SASS SIM, PTX SIM, HW, HYBRID).
+package tune
+
+import (
+	"fmt"
+	"sync"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/silicon"
+	"accelwattch/internal/sim"
+	"accelwattch/internal/trace"
+	"accelwattch/internal/ubench"
+)
+
+// Testbench bundles one target device with its performance simulator and
+// caches functional traces and measurements, since the tuning flow replays
+// the same kernels at many frequencies.
+type Testbench struct {
+	Arch   *config.Arch
+	Device *silicon.Device
+	Sim    *sim.Simulator
+	Scale  ubench.Scale
+
+	mu       sync.Mutex
+	traces   map[string]*trace.KernelTrace
+	measures map[string]*silicon.Measurement
+	profiles map[string]*silicon.Counters
+	simRuns  map[string]*sim.Result
+}
+
+// NewTestbench builds a testbench for an architecture with a silicon model.
+func NewTestbench(arch *config.Arch, sc ubench.Scale) (*Testbench, error) {
+	dev, err := silicon.NewDevice(arch)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(arch)
+	if err != nil {
+		return nil, err
+	}
+	return &Testbench{
+		Arch: arch, Device: dev, Sim: s, Scale: sc,
+		traces:   make(map[string]*trace.KernelTrace),
+		measures: make(map[string]*silicon.Measurement),
+		profiles: make(map[string]*silicon.Counters),
+		simRuns:  make(map[string]*sim.Result),
+	}, nil
+}
+
+// Workload is anything the testbench can run: a kernel plus its memory
+// setup. Both microbenchmarks and validation kernels convert to it.
+type Workload struct {
+	Name   string
+	Kernel *isa.Kernel // PTX level
+	Setup  func(*emu.Memory)
+}
+
+// FromBench adapts a microbenchmark.
+func FromBench(b ubench.Bench) Workload {
+	return Workload{Name: b.Name, Kernel: b.Kernel, Setup: b.SetupMem}
+}
+
+func (w *Workload) newMemory() *emu.Memory {
+	m := emu.NewMemory()
+	if w.Setup != nil {
+		w.Setup(m)
+	}
+	return m
+}
+
+// Trace returns the functional trace of the workload at the given ISA
+// level, computing and caching it on first use (the NVBit step).
+func (tb *Testbench) Trace(w Workload, level isa.Level) (*trace.KernelTrace, error) {
+	key := fmt.Sprintf("%s@%v", w.Name, level)
+	tb.mu.Lock()
+	kt, ok := tb.traces[key]
+	tb.mu.Unlock()
+	if ok {
+		return kt, nil
+	}
+	k, err := isa.ForLevel(w.Kernel, level)
+	if err != nil {
+		return nil, err
+	}
+	kt, err = emu.Run(k, w.newMemory())
+	if err != nil {
+		return nil, fmt.Errorf("tune: tracing %s: %w", w.Name, err)
+	}
+	tb.mu.Lock()
+	tb.traces[key] = kt
+	tb.mu.Unlock()
+	return kt, nil
+}
+
+// Measure runs the workload on the silicon at the given core clock (0 means
+// the base applications clock) following the methodology of Section 4.1
+// (65C die temperature, locked clocks) and returns the NVML measurement.
+func (tb *Testbench) Measure(w Workload, clockMHz float64) (*silicon.Measurement, error) {
+	if clockMHz == 0 {
+		clockMHz = tb.Arch.BaseClockMHz
+	}
+	key := fmt.Sprintf("%s@%.0fMHz", w.Name, clockMHz)
+	tb.mu.Lock()
+	m, ok := tb.measures[key]
+	tb.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	kt, err := tb.Trace(w, isa.SASS)
+	if err != nil {
+		return nil, err
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if m, ok = tb.measures[key]; ok {
+		return m, nil
+	}
+	tb.Device.SetTemperature(65)
+	if err := tb.Device.SetClock(clockMHz); err != nil {
+		return nil, err
+	}
+	m, err = tb.Device.Run(kt)
+	tb.Device.ResetClock()
+	if err != nil {
+		return nil, fmt.Errorf("tune: measuring %s: %w", w.Name, err)
+	}
+	tb.measures[key] = m
+	return m, nil
+}
+
+// Profile returns the hardware performance counters for the workload at the
+// base clock (the Nsight Compute step of the HW/HYBRID variants).
+func (tb *Testbench) Profile(w Workload) (*silicon.Counters, error) {
+	tb.mu.Lock()
+	c, ok := tb.profiles[w.Name]
+	tb.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	kt, err := tb.Trace(w, isa.SASS)
+	if err != nil {
+		return nil, err
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if c, ok = tb.profiles[w.Name]; ok {
+		return c, nil
+	}
+	c, err = tb.Device.Profile(kt)
+	if err != nil {
+		return nil, fmt.Errorf("tune: profiling %s: %w", w.Name, err)
+	}
+	tb.profiles[w.Name] = c
+	return c, nil
+}
+
+// Simulate runs the performance simulator on the workload at the given ISA
+// level, caching results.
+func (tb *Testbench) Simulate(w Workload, level isa.Level) (*sim.Result, error) {
+	key := fmt.Sprintf("%s@%v", w.Name, level)
+	tb.mu.Lock()
+	r, ok := tb.simRuns[key]
+	tb.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	kt, err := tb.Trace(w, level)
+	if err != nil {
+		return nil, err
+	}
+	r, err = tb.Sim.Run(kt)
+	if err != nil {
+		return nil, fmt.Errorf("tune: simulating %s: %w", w.Name, err)
+	}
+	tb.mu.Lock()
+	tb.simRuns[key] = r
+	tb.mu.Unlock()
+	return r, nil
+}

@@ -1,0 +1,102 @@
+package tune
+
+import (
+	"fmt"
+
+	"accelwattch/internal/core"
+	"accelwattch/internal/qp"
+	"accelwattch/internal/ubench"
+)
+
+// Options configures the full tuning flow.
+type Options struct {
+	Sweep FreqSweep  // DVFS ladder for constant-power estimation
+	QP    qp.Options // quadratic-programming solver settings
+}
+
+// DefaultOptions uses the device's full frequency range.
+func (tb *Testbench) DefaultOptions() Options {
+	return Options{
+		Sweep: DefaultSweep(tb.Arch.MinClockMHz+65, tb.Arch.MaxClockMHz),
+		QP:    qp.DefaultOptions(),
+	}
+}
+
+// Result is a fully-constructed AccelWattch model set for one architecture:
+// the shared constant/static/idle models plus one dynamic model per variant
+// (Figure 1-(8)).
+type Result struct {
+	ConstPower  *ConstPowerResult
+	DivFits     []DivergenceFit
+	IdleSM      *IdleSMResult
+	Temperature *TemperatureFit
+
+	// Models holds the adopted (best-starting-point) model per variant.
+	Models [NumVariants]*core.Model
+	// BestFits and OtherFits record both starting points per variant for
+	// the Section 5.4 comparison.
+	BestFits  [NumVariants]*DynamicFit
+	OtherFits [NumVariants]*DynamicFit
+}
+
+// Model returns the tuned model for a variant.
+func (r *Result) Model(v Variant) *core.Model { return r.Models[v] }
+
+// Tune runs the complete Figure 1 flow on a testbench: constant power
+// (Section 4.2), divergence-aware static models (Sections 4.3-4.5), idle-SM
+// power (Section 4.6), and per-variant dynamic tuning via quadratic
+// programming over the 102 microbenchmarks (Section 5).
+func Tune(tb *Testbench, opts Options) (*Result, error) {
+	out := &Result{}
+
+	cp, err := tb.EstimateConstPower(opts.Sweep)
+	if err != nil {
+		return nil, fmt.Errorf("tune: constant power: %w", err)
+	}
+	out.ConstPower = cp
+
+	divModels, divFits, err := tb.FitDivergenceModels()
+	if err != nil {
+		return nil, fmt.Errorf("tune: divergence models: %w", err)
+	}
+	out.DivFits = divFits
+
+	idle, err := tb.FitIdleSM(cp.ConstW)
+	if err != nil {
+		return nil, fmt.Errorf("tune: idle SM: %w", err)
+	}
+	out.IdleSM = idle
+
+	temp, err := tb.FitTemperature()
+	if err != nil {
+		return nil, fmt.Errorf("tune: temperature factor: %w", err)
+	}
+	out.Temperature = temp
+
+	skeleton := &core.Model{
+		Arch:         tb.Arch,
+		BaseEnergyPJ: core.InitialEnergiesPJ(),
+		ConstW:       cp.ConstW,
+		IdleSMW:      idle.PerIdleSMW,
+		Div:          divModels,
+		RefSMs:       tb.Arch.NumSMs,
+		TempCoeff:    temp.Coeff,
+	}
+
+	benches, err := ubench.Suite(tb.Arch, tb.Scale)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range Variants() {
+		best, other, err := tb.TuneDynamic(benches, v, skeleton, opts.QP)
+		if err != nil {
+			return nil, err
+		}
+		m := *skeleton
+		m.Scale = best.Scale
+		out.Models[v] = &m
+		out.BestFits[v] = best
+		out.OtherFits[v] = other
+	}
+	return out, nil
+}

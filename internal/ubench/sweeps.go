@@ -1,0 +1,127 @@
+package ubench
+
+import (
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+	"accelwattch/internal/isa"
+)
+
+// DVFSSuite returns the five frequency-sweep workloads of Figure 2 —
+// INT_MEM (integer plus streaming memory, the >200 W case), INT_ADD,
+// FP_ADD, FP_MUL, and NANOSLEEP — used by the constant-power methodology of
+// Section 4.2.
+func DVFSSuite(arch *config.Arch, sc Scale) []Bench {
+	return []Bench{
+		gen(arch, sc, genOpts{name: "dvfs_int_mem", cat: CatMix,
+			body: []isa.Op{isa.OpIADD, isa.OpIMAD}, mem: memStream, memOps: 1, strideMult: 24, ilp: 8}),
+		gen(arch, sc, genOpts{name: "dvfs_int_add", cat: CatINT32,
+			body: []isa.Op{isa.OpIADD}}),
+		gen(arch, sc, genOpts{name: "dvfs_fp_add", cat: CatFP32,
+			body: []isa.Op{isa.OpFADD}}),
+		gen(arch, sc, genOpts{name: "dvfs_fp_mul", cat: CatFP32,
+			body: []isa.Op{isa.OpFMUL}}),
+		gen(arch, sc, genOpts{name: "dvfs_nanosleep", cat: CatMix,
+			body: []isa.Op{isa.OpNANOSLEEP}, ilp: 1, block: 32}),
+	}
+}
+
+// DivergenceBench returns the divergence-sweep microbenchmark for one
+// instruction-mix category at y active lanes per warp (Figures 4a-4c use
+// INT_MUL, INT_FP and INT_FP_SFU). All SMs are occupied, so only lane-level
+// gating varies.
+func DivergenceBench(arch *config.Arch, sc Scale, mix core.MixCategory, y int) Bench {
+	o := genOpts{
+		name: namef("div_%s_y%02d", mix, y),
+		cat:  CatMix,
+		y:    y,
+		body: divergenceBody(mix),
+	}
+	switch mix {
+	case core.MixLight:
+		o.ilp = 1
+		o.block = 32
+	case core.MixIntFPTex:
+		// The texture unit is exercised through a resident texture
+		// fetch rather than a body op (TEX needs an address operand).
+		o.mem = memTex
+		o.memOps = 1
+	}
+	return gen(arch, sc, o)
+}
+
+// divergenceBody maps each of the nine mix categories of Section 4.5 to a
+// representative instruction body.
+func divergenceBody(mix core.MixCategory) []isa.Op {
+	switch mix {
+	case core.MixIntAdd:
+		return []isa.Op{isa.OpIADD}
+	case core.MixIntMul:
+		return []isa.Op{isa.OpIMUL}
+	case core.MixInt:
+		return []isa.Op{isa.OpIADD, isa.OpIMUL, isa.OpXOR}
+	case core.MixIntFP:
+		return []isa.Op{isa.OpIADD, isa.OpFFMA}
+	case core.MixIntFPDP:
+		return []isa.Op{isa.OpIADD, isa.OpFFMA, isa.OpDFMA}
+	case core.MixIntFPSFU:
+		return []isa.Op{isa.OpIADD, isa.OpFFMA, isa.OpMUFUSQRT}
+	case core.MixIntFPTex:
+		return []isa.Op{isa.OpIADD, isa.OpFFMA}
+	case core.MixIntFPTensor:
+		return []isa.Op{isa.OpIADD, isa.OpFFMA, isa.OpHMMA}
+	default: // MixLight
+		return []isa.Op{isa.OpNANOSLEEP}
+	}
+}
+
+// GatingBench returns the lane/SM activation microbenchmark of Figure 3:
+// integer operations on a configurable number of SMs (one CTA per SM) and a
+// configurable number of active lanes in each SM's single warp. With zero
+// SMs the caller simply measures the inactive chip.
+func GatingBench(arch *config.Arch, sc Scale, smCount, lanes int) Bench {
+	return gen(arch, sc, genOpts{
+		name:  namef("gate_%02dsm_%02dlane", smCount, lanes),
+		cat:   CatActiveIdleSM,
+		grid:  smCount,
+		block: 32,
+		y:     lanes,
+		body:  []isa.Op{isa.OpIADD, isa.OpIMUL},
+	})
+}
+
+// OccupancyBench returns the idle-SM sweep microbenchmark of Figure 5:
+// INT_MUL with full 32-lane warps on a configurable number of SMs.
+func OccupancyBench(arch *config.Arch, sc Scale, smCount int) Bench {
+	return gen(arch, sc, genOpts{
+		name: namef("idle_intmul_%02dsm", smCount),
+		cat:  CatActiveIdleSM,
+		grid: smCount,
+		body: []isa.Op{isa.OpIMUL},
+	})
+}
+
+// OccupancyBenchFP is the FFMA-bodied occupancy microbenchmark; the idle-SM
+// model of Section 4.6 geomeans per-microbenchmark estimates across
+// differently-bodied occupancy kernels (Eq. 8).
+func OccupancyBenchFP(arch *config.Arch, sc Scale, smCount int) Bench {
+	return gen(arch, sc, genOpts{
+		name: namef("idle_ffma_%02dsm", smCount),
+		cat:  CatActiveIdleSM,
+		grid: smCount,
+		body: []isa.Op{isa.OpFFMA},
+	})
+}
+
+// DivergenceMixes lists the categories the divergence model is fitted for —
+// all nine of Section 4.5. Tensor and texture categories are skipped on
+// architectures without the hardware.
+func DivergenceMixes(arch *config.Arch) []core.MixCategory {
+	mixes := []core.MixCategory{
+		core.MixIntAdd, core.MixIntMul, core.MixInt, core.MixIntFP,
+		core.MixIntFPDP, core.MixIntFPSFU, core.MixIntFPTex,
+	}
+	if arch.HasTensorCores {
+		mixes = append(mixes, core.MixIntFPTensor)
+	}
+	return append(mixes, core.MixLight)
+}

@@ -1,0 +1,378 @@
+// Package ubench generates the microbenchmark suites of Sections 4 and 5.3:
+// the 102 tuning microbenchmarks of Table 2, the DVFS frequency-sweep set
+// (Figure 2), the divergence sweeps (Figure 4), the power-gating lane/SM
+// sweeps (Figure 3), and the SM-occupancy sweeps (Figure 5). Each
+// microbenchmark is a PTX-level kernel that isolates and stresses specific
+// hardware components, with its Region of Interest inside a counted loop,
+// mirroring the paper's methodology (compiler-proof bodies, pointer chasing
+// for the memory hierarchy, configurable thread divergence).
+package ubench
+
+import (
+	"fmt"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/isa"
+)
+
+// Category mirrors Table 2's hardware-component categories.
+type Category string
+
+const (
+	CatActiveIdleSM Category = "active_idle_sm"
+	CatINT32        Category = "int32"
+	CatFP32         Category = "fp32"
+	CatFP64         Category = "fp64"
+	CatSFU          Category = "sfu"
+	CatTexture      Category = "texture"
+	CatRegFile      Category = "regfile"
+	CatCaches       Category = "dcaches_shmem_noc"
+	CatDRAM         Category = "dram_mc"
+	CatTensor       Category = "tensor"
+	CatMix          Category = "mix"
+)
+
+// TableTwoCounts are the paper's per-category microbenchmark counts.
+var TableTwoCounts = map[Category]int{
+	CatActiveIdleSM: 12,
+	CatINT32:        9,
+	CatFP32:         8,
+	CatFP64:         8,
+	CatSFU:          9,
+	CatTexture:      7,
+	CatRegFile:      1,
+	CatCaches:       11,
+	CatDRAM:         2,
+	CatTensor:       6,
+	CatMix:          29,
+}
+
+// Bench is one microbenchmark: a kernel plus its memory-image setup.
+type Bench struct {
+	Name     string
+	Category Category
+	Kernel   *isa.Kernel
+	// SetupMem populates device memory before the run (pointer-chase
+	// rings and the like); nil when the kernel needs no data.
+	SetupMem func(mem *emu.Memory)
+}
+
+// NewMemory builds the memory image for the bench.
+func (b *Bench) NewMemory() *emu.Memory {
+	m := emu.NewMemory()
+	if b.SetupMem != nil {
+		b.SetupMem(m)
+	}
+	return m
+}
+
+// Scale trades fidelity for speed: Full is the benchmark-harness setting,
+// Quick keeps unit tests fast. Activity *ratios* are scale-invariant, so a
+// model tuned at Quick still exhibits the paper's shapes.
+type Scale struct {
+	Iters       int // ROI loop iterations
+	Unroll      int // body repetitions per iteration
+	WarpsPerCTA int
+}
+
+// Full is the scale used by the benchmark harness. Real kernels hide
+// memory latency with tens of resident warps per SM, and the dynamic-power
+// share of total power depends on it, so both scales keep occupancy high.
+var Full = Scale{Iters: 16, Unroll: 3, WarpsPerCTA: 32}
+
+// Quick keeps unit tests fast.
+var Quick = Scale{Iters: 6, Unroll: 2, WarpsPerCTA: 16}
+
+// Register allocation used by the generators.
+const (
+	rLane   isa.Reg = 1 // lane id
+	rYBound isa.Reg = 2 // divergence bound
+	rCount  isa.Reg = 3 // loop counter
+	rTmp    isa.Reg = 4
+	rTmp2   isa.Reg = 5
+	rIntA   isa.Reg = 8  // integer constant
+	rIntB   isa.Reg = 9  // integer constant
+	rFpA    isa.Reg = 10 // float32 constant
+	rFpB    isa.Reg = 11 // float32 constant
+	rFpC    isa.Reg = 12
+	rDpA    isa.Reg = 13 // float64 constant
+	rDpB    isa.Reg = 14
+	rAddr   isa.Reg = 20 // primary memory pointer
+	rAddrSh isa.Reg = 21 // shared-memory address
+	rAddrCf isa.Reg = 22 // conflicting shared address
+	rAddrAt isa.Reg = 23 // atomic target address
+	rData   isa.Reg = 24 // memory data sink
+	rChain0 isa.Reg = 32 // ILP chains: R32..R47
+)
+
+const (
+	pGuard isa.PredReg = 0 // divergence guard
+	pLoop  isa.PredReg = 1 // loop predicate
+)
+
+// memKind selects the memory behaviour of a generated kernel.
+type memKind int
+
+const (
+	memNone memKind = iota
+	memChase
+	memStream
+	memStreamWrite
+	memShared
+	memSharedConflict
+	memConst
+	memTex
+	memAtomic
+)
+
+// genOpts parameterises the kernel generator.
+type genOpts struct {
+	name string
+	cat  Category
+
+	grid  int // CTAs (0 = one per SM)
+	block int // threads per CTA (0 = scale default)
+	y     int // active lanes per warp (0 or 32 = all)
+
+	body []isa.Op // compute ops, cycled over the ILP chains
+	ilp  int      // independent chains (0 = 6)
+
+	mem        memKind
+	memOps     int    // memory ops per loop iteration
+	chaseBytes uint64 // pointer-chase ring footprint
+	strideMult uint64 // stream stride multiplier (1 = dense)
+}
+
+const (
+	globalBase  = uint64(1) << 22
+	atomicBase  = uint64(1) << 21
+	chaseStride = uint64(128)
+)
+
+// f32c returns the int64 immediate encoding a float32 constant.
+func f32c(f float32) int64 { return int64(f32bitsOf(f)) }
+
+// gen builds one microbenchmark kernel for an architecture and scale.
+func gen(arch *config.Arch, sc Scale, o genOpts) Bench {
+	grid := o.grid
+	if grid == 0 {
+		grid = arch.NumSMs
+	}
+	block := o.block
+	if block == 0 {
+		block = sc.WarpsPerCTA * 32
+	}
+	ilp := o.ilp
+	if ilp == 0 {
+		ilp = 6
+	}
+	y := o.y
+	if y == 0 {
+		y = 32
+	}
+
+	b := isa.NewKernel(o.name).Grid(grid).Block(block)
+	if o.mem == memShared || o.mem == memSharedConflict {
+		b.Shared(4096)
+	}
+
+	// Prologue: lane id, then divergence by branching inactive lanes
+	// straight to the exit — the way the paper's CUDA microbenchmarks
+	// express configurable thread divergence (`if (laneid < y) {...}`).
+	// Everything after the branch, including loop control, executes with
+	// exactly y active lanes.
+	b.S2R(rLane, isa.SRegLaneID)
+	if y < 32 {
+		b.SetPi(isa.OpISETP, pGuard, isa.CmpGE, rLane, int64(y))
+		b.Bra("done").Guard(pGuard)
+	}
+	b.MovI(rIntA, 37)
+	b.MovI(rIntB, 11)
+	b.MovI(rFpA, f32c(1.0009765625))
+	b.MovI(rFpB, f32c(0.99951171875))
+	b.MovI(rFpC, f32c(0.5))
+	b.MovI(rDpA, int64(f64bitsOf(1.0000001)))
+	b.MovI(rDpB, int64(f64bitsOf(0.9999999)))
+	for i := 0; i < ilp; i++ {
+		b.MovI(rChain0+isa.Reg(i), f32c(1.0)+int64(i))
+	}
+	setupAddrs(b, o)
+	b.MovI(rCount, int64(sc.Iters))
+	b.Label("roi")
+
+	// Body: ILP chains cycling over the op list, repeated Unroll times.
+	for u := 0; u < sc.Unroll; u++ {
+		for c := 0; c < ilp; c++ {
+			op := o.body[c%len(o.body)]
+			dst := rChain0 + isa.Reg(c)
+			emitCompute(b, op, dst)
+		}
+		emitMem(b, o, grid*block)
+	}
+
+	// Loop control (uniform across the active lanes).
+	b.Op2i(isa.OpIADD, rCount, rCount, -1)
+	b.SetPi(isa.OpISETP, pLoop, isa.CmpGT, rCount, 0)
+	b.Bra("roi").Guard(pLoop)
+	b.Label("done")
+	b.Exit()
+
+	k := b.MustBuild()
+	return Bench{
+		Name:     o.name,
+		Category: o.cat,
+		Kernel:   k,
+		SetupMem: setupMem(o, grid, block),
+	}
+}
+
+// emitCompute emits one compute instruction of the requested opcode writing
+// dst, reading only constant registers so chains stay independent (the FU,
+// not the scoreboard, should be the bottleneck — Section 5.3's
+// microbenchmarks are built the same way).
+func emitCompute(b *isa.Builder, op isa.Op, dst isa.Reg) *isa.Instr {
+	switch op.Info().Unit {
+	case isa.UnitSFU:
+		return b.Op1(op, dst, rFpA)
+	case isa.UnitDPU:
+		if op.Info().NSrcMin >= 3 {
+			return b.Op3(op, dst, rDpA, rDpB, rDpA)
+		}
+		return b.Op2(op, dst, rDpA, rDpB)
+	case isa.UnitFPU:
+		if op == isa.OpDIVF32 {
+			return b.Op2(op, dst, rFpA, rFpB)
+		}
+		if op.Info().NSrcMin >= 3 {
+			return b.Op3(op, dst, rFpA, rFpB, rFpC)
+		}
+		return b.Op2(op, dst, rFpA, rFpB)
+	case isa.UnitTensor:
+		return b.Op3(op, dst, rFpA, rFpB, rFpC)
+	case isa.UnitCtrl:
+		if op == isa.OpNANOSLEEP {
+			return b.Nanosleep(200)
+		}
+		return b.Nop()
+	default: // integer
+		switch {
+		case op == isa.OpMOV:
+			return b.Op1(op, dst, rIntA)
+		case op.Info().NSrcMin >= 3:
+			return b.Op3(op, dst, rIntA, rIntB, rIntA)
+		case op == isa.OpDIVS32 || op == isa.OpREMS32:
+			return b.Op2(op, dst, rIntA, rIntB)
+		default:
+			return b.Op2(op, dst, rIntA, rIntB)
+		}
+	}
+}
+
+// setupAddrs emits the prologue address computations for the memory kinds.
+func setupAddrs(b *isa.Builder, o genOpts) {
+	switch o.mem {
+	case memChase:
+		// Start each warp at a distinct ring node:
+		// addr = base + ((gtid*7) mod n) * stride.
+		n := int64(o.chaseBytes / chaseStride)
+		b.S2R(rTmp, isa.SRegGridTID)
+		b.Op2i(isa.OpIMUL, rTmp, rTmp, 7)
+		b.MovI(rTmp2, n)
+		b.Op2(isa.OpREMS32, rTmp, rTmp, rTmp2)
+		b.Op2i(isa.OpIMUL, rTmp, rTmp, int64(chaseStride))
+		b.Op2i(isa.OpIADD, rAddr, rTmp, int64(globalBase))
+	case memStream, memStreamWrite, memTex:
+		b.S2R(rTmp, isa.SRegGridTID)
+		b.Op2i(isa.OpSHL, rTmp, rTmp, 2)
+		b.Op2i(isa.OpIADD, rAddr, rTmp, int64(globalBase))
+	case memShared, memSharedConflict:
+		b.S2R(rTmp, isa.SRegTIDX)
+		b.Op2i(isa.OpSHL, rAddrSh, rTmp, 2)
+		// Conflicting pattern: every lane hits bank 0.
+		b.Op2i(isa.OpSHL, rAddrCf, rLane, 7)
+	case memConst:
+		b.MovI(rAddrSh, 0)
+	case memAtomic:
+		b.Op2i(isa.OpAND, rTmp, rLane, 15)
+		b.Op2i(isa.OpSHL, rTmp, rTmp, 2)
+		b.Op2i(isa.OpIADD, rAddrAt, rTmp, int64(atomicBase))
+	}
+}
+
+// emitMem emits the per-iteration memory operations.
+func emitMem(b *isa.Builder, o genOpts, gridThreads int) {
+	for i := 0; i < o.memOps; i++ {
+		switch o.mem {
+		case memChase:
+			b.Ld(isa.OpLDG, rAddr, rAddr, 0)
+		case memStream:
+			b.Ld(isa.OpLDG, rData, rAddr, 0)
+		case memStreamWrite:
+			b.St(isa.OpSTG, rAddr, rIntA, 0)
+		case memShared:
+			b.St(isa.OpSTS, rAddrSh, rIntA, 0)
+			b.Ld(isa.OpLDS, rData, rAddrSh, 0)
+		case memSharedConflict:
+			b.St(isa.OpSTS, rAddrCf, rIntA, 0)
+			b.Ld(isa.OpLDS, rData, rAddrCf, 0)
+		case memConst:
+			b.Ld(isa.OpLDC, rData, rAddrSh, 0)
+		case memTex:
+			b.Ld(isa.OpTEX, rData, rAddr, 0)
+		case memAtomic:
+			b.AtomAdd(rData, rAddrAt, rIntB, 0)
+		}
+	}
+	// Advance streaming pointers once per iteration; a zero stride
+	// multiplier keeps the working set resident (the same lines are
+	// touched every iteration).
+	switch o.mem {
+	case memStream, memStreamWrite, memTex:
+		if o.strideMult > 0 {
+			// All threads advance by gridThreads*4*mult: accesses
+			// stay coalesced and footprints grow with the
+			// multiplier. Pointer arithmetic is 64-bit at the PTX
+			// level (and splits into two SASS instructions).
+			b.Op2i(isa.OpADDS64, rAddr, rAddr, int64(uint64(gridThreads)*4*o.strideMult))
+		}
+	}
+}
+
+// setupMem returns the memory-image initialiser for the bench.
+func setupMem(o genOpts, grid, block int) func(*emu.Memory) {
+	switch o.mem {
+	case memChase:
+		n := int(o.chaseBytes / chaseStride)
+		return func(m *emu.Memory) { m.PointerChase(globalBase, n, chaseStride) }
+	default:
+		return nil
+	}
+}
+
+// checkSuiteCounts verifies the generated suite against Table 2; used by
+// Suite to fail fast if the inventory drifts.
+func checkSuiteCounts(benches []Bench) error {
+	got := map[Category]int{}
+	names := map[string]bool{}
+	for _, b := range benches {
+		got[b.Category]++
+		if names[b.Name] {
+			return fmt.Errorf("ubench: duplicate benchmark name %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	for cat, want := range TableTwoCounts {
+		if got[cat] != want {
+			return fmt.Errorf("ubench: category %s has %d benchmarks, want %d", cat, got[cat], want)
+		}
+	}
+	total := 0
+	for _, n := range got {
+		total += n
+	}
+	if total != 102 {
+		return fmt.Errorf("ubench: suite has %d benchmarks, want 102", total)
+	}
+	return nil
+}

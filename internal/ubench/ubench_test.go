@@ -1,0 +1,170 @@
+package ubench
+
+import (
+	"strings"
+	"testing"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/trace"
+)
+
+func TestSuiteMatchesTableTwo(t *testing.T) {
+	benches, err := Suite(config.Volta(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 102 {
+		t.Fatalf("suite has %d benchmarks, Table 2 lists 102", len(benches))
+	}
+	counts := map[Category]int{}
+	for _, b := range benches {
+		counts[b.Category]++
+	}
+	for cat, want := range TableTwoCounts {
+		if counts[cat] != want {
+			t.Errorf("%s: %d benchmarks, want %d", cat, counts[cat], want)
+		}
+	}
+}
+
+func TestSuiteKernelsValidAndLowerable(t *testing.T) {
+	benches := MustSuite(config.Volta(), Quick)
+	for _, b := range benches {
+		if err := b.Kernel.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if _, err := isa.Lower(b.Kernel); err != nil {
+			t.Errorf("%s: lower: %v", b.Name, err)
+		}
+	}
+}
+
+// Every microbenchmark must run functionally at both ISA levels.
+func TestSuiteKernelsExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole suite")
+	}
+	benches := MustSuite(config.Volta(), Scale{Iters: 2, Unroll: 1, WarpsPerCTA: 1})
+	for _, b := range benches {
+		kt, err := emu.Run(b.Kernel, b.NewMemory())
+		if err != nil {
+			t.Errorf("%s (PTX): %v", b.Name, err)
+			continue
+		}
+		if len(kt.Warps) == 0 {
+			t.Errorf("%s: empty trace", b.Name)
+		}
+		sass := isa.MustLower(b.Kernel)
+		if _, err := emu.Run(sass, b.NewMemory()); err != nil {
+			t.Errorf("%s (SASS): %v", b.Name, err)
+		}
+	}
+}
+
+// Each category's representative must actually exercise its target
+// component (the Figure 6 heat-map property).
+func TestBenchesExerciseTargets(t *testing.T) {
+	benches := MustSuite(config.Volta(), Scale{Iters: 3, Unroll: 1, WarpsPerCTA: 1})
+	targets := map[string]isa.Op{
+		"int_mul":          isa.OpIMUL,
+		"fp_fma":           isa.OpFFMA,
+		"dp_fma":           isa.OpDFMA,
+		"sfu_sin":          isa.OpSINF32,
+		"tensor_hmma":      isa.OpHMMA,
+		"tex_stream":       isa.OpTEX,
+		"shared_ldst":      isa.OpLDS,
+		"const_ldc":        isa.OpLDC,
+		"dram_stream_read": isa.OpLDG,
+		"atomic_hist":      isa.OpATOMG,
+	}
+	for _, b := range benches {
+		want, ok := targets[b.Name]
+		if !ok {
+			continue
+		}
+		kt, err := emu.Run(b.Kernel, b.NewMemory())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		s := trace.Summarize(kt)
+		if s.OpCounts[want] == 0 {
+			t.Errorf("%s never executes %v", b.Name, want)
+		}
+	}
+}
+
+func TestDivergenceBenchLaneCounts(t *testing.T) {
+	arch := config.Volta()
+	for _, y := range []int{1, 8, 16, 24, 32} {
+		b := DivergenceBench(arch, Quick, core.MixIntMul, y)
+		kt, err := emu.Run(b.Kernel, b.NewMemory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := trace.Summarize(kt)
+		// The loop dominates, so average active lanes approaches y;
+		// the two full-warp prologue instructions pull it up slightly.
+		if s.AvgLanes < float64(y)*0.8 || s.AvgLanes > float64(y)+2.5 {
+			t.Errorf("y=%d: avg lanes %.2f", y, s.AvgLanes)
+		}
+	}
+}
+
+func TestDVFSSuiteNames(t *testing.T) {
+	benches := DVFSSuite(config.Volta(), Quick)
+	if len(benches) != 5 {
+		t.Fatalf("Figure 2 uses 5 workloads, got %d", len(benches))
+	}
+	wants := []string{"int_mem", "int_add", "fp_add", "fp_mul", "nanosleep"}
+	for i, b := range benches {
+		if !strings.Contains(b.Name, wants[i]) {
+			t.Errorf("bench %d = %s, want *%s*", i, b.Name, wants[i])
+		}
+	}
+}
+
+func TestGatingBenchGeometry(t *testing.T) {
+	arch := config.Volta()
+	b := GatingBench(arch, Quick, 3, 5)
+	if b.Kernel.Grid.X != 3 || b.Kernel.Block.X != 32 {
+		t.Errorf("gating bench geometry: grid %d block %d", b.Kernel.Grid.X, b.Kernel.Block.X)
+	}
+	kt, err := emu.Run(b.Kernel, b.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kt.Warps) != 3 {
+		t.Errorf("%d warps, want 3 (one per CTA)", len(kt.Warps))
+	}
+}
+
+func TestDivergenceMixes(t *testing.T) {
+	volta := DivergenceMixes(config.Volta())
+	pascal := DivergenceMixes(config.Pascal())
+	if len(volta) != 9 {
+		t.Errorf("Volta has %d divergence mixes, want all 9", len(volta))
+	}
+	if len(pascal) != 8 {
+		t.Errorf("Pascal (no tensor) has %d mixes, want 8", len(pascal))
+	}
+}
+
+func TestOccupancyBenchActiveSMs(t *testing.T) {
+	arch := config.Volta()
+	b := OccupancyBench(arch, Scale{Iters: 2, Unroll: 1, WarpsPerCTA: 2}, 10)
+	kt, err := emu.Run(b.Kernel, b.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smSet := map[int]bool{}
+	for _, w := range kt.Warps {
+		smSet[w.CTA%arch.NumSMs] = true
+	}
+	if len(smSet) != 10 {
+		t.Errorf("occupies %d SMs, want 10", len(smSet))
+	}
+}

@@ -1,0 +1,7 @@
+package ubench
+
+import "math"
+
+func f32bitsOf(f float32) uint32 { return math.Float32bits(f) }
+
+func f64bitsOf(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"fmt"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/ubench"
+)
+
+// DeepBenchmark is one DeepBench case-study benchmark (Section 7.2): a
+// sequence of concurrent kernel groups. Each DeepBench workload issues many
+// small kernels (geomean 33 in the paper) that each occupy only ~12 SMs;
+// the hardware runs several concurrently while simulators serialise them,
+// so the paper hand-constructs a plausible concurrent schedule. Groups
+// model that schedule: kernels within a group run concurrently, groups run
+// back-to-back.
+type DeepBenchmark struct {
+	Name    string
+	Kind    string // "train" or "inference"
+	Kernels []Kernel
+	// Groups indexes Kernels into concurrent batches.
+	Groups [][]int
+}
+
+// deepKernel builds one small library-style kernel occupying roughly 12 SMs
+// (grid=12), mirroring the cuDNN/cuBLAS kernels DeepBench launches.
+func deepKernel(name string, arch *config.Arch, sc ubench.Scale, kind string, seq int) Kernel {
+	grid := 12
+	if grid > arch.NumSMs {
+		grid = arch.NumSMs
+	}
+	b := isa.NewKernel(name).Grid(grid).Block(blockDim(sc)).Shared(4096)
+	prologue(b)
+	counted(b, sc.Iters)
+	switch kind {
+	case "gemm":
+		b.Ld(isa.OpLDG, rT0, rA, 0)
+		b.St(isa.OpSTS, rSh, rT0, 0)
+		b.Bar()
+		for i := 0; i < 6; i++ {
+			acc := rAcc0 + isa.Reg(i%8)
+			b.Ld(isa.OpLDS, rT1, rSh, int64(4*i))
+			if arch.HasTensorCores && seq%2 == 0 {
+				b.Op3(isa.OpHMMA, acc, rT1, rKF1, acc)
+			} else {
+				b.Op3(isa.OpFFMA, acc, rT1, rKF1, acc)
+			}
+		}
+		b.Bar()
+		b.Op2i(isa.OpADDS64, rA, rA, 4096)
+	case "conv":
+		// im2col-style stencil: neighbour loads + FFMA taps.
+		for t := 0; t < 3; t++ {
+			b.Ld(isa.OpLDG, rT0, rA, int64(4*t))
+			b.Op3(isa.OpFFMA, rAcc0, rT0, rKF1, rAcc0)
+			b.Op3(isa.OpFFMA, rAcc0+1, rT0, rKF2, rAcc0+1)
+		}
+		b.Op2i(isa.OpIMUL, rT1, rTid, 9)
+		b.Op2i(isa.OpADDS64, rA, rA, 2048)
+	case "lstm":
+		// Gate math: matvec FFMA plus sigmoid/tanh via exp and divide.
+		b.Ld(isa.OpLDG, rT0, rA, 0)
+		b.Op3(isa.OpFFMA, rAcc0, rT0, rKF1, rAcc0)
+		b.Op1(isa.OpEXPF32, rT1, rKF2)
+		b.Op2(isa.OpDIVF32, rT2, rKF1, rKF1)
+		b.Op2(isa.OpFMUL, rAcc0+1, rT1, rT2)
+		b.Op2i(isa.OpADDS64, rA, rA, 1024)
+	}
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return Kernel{
+		Name: name, Benchmark: "DeepBench", Suite: "DeepBench",
+		Coverage: 1, PTXCompatible: false, HWProfilable: true,
+		Kernel: b.MustBuild(),
+	}
+}
+
+// DeepBenchSuite builds the six case-study benchmarks: train and inference
+// for CONV, GEMM, and RNN-LSTM.
+func DeepBenchSuite(arch *config.Arch, sc ubench.Scale) []DeepBenchmark {
+	var out []DeepBenchmark
+	for _, spec := range []struct {
+		name, kind, op string
+		nKernels       int
+		concurrency    int
+	}{
+		{"gemm-train", "train", "gemm", 12, 4},
+		{"gemm-inference", "inference", "gemm", 8, 3},
+		{"conv-train", "train", "conv", 14, 4},
+		{"conv-inference", "inference", "conv", 10, 3},
+		{"rnn-lstm-train", "train", "lstm", 16, 4},
+		{"rnn-lstm-inference", "inference", "lstm", 10, 3},
+	} {
+		db := DeepBenchmark{Name: spec.name, Kind: spec.kind}
+		for i := 0; i < spec.nKernels; i++ {
+			db.Kernels = append(db.Kernels,
+				deepKernel(fmt.Sprintf("%s_k%02d", spec.name, i), arch, sc, spec.op, i))
+		}
+		// Hand-constructed concurrent schedule: batches of `concurrency`
+		// kernels run together (Section 7.2's best-effort schedule).
+		for i := 0; i < spec.nKernels; i += spec.concurrency {
+			end := i + spec.concurrency
+			if end > spec.nKernels {
+				end = spec.nKernels
+			}
+			group := make([]int, 0, end-i)
+			for j := i; j < end; j++ {
+				group = append(group, j)
+			}
+			db.Groups = append(db.Groups, group)
+		}
+		out = append(out, db)
+	}
+	return out
+}

@@ -1,0 +1,428 @@
+package workloads
+
+import (
+	"accelwattch/internal/config"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/ubench"
+)
+
+// ---- CUDA Samples ----------------------------------------------------
+
+// tensorGemm mirrors cudaTensorCoreGemm / CUTLASS wmma kernels: stage A/B
+// tiles into shared memory, barrier, issue HMMA fragments against the
+// staged tiles, barrier, advance the K dimension.
+func tensorGemm(name string, arch *config.Arch, sc ubench.Scale, grid, hmmaPerTile int) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(grid).Block(blockDim(sc)).Shared(8192)
+	prologue(b)
+	counted(b, sc.Iters)
+	// Stage the tile.
+	b.Ld(isa.OpLDG, rT1, rA, 0)
+	b.Ld(isa.OpLDG, rT2, rB, 0)
+	b.St(isa.OpSTS, rSh, rT1, 0)
+	b.St(isa.OpSTS, rSh, rT2, 2048)
+	b.Bar()
+	// Compute fragments.
+	for i := 0; i < hmmaPerTile; i++ {
+		acc := rAcc0 + isa.Reg(i%8)
+		b.Ld(isa.OpLDS, rT1, rSh, int64(4*i))
+		b.Op3(isa.OpHMMA, acc, rT1, rKF1, acc)
+		b.Op3(isa.OpHMMA, acc, rT1, rKF2, acc)
+	}
+	b.Bar()
+	// Advance the K tiles.
+	b.Op2i(isa.OpADDS64, rA, rA, 4096)
+	b.Op2i(isa.OpADDS64, rB, rB, 4096)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// binomialOptions: per-thread binomial tree walk — FFMA/FMUL recurrences
+// with an exp at setup, classic BinomialOptions structure.
+func binomialOptions(arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel("binOpt_K1").Grid(gridFor(arch, 1)).Block(blockDim(sc)).Shared(2048)
+	prologue(b)
+	b.Op1(isa.OpEXPF32, rT1, rKF1) // vDt = exp(r*dt)
+	b.Op1(isa.OpDIVF32, rT2, rKF1)
+	counted(b, sc.Iters)
+	for i := 0; i < 6; i++ {
+		acc := rAcc0 + isa.Reg(i)
+		b.Op3(isa.OpFFMA, acc, acc, rT1, rKF2) // up-branch
+		b.Op3(isa.OpFFMA, acc, acc, rT2, rKF1) // down-branch
+		b.Op2(isa.OpFMAX, acc, acc, rKF2)      // early-exercise clamp
+	}
+	b.St(isa.OpSTS, rSh, rAcc0, 0)
+	b.Bar()
+	b.Ld(isa.OpLDS, rT0, rSh, 0)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// fastWalsh: butterfly network in shared memory with XOR-computed partner
+// addresses; K1 is the shared-memory stage, K2 the global-memory stage.
+func fastWalsh(name string, arch *config.Arch, sc ubench.Scale, global bool) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(gridFrac(arch, 3, 4)).Block(blockDim(sc)).Shared(4096)
+	prologue(b)
+	counted(b, sc.Iters)
+	for stride := 1; stride <= 8; stride <<= 1 {
+		// partner = tid ^ stride.
+		b.Op2i(isa.OpXOR, rT0, rTid, int64(stride))
+		b.Op2i(isa.OpSHL, rT0, rT0, 2)
+		if global {
+			b.Ld(isa.OpLDG, rT1, rA, int64(4*stride))
+			b.Op2(isa.OpFADD, rAcc0, rAcc0, rT1)
+			b.Op2(isa.OpFADD, rAcc0+1, rAcc0+1, rT1)
+		} else {
+			b.Ld(isa.OpLDS, rT1, rT0, 0)
+			b.Op2(isa.OpFADD, rAcc0, rAcc0, rT1)
+			b.St(isa.OpSTS, rSh, rAcc0, 0)
+			b.Bar()
+		}
+	}
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// quasirandom: Sobol-style direction-vector XOR generator; K1 generates,
+// K2 applies the inverse CND transform (SFU heavy).
+func quasirandom(name string, arch *config.Arch, sc ubench.Scale, icnd bool) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(gridFrac(arch, 5, 8)).Block(blockDim(sc))
+	prologue(b)
+	counted(b, sc.Iters)
+	for i := 0; i < 5; i++ {
+		b.Op2i(isa.OpSHR, rT0, rTid, int64(i+1))
+		b.Op2(isa.OpXOR, rAcc0, rAcc0, rT0)
+		b.Op2i(isa.OpSHL, rT1, rAcc0, 1)
+		b.Op2(isa.OpXOR, rAcc0+1, rAcc0+1, rT1)
+	}
+	if icnd {
+		b.Op1(isa.OpLOGF32, rT2, rKF1)
+		b.Op1(isa.OpSQRTF32, rT2, rKF1)
+		b.Op3(isa.OpFFMA, rAcc0+2, rT2, rKF1, rKF2)
+	}
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Op2i(isa.OpADDS64, rC, rC, 1024)
+	closeLoop(b)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// dct8x8: 8x8 block DCT — FFMA-dense rows/columns over shared memory; K2
+// is the quantisation variant with extra multiplies.
+func dct8x8(name string, arch *config.Arch, sc ubench.Scale, quant bool) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(gridFor(arch, 1)).Block(blockDim(sc)).Shared(4096)
+	prologue(b)
+	b.Ld(isa.OpLDG, rT1, rA, 0)
+	b.St(isa.OpSTS, rSh, rT1, 0)
+	b.Bar()
+	counted(b, sc.Iters)
+	for i := 0; i < 8; i++ {
+		acc := rAcc0 + isa.Reg(i%8)
+		b.Ld(isa.OpLDS, rT1, rSh, int64(4*i))
+		b.Op3(isa.OpFFMA, acc, rT1, rKF1, acc)
+		if quant {
+			b.Op2(isa.OpFMUL, acc, acc, rKF2)
+			b.Op2(isa.OpFMUL, rT2, acc, rKF1)
+		}
+	}
+	b.Bar()
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// histogram: data-dependent atomic increments into per-warp bins.
+func histogram(arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel("histo_K1").Grid(gridFrac(arch, 1, 2)).Block(blockDim(sc))
+	prologue(b)
+	b.MovI(rT2, int64(baseB))
+	counted(b, sc.Iters)
+	b.Ld(isa.OpLDG, rT0, rA, 0)
+	b.Op2i(isa.OpAND, rT0, rT0, 63) // bin = data & 63
+	b.Op2i(isa.OpSHL, rT0, rT0, 2)
+	b.Op2(isa.OpIADD, rT1, rT0, rT2)
+	b.AtomAdd(rT0, rT1, rKInt, 0)
+	b.Op2i(isa.OpADDS64, rA, rA, 256)
+	closeLoop(b)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// mergeSort: K1 is the bitonic-style in-shared sort (compare/exchange with
+// divergence), K2 the global merge pass.
+func mergeSort(name string, arch *config.Arch, sc ubench.Scale, globalMerge bool) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(gridFrac(arch, 3, 4)).Block(blockDim(sc)).Shared(4096)
+	prologue(b)
+	counted(b, sc.Iters)
+	if globalMerge {
+		b.Ld(isa.OpLDG, rT0, rA, 0)
+		b.Ld(isa.OpLDG, rT1, rB, 0)
+		b.SetP(isa.OpISETP, pDiv, isa.CmpLT, rT0, rT1)
+		b.Op2(isa.OpIMIN, rT2, rT0, rT1)
+		b.St(isa.OpSTG, rC, rT2, 0).Guard(pDiv)
+		b.St(isa.OpSTG, rC, rT0, 0).GuardNot(pDiv)
+		b.Op2i(isa.OpADDS64, rA, rA, 512)
+		b.Op2i(isa.OpADDS64, rB, rB, 512)
+	} else {
+		for s := 1; s <= 4; s <<= 1 {
+			b.Op2i(isa.OpXOR, rT0, rTid, int64(s))
+			b.Op2i(isa.OpSHL, rT0, rT0, 2)
+			b.Ld(isa.OpLDS, rT1, rT0, 0)
+			b.SetP(isa.OpISETP, pDiv, isa.CmpLT, rT1, rAcc0)
+			b.Op2(isa.OpIMIN, rAcc0, rAcc0, rT1).Guard(pDiv)
+			b.Op2(isa.OpIMAX, rAcc0+1, rAcc0+1, rT1).GuardNot(pDiv)
+			b.St(isa.OpSTS, rSh, rAcc0, 0)
+			b.Bar()
+		}
+	}
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// sobolQRNG: direction-number XOR generation with strided stores.
+func sobolQRNG(arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel("sobol_K1").Grid(gridFrac(arch, 7, 8)).Block(blockDim(sc))
+	prologue(b)
+	counted(b, sc.Iters)
+	for i := 0; i < 6; i++ {
+		b.Op2i(isa.OpSHR, rT0, rAcc0, 1)
+		b.Op2(isa.OpXOR, rAcc0, rAcc0, rT0)
+		b.Op2i(isa.OpSHL, rT1, rAcc0, 3)
+		b.Op2(isa.OpXOR, rAcc0+1, rAcc0+1, rT1)
+	}
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Op2i(isa.OpADDS64, rC, rC, 2048)
+	closeLoop(b)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// ---- Rodinia ----------------------------------------------------------
+
+// kmeans: distance computation between points and centroids — streaming
+// loads, FFMA accumulation, FMIN reduction and a divergent best-centroid
+// update. The paper calls out this kernel's L1-sensitivity (Section 7.1).
+func kmeans(arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel("kmeans_K1").Grid(gridFor(arch, 1)).Block(blockDim(sc))
+	prologue(b)
+	counted(b, sc.Iters)
+	for c := 0; c < 4; c++ { // 4 centroids per pass
+		b.Ld(isa.OpLDG, rT0, rA, int64(4*c))
+		b.Op2(isa.OpFADD, rT1, rT0, rKF2)
+		b.Op3(isa.OpFFMA, rT2, rT1, rT1, rAcc0)
+		b.Op2(isa.OpFMIN, rAcc0+1, rAcc0+1, rT2)
+		b.SetP(isa.OpFSETP, pDiv, isa.CmpLT, rT2, rAcc0+1)
+		b.Op2i(isa.OpIADD, rAcc0+2, rAcc0+2, 1).Guard(pDiv)
+	}
+	b.Op2i(isa.OpADDS64, rA, rA, 1024)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0+2, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// backprop K1: layer forward with shared staging and a tree reduction in
+// shared memory; K2: weight adjustment with global read-modify-write.
+// These run near peak power in the paper (high IPC, even ALU/FPU split).
+func backprop(name string, arch *config.Arch, sc ubench.Scale, adjust bool) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(gridFor(arch, 1)).Block(blockDim(sc)).Shared(4096)
+	prologue(b)
+	counted(b, sc.Iters)
+	if adjust {
+		b.Ld(isa.OpLDG, rT0, rA, 0)
+		b.Ld(isa.OpLDG, rT1, rC, 0)
+		b.Op3(isa.OpFFMA, rT2, rT0, rKF1, rT1)
+		b.Op3(isa.OpFFMA, rT2, rT2, rKF2, rKF1)
+		b.Op2i(isa.OpIADD, rT0, rTid, 1) // index arithmetic mirrors FP work
+		b.Op2i(isa.OpIMUL, rT1, rT0, 17)
+		b.St(isa.OpSTG, rC, rT2, 0)
+		b.Op2i(isa.OpADDS64, rA, rA, 1024)
+		b.Op2i(isa.OpADDS64, rC, rC, 1024)
+	} else {
+		b.Ld(isa.OpLDG, rT0, rA, 0)
+		b.St(isa.OpSTS, rSh, rT0, 0)
+		b.Bar()
+		for i := 0; i < 4; i++ {
+			b.Ld(isa.OpLDS, rT1, rSh, int64(8*i))
+			b.Op3(isa.OpFFMA, rAcc0, rT1, rKF1, rAcc0)
+			b.Op2i(isa.OpIMUL, rT2, rTid, 13)
+			b.Op2i(isa.OpIADD, rT2, rT2, 7)
+		}
+		b.Bar()
+		b.Op2i(isa.OpADDS64, rA, rA, 1024)
+	}
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// pathfinder: dynamic-programming wavefront — shared-memory row, IMIN of
+// three neighbours, heavy barriers and boundary divergence.
+func pathfinder(arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel("pfind_K1").Grid(gridFor(arch, 1)).Block(blockDim(sc)).Shared(4096)
+	prologue(b)
+	counted(b, sc.Iters)
+	b.Ld(isa.OpLDS, rT0, rSh, 0)
+	b.Ld(isa.OpLDS, rT1, rSh, 4)
+	b.Ld(isa.OpLDS, rT2, rSh, 8)
+	b.Op2(isa.OpIMIN, rT0, rT0, rT1)
+	b.Op2(isa.OpIMIN, rT0, rT0, rT2)
+	b.SetPi(isa.OpISETP, pDiv, isa.CmpLT, rLane, 30) // boundary lanes idle
+	b.Op2(isa.OpIADD, rAcc0, rAcc0, rT0).Guard(pDiv)
+	b.St(isa.OpSTS, rSh, rAcc0, 0).Guard(pDiv)
+	b.Bar()
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// hotspot: 5-point stencil with shared tile and FFMA-chain per cell;
+// another near-peak-power kernel in the paper.
+func hotspot(arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel("hspot_K1").Grid(gridFor(arch, 1)).Block(blockDim(sc)).Shared(8192)
+	prologue(b)
+	b.Ld(isa.OpLDG, rT0, rA, 0)
+	b.St(isa.OpSTS, rSh, rT0, 0)
+	b.Bar()
+	counted(b, sc.Iters)
+	b.Ld(isa.OpLDS, rT0, rSh, 0)
+	b.Ld(isa.OpLDS, rT1, rSh, 4)
+	b.Ld(isa.OpLDS, rT2, rSh, 128)
+	b.Op3(isa.OpFFMA, rAcc0, rT0, rKF1, rAcc0)
+	b.Op3(isa.OpFFMA, rAcc0, rT1, rKF2, rAcc0)
+	b.Op3(isa.OpFFMA, rAcc0, rT2, rKF1, rAcc0)
+	b.Op2i(isa.OpIMUL, rT1, rTid, 29)
+	b.Op2i(isa.OpIADD, rT2, rT1, 3)
+	b.Op2(isa.OpFMUL, rAcc0+1, rAcc0, rKF2)
+	b.St(isa.OpSTS, rSh, rAcc0, 0)
+	b.Bar()
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// btree: K1 traverses the tree through pointer-chased node records with
+// key-comparison divergence; K2 performs the range-scan at the leaves.
+func btree(name string, arch *config.Arch, sc ubench.Scale, rangeScan bool) (*isa.Kernel, func(*emu.Memory)) {
+	b := isa.NewKernel(name).Grid(gridFrac(arch, 5, 8)).Block(blockDim(sc))
+	prologue(b)
+	// Start each warp at a ring node.
+	nodes := int64(4096)
+	b.S2R(rT0, isa.SRegGridTID)
+	b.Op2i(isa.OpIMUL, rT0, rT0, 7)
+	b.MovI(rT1, nodes)
+	b.Op2(isa.OpREMS32, rT0, rT0, rT1)
+	b.Op2i(isa.OpIMUL, rT0, rT0, 128)
+	b.Op2i(isa.OpIADD, rA, rT0, int64(baseA))
+	counted(b, sc.Iters)
+	b.Ld(isa.OpLDG, rA, rA, 0) // follow child pointer
+	if rangeScan {
+		b.Ld(isa.OpLDG, rT1, rC, 0)
+		b.Op2(isa.OpIADD, rAcc0, rAcc0, rT1)
+		b.Op2i(isa.OpADDS64, rC, rC, 4096)
+	}
+	b.SetPi(isa.OpISETP, pDiv, isa.CmpLT, rLane, 24) // key-match divergence
+	b.Op2i(isa.OpIADD, rAcc0+1, rAcc0+1, 1).Guard(pDiv)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	setup := func(m *emu.Memory) { m.PointerChase(baseA, 4096, 128) }
+	return b.MustBuild(), setup
+}
+
+// sradV1: diffusion coefficient computation — FP division and square roots
+// over streamed data.
+func sradV1(arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel("sradv1_K1").Grid(gridFor(arch, 1)).Block(blockDim(sc))
+	prologue(b)
+	counted(b, sc.Iters)
+	b.Ld(isa.OpLDG, rT0, rA, 0)
+	b.Op2(isa.OpFADD, rT1, rT0, rKF1)
+	b.Op1(isa.OpSQRTF32, rT2, rKF1)
+	b.Op2(isa.OpDIVF32, rAcc0, rT1, rKF1)
+	b.Op3(isa.OpFFMA, rAcc0+1, rAcc0, rKF2, rAcc0+1)
+	b.Op2i(isa.OpADDS64, rA, rA, 1024)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// ---- Parboil ----------------------------------------------------------
+
+// sgemm: classic register-tiled FP32 GEMM with shared staging; the paper's
+// highest-IPC validation kernel.
+func sgemm(arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel("sgemm_K1").Grid(gridFor(arch, 1)).Block(blockDim(sc)).Shared(8192)
+	prologue(b)
+	counted(b, sc.Iters)
+	b.Ld(isa.OpLDG, rT0, rA, 0)
+	b.Ld(isa.OpLDG, rT1, rB, 0)
+	b.St(isa.OpSTS, rSh, rT0, 0)
+	b.St(isa.OpSTS, rSh, rT1, 4096)
+	b.Bar()
+	for i := 0; i < 8; i++ {
+		acc := rAcc0 + isa.Reg(i%8)
+		b.Ld(isa.OpLDS, rT2, rSh, int64(4*i))
+		b.Op3(isa.OpFFMA, acc, rT2, rKF1, acc)
+		b.Op2i(isa.OpIMUL, rT1, rTid, 5) // index arithmetic
+	}
+	b.Bar()
+	b.Op2i(isa.OpADDS64, rA, rA, 4096)
+	b.Op2i(isa.OpADDS64, rB, rB, 4096)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// mriQ: MRI reconstruction Q computation — sin/cos plus FFMA per sample.
+func mriQ(arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel("mriq_K1").Grid(gridFrac(arch, 3, 4)).Block(blockDim(sc))
+	prologue(b)
+	counted(b, sc.Iters)
+	for i := 0; i < 2; i++ {
+		b.Op1(isa.OpSINF32, rT0, rKF1)
+		b.Op1(isa.OpCOSF32, rT1, rKF1)
+		b.Op3(isa.OpFFMA, rAcc0, rT0, rKF2, rAcc0)
+		b.Op3(isa.OpFFMA, rAcc0+1, rT1, rKF2, rAcc0+1)
+	}
+	b.Ld(isa.OpLDC, rT2, rSh, 0)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// sad: sum-of-absolute-differences block matching — IABSDIFF/IADD over
+// streamed frames.
+func sad(arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel("sad_K1").Grid(gridFrac(arch, 7, 8)).Block(blockDim(sc))
+	prologue(b)
+	counted(b, sc.Iters)
+	b.Ld(isa.OpLDG, rT0, rA, 0)
+	b.Ld(isa.OpLDG, rT1, rB, 0)
+	for i := 0; i < 4; i++ {
+		b.Op2(isa.OpIABSDIFF, rT2, rT0, rT1)
+		b.Op2(isa.OpIADD, rAcc0, rAcc0, rT2)
+		b.Op2i(isa.OpSHR, rT0, rT0, 2)
+	}
+	b.Op2i(isa.OpADDS64, rA, rA, 1024)
+	b.Op2i(isa.OpADDS64, rB, rB, 1024)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}

@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"fmt"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/ubench"
+)
+
+// ValidationSuite builds the 26-kernel validation suite of Table 4 for an
+// architecture. On architectures without tensor cores (Pascal), the
+// tensor-core workloads (cudaTensorCoreGemm and CUTLASS) are excluded, as
+// in Section 7.1, leaving 22 kernels.
+func ValidationSuite(arch *config.Arch, sc ubench.Scale) ([]Kernel, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Kernel
+	add := func(k Kernel) { out = append(out, k) }
+
+	// CUDA Samples 11.0.
+	if arch.HasTensorCores {
+		add(Kernel{Name: "tensor_K1", Benchmark: "cudaTensorCoreGemm", Suite: SuiteSDK,
+			Coverage: 1.00, UsesTensor: true, PTXCompatible: true, HWProfilable: true,
+			Kernel: tensorGemm("tensor_K1", arch, sc, gridFor(arch, 1), 8)})
+	}
+	add(Kernel{Name: "binOpt_K1", Benchmark: "BinomialOptions", Suite: SuiteSDK,
+		Coverage: 1.00, PTXCompatible: true, HWProfilable: true,
+		Kernel: binomialOptions(arch, sc)})
+	add(Kernel{Name: "walsh_K1", Benchmark: "fastWalshTransform", Suite: SuiteSDK,
+		Coverage: 0.478, PTXCompatible: true, HWProfilable: true,
+		Kernel: fastWalsh("walsh_K1", arch, sc, false)})
+	add(Kernel{Name: "walsh_K2", Benchmark: "fastWalshTransform", Suite: SuiteSDK,
+		Coverage: 0.494, PTXCompatible: true, HWProfilable: true,
+		Kernel: fastWalsh("walsh_K2", arch, sc, true)})
+	add(Kernel{Name: "qrng_K1", Benchmark: "quasirandomGenerator", Suite: SuiteSDK,
+		Coverage: 0.664, PTXCompatible: true, HWProfilable: true,
+		Kernel: quasirandom("qrng_K1", arch, sc, false)})
+	add(Kernel{Name: "qrng_K2", Benchmark: "quasirandomGenerator", Suite: SuiteSDK,
+		Coverage: 0.336, PTXCompatible: true, HWProfilable: true,
+		Kernel: quasirandom("qrng_K2", arch, sc, true)})
+	add(Kernel{Name: "dct_K1", Benchmark: "dct8x8", Suite: SuiteSDK,
+		Coverage: 0.196, PTXCompatible: true, HWProfilable: true,
+		Kernel: dct8x8("dct_K1", arch, sc, false)})
+	add(Kernel{Name: "dct_K2", Benchmark: "dct8x8", Suite: SuiteSDK,
+		Coverage: 0.723, PTXCompatible: true, HWProfilable: true,
+		Kernel: dct8x8("dct_K2", arch, sc, true)})
+	add(Kernel{Name: "histo_K1", Benchmark: "histogram", Suite: SuiteSDK,
+		Coverage: 0.529, PTXCompatible: true, HWProfilable: true,
+		Kernel: histogram(arch, sc)})
+	add(Kernel{Name: "mSort_K1", Benchmark: "mergesort", Suite: SuiteSDK,
+		Coverage: 0.718, PTXCompatible: true, HWProfilable: true,
+		Kernel: mergeSort("mSort_K1", arch, sc, false)})
+	add(Kernel{Name: "mSort_K2", Benchmark: "mergesort", Suite: SuiteSDK,
+		Coverage: 0.263, PTXCompatible: true, HWProfilable: true,
+		Kernel: mergeSort("mSort_K2", arch, sc, true)})
+	add(Kernel{Name: "sobol_K1", Benchmark: "SobolQRNG", Suite: SuiteSDK,
+		Coverage: 1.00, PTXCompatible: true, HWProfilable: true,
+		Kernel: sobolQRNG(arch, sc)})
+
+	// Rodinia 3.1.
+	add(Kernel{Name: "kmeans_K1", Benchmark: "kmeans", Suite: SuiteRodinia,
+		Coverage: 0.916, PTXCompatible: true, HWProfilable: true,
+		Kernel: kmeans(arch, sc)})
+	add(Kernel{Name: "bprop_K1", Benchmark: "backprop", Suite: SuiteRodinia,
+		Coverage: 0.757, PTXCompatible: true, HWProfilable: true,
+		Kernel: backprop("bprop_K1", arch, sc, false)})
+	add(Kernel{Name: "bprop_K2", Benchmark: "backprop", Suite: SuiteRodinia,
+		Coverage: 0.243, PTXCompatible: true, HWProfilable: true,
+		Kernel: backprop("bprop_K2", arch, sc, true)})
+	add(Kernel{Name: "pfind_K1", Benchmark: "pathfinder", Suite: SuiteRodinia,
+		Coverage: 1.00, PTXCompatible: false, HWProfilable: false,
+		Kernel: pathfinder(arch, sc)})
+	add(Kernel{Name: "hspot_K1", Benchmark: "hotspot", Suite: SuiteRodinia,
+		Coverage: 1.00, PTXCompatible: false, HWProfilable: true,
+		Kernel: hotspot(arch, sc)})
+	k1, setup1 := btree("b+tree_K1", arch, sc, false)
+	add(Kernel{Name: "b+tree_K1", Benchmark: "b+tree", Suite: SuiteRodinia,
+		Coverage: 0.485, PTXCompatible: true, HWProfilable: true,
+		Kernel: k1, Setup: setup1})
+	k2, setup2 := btree("b+tree_K2", arch, sc, true)
+	add(Kernel{Name: "b+tree_K2", Benchmark: "b+tree", Suite: SuiteRodinia,
+		Coverage: 0.515, PTXCompatible: true, HWProfilable: true,
+		Kernel: k2, Setup: setup2})
+	add(Kernel{Name: "sradv1_K1", Benchmark: "sradv1", Suite: SuiteRodinia,
+		Coverage: 0.539, PTXCompatible: true, HWProfilable: true,
+		Kernel: sradV1(arch, sc)})
+
+	// Parboil.
+	add(Kernel{Name: "sgemm_K1", Benchmark: "sgemm", Suite: SuiteParboil,
+		Coverage: 1.00, PTXCompatible: true, HWProfilable: true,
+		Kernel: sgemm(arch, sc)})
+	add(Kernel{Name: "mriq_K1", Benchmark: "mri-q", Suite: SuiteParboil,
+		Coverage: 1.00, PTXCompatible: true, HWProfilable: true,
+		Kernel: mriQ(arch, sc)})
+	add(Kernel{Name: "sad_K1", Benchmark: "sad", Suite: SuiteParboil,
+		Coverage: 0.959, PTXCompatible: true, HWProfilable: true,
+		Kernel: sad(arch, sc)})
+
+	// CUTLASS 1.3 (cutlass-wmma): three input sizes.
+	if arch.HasTensorCores {
+		sizes := []struct {
+			name string
+			grid int
+			hmma int
+		}{
+			{"cutlass_K1", gridFor(arch, 1), 6},  // 2560x16x2560
+			{"cutlass_K2", gridFor(arch, 2), 10}, // 4096x128x4096
+			{"cutlass_K3", gridFor(arch, 2), 8},  // 2560x512x2560
+		}
+		for _, s := range sizes {
+			add(Kernel{Name: s.name, Benchmark: "cutlass-wmma " + s.name, Suite: SuiteCUTLASS,
+				Coverage: 1.00, UsesTensor: true, PTXCompatible: false, HWProfilable: true,
+				Kernel: tensorGemm(s.name, arch, sc, s.grid, s.hmma)})
+		}
+	}
+
+	want := 26
+	if !arch.HasTensorCores {
+		want = 22
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("workloads: suite has %d kernels, want %d", len(out), want)
+	}
+	names := map[string]bool{}
+	for i := range out {
+		if names[out[i].Name] {
+			return nil, fmt.Errorf("workloads: duplicate kernel %s", out[i].Name)
+		}
+		names[out[i].Name] = true
+		if err := out[i].Kernel.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MustValidationSuite is ValidationSuite for stock architectures.
+func MustValidationSuite(arch *config.Arch, sc ubench.Scale) []Kernel {
+	s, err := ValidationSuite(arch, sc)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ForVariantPTX reports whether the kernel participates in the PTX SIM
+// suite; ForVariantHW likewise for HW/HYBRID (Section 6.1's exclusions).
+func (k *Kernel) ForVariantPTX() bool { return k.PTXCompatible }
+func (k *Kernel) ForVariantHW() bool  { return k.HWProfilable }

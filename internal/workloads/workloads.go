@@ -1,0 +1,131 @@
+// Package workloads implements the validation suite of Table 4 — 26
+// kernels from 18 workloads across NVIDIA CUDA Samples, Rodinia 3.1,
+// Parboil, and CUTLASS 1.3 — plus the DeepBench case-study benchmarks of
+// Section 7.2. Each kernel is a synthetic reconstruction with the same
+// structure, instruction mix, and memory behaviour as the original CUDA
+// kernel: tiled GEMMs with shared-memory staging and barriers, stencils,
+// butterfly networks, histogram atomics, tree traversals with divergence,
+// and so on. The power model only ever sees activity vectors, so matching
+// mix and intensity preserves the validation shape.
+package workloads
+
+import (
+	"math"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/ubench"
+)
+
+// Kernel is one validation-suite entry.
+type Kernel struct {
+	Name      string  // the paper's kernel id, e.g. "tensor_K1"
+	Benchmark string  // source benchmark, e.g. "cudaTensorCoreGemm"
+	Suite     string  // benchmark suite
+	Coverage  float64 // run-time coverage within its benchmark (Table 4)
+
+	UsesTensor bool
+	// PTXCompatible is false for the kernels the paper excludes from the
+	// PTX SIM suite (CUTLASS, hotspot, pathfinder do not compile for
+	// Accel-Sim's PTX mode).
+	PTXCompatible bool
+	// HWProfilable is false for pathfinder, for which Nsight Compute
+	// fails to provide hardware counters.
+	HWProfilable bool
+
+	Kernel *isa.Kernel
+	Setup  func(*emu.Memory)
+}
+
+// Suite names.
+const (
+	SuiteSDK     = "CUDA Samples 11.0"
+	SuiteRodinia = "Rodinia 3.1"
+	SuiteParboil = "Parboil"
+	SuiteCUTLASS = "CUTLASS 1.3"
+)
+
+// Registers shared by the kernel builders.
+const (
+	rTid  isa.Reg = 1
+	rCta  isa.Reg = 2
+	rCnt  isa.Reg = 3
+	rT0   isa.Reg = 4
+	rT1   isa.Reg = 5
+	rT2   isa.Reg = 6
+	rA    isa.Reg = 8  // input pointer A
+	rB    isa.Reg = 9  // input pointer B
+	rC    isa.Reg = 10 // output pointer
+	rSh   isa.Reg = 11 // shared address
+	rKInt isa.Reg = 12
+	rKF1  isa.Reg = 13
+	rKF2  isa.Reg = 14
+	rKD1  isa.Reg = 15
+	rAcc0 isa.Reg = 32 // accumulators 32..47
+	rLane isa.Reg = 7
+)
+
+const (
+	pLoop isa.PredReg = 1
+	pDiv  isa.PredReg = 0
+)
+
+const (
+	baseA = uint64(4) << 20
+	baseB = uint64(64) << 20
+	baseC = uint64(128) << 20
+)
+
+func f32i(f float32) int64 { return int64(math.Float32bits(f)) }
+
+// prologue emits the standard thread-identification and constant setup:
+// tid, ctaid, lane, global pointers A/B/C at distinct coalesced offsets,
+// and arithmetic constants.
+func prologue(b *isa.Builder) {
+	b.S2R(rTid, isa.SRegTIDX)
+	b.S2R(rCta, isa.SRegCTAIDX)
+	b.S2R(rLane, isa.SRegLaneID)
+	b.S2R(rT0, isa.SRegGridTID)
+	b.Op2i(isa.OpSHL, rT0, rT0, 2)
+	b.Op2i(isa.OpIADD, rA, rT0, int64(baseA))
+	b.Op2i(isa.OpIADD, rB, rT0, int64(baseB))
+	b.Op2i(isa.OpIADD, rC, rT0, int64(baseC))
+	b.Op2i(isa.OpSHL, rSh, rTid, 2)
+	b.MovI(rKInt, 23)
+	b.MovI(rKF1, f32i(1.0009765625))
+	b.MovI(rKF2, f32i(0.99951171875))
+	b.MovI(rKD1, int64(math.Float64bits(1.0000001)))
+	for i := 0; i < 8; i++ {
+		b.MovI(rAcc0+isa.Reg(i), f32i(0.5+float32(i)*0.25))
+	}
+}
+
+// counted opens a counted loop labelled "loop"; closeLoop closes it.
+func counted(b *isa.Builder, iters int) {
+	b.MovI(rCnt, int64(iters))
+	b.Label("loop")
+}
+
+func closeLoop(b *isa.Builder) {
+	b.Op2i(isa.OpIADD, rCnt, rCnt, -1)
+	b.SetPi(isa.OpISETP, pLoop, isa.CmpGT, rCnt, 0)
+	b.Bra("loop").Guard(pLoop)
+}
+
+// blockDim returns the CTA size for a scale.
+func blockDim(sc ubench.Scale) int { return sc.WarpsPerCTA * 32 }
+
+// gridFor sizes a grid to occupy the whole chip g times over.
+func gridFor(arch *config.Arch, g int) int { return arch.NumSMs * g }
+
+// gridFrac sizes a grid to occupy num/den of the chip's SMs — several
+// validation workloads do not fill the GV100's 80 SMs, which is why the
+// paper's Volta breakdown shows a measurable Idle_SM component.
+func gridFrac(arch *config.Arch, num, den int) int {
+	g := arch.NumSMs * num / den
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
