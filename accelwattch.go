@@ -27,6 +27,7 @@ import (
 	"accelwattch/internal/core"
 	"accelwattch/internal/emu"
 	"accelwattch/internal/eval"
+	"accelwattch/internal/faults"
 	"accelwattch/internal/gpuwattch"
 	"accelwattch/internal/isa"
 	"accelwattch/internal/tune"
@@ -54,6 +55,16 @@ type (
 	Kernel = workloads.Kernel
 	// TuneResult is the complete output of the tuning pipeline.
 	TuneResult = tune.Result
+	// FaultProfile configures the deterministic power-meter fault
+	// injector (internal/faults): Gaussian noise, quantization, EMA lag,
+	// transient errors, dropped samples, stuck-at readings, and spikes.
+	FaultProfile = faults.Profile
+	// MeterPolicy governs how the tuning pipeline measures through an
+	// unreliable meter: retries, median-of-repeats, outlier rejection,
+	// robust fits, and quarantine thresholds.
+	MeterPolicy = tune.MeterPolicy
+	// FaultStats counts the faults a session's meter actually injected.
+	FaultStats = faults.Stats
 )
 
 // Variants.
@@ -86,9 +97,55 @@ type Session struct {
 // NewSession builds the testbench for an architecture and runs the full
 // tuning pipeline of Figure 1 at the given scale.
 func NewSession(arch *Arch, sc Scale) (*Session, error) {
+	return NewSessionWithOptions(arch, sc, SessionOptions{})
+}
+
+// SessionOptions customises how a session measures and tunes. The zero
+// value reproduces NewSession exactly: a clean meter and the default
+// measurement policy, bit-identical to the unhardened pipeline.
+type SessionOptions struct {
+	// Faults wires a deterministic fault injector between the tuning
+	// pipeline and the synthetic-silicon power meter. Nil (or a profile
+	// with every injector off) keeps the clean meter.
+	Faults *FaultProfile
+	// Meter overrides the measurement policy. Nil selects the default
+	// policy for a clean meter and the hardened policy (repeats, outlier
+	// rejection, robust fits, quarantine) when Faults is enabled.
+	Meter *MeterPolicy
+}
+
+// NamedFaultProfile returns a canned fault profile by name ("noisy",
+// "flaky", "chaos", ...; see NamedFaultProfiles) seeded for determinism.
+func NamedFaultProfile(name string, seed int64) (FaultProfile, error) {
+	return faults.Named(name, seed)
+}
+
+// NamedFaultProfiles lists the canned fault-profile names.
+func NamedFaultProfiles() []string { return faults.Names() }
+
+// NewSessionWithOptions is NewSession with measurement robustness knobs:
+// an optional fault-injected meter and an explicit measurement policy.
+func NewSessionWithOptions(arch *Arch, sc Scale, opts SessionOptions) (*Session, error) {
 	tb, err := tune.NewTestbench(arch, sc)
 	if err != nil {
 		return nil, err
+	}
+	faulty := opts.Faults != nil && opts.Faults.Enabled()
+	if opts.Faults != nil {
+		fm, err := faults.NewFaultyMeter(tb.Device, *opts.Faults)
+		if err != nil {
+			return nil, err
+		}
+		pol := tune.DefaultMeterPolicy()
+		if faulty {
+			pol = tune.HardenedMeterPolicy()
+		}
+		if opts.Meter != nil {
+			pol = *opts.Meter
+		}
+		tb.UseMeter(fm, pol)
+	} else if opts.Meter != nil {
+		tb.UseMeter(tb.Device, *opts.Meter)
 	}
 	tuned, err := tune.Tune(tb, tb.DefaultOptions())
 	if err != nil {
@@ -96,6 +153,19 @@ func NewSession(arch *Arch, sc Scale) (*Session, error) {
 	}
 	return &Session{tb: tb, tuned: tuned, arch: arch, scale: sc}, nil
 }
+
+// FaultStats reports the fault counters of a fault-injected session's
+// meter; ok is false for sessions measuring through the clean device.
+func (s *Session) FaultStats() (stats FaultStats, ok bool) {
+	if fm, isFaulty := s.tb.Meter.(*faults.FaultyMeter); isFaulty {
+		return fm.Stats(), true
+	}
+	return FaultStats{}, false
+}
+
+// Quarantined lists workloads the tuning pipeline removed after repeated
+// measurement failures, each as "name: reason". Empty on clean runs.
+func (s *Session) Quarantined() []string { return s.tuned.Quarantined }
 
 // Arch returns the session's architecture.
 func (s *Session) Arch() *Arch { return s.arch }

@@ -106,3 +106,41 @@ loop:
 		t.Error("empty power trace")
 	}
 }
+
+func TestSessionWithFaultOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes a session")
+	}
+	tiny := Scale{Iters: 2, Unroll: 1, WarpsPerCTA: 2}
+	prof, err := NamedFaultProfile("noisy", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSessionWithOptions(Volta(), tiny, SessionOptions{Faults: &prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := sess.FaultStats()
+	if !ok || st.Reads == 0 {
+		t.Errorf("fault-injected session reports no meter stats: %+v ok=%v", st, ok)
+	}
+	if m := sess.Model(SASSSIM); m == nil || !(m.ConstW > 0) {
+		t.Error("fault-injected tune produced a bad model")
+	}
+
+	// A clean session must report no fault stats and no quarantine.
+	clean, err := NewSessionWithOptions(Volta(), tiny, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := clean.FaultStats(); ok {
+		t.Error("clean session claims a fault-injected meter")
+	}
+	if q := clean.Quarantined(); len(q) != 0 {
+		t.Errorf("clean session quarantined %v", q)
+	}
+
+	if _, err := NamedFaultProfile("no-such-profile", 1); err == nil {
+		t.Error("unknown fault profile accepted")
+	}
+}

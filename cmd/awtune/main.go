@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"accelwattch"
@@ -20,9 +21,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("awtune: ")
 	var (
-		archName = flag.String("arch", "volta", "architecture to tune for (volta, pascal, turing)")
-		full     = flag.Bool("full", false, "use the full-fidelity workload scale")
-		outPath  = flag.String("o", "", "save the tuned SASS SIM model as a JSON config file")
+		archName  = flag.String("arch", "volta", "architecture to tune for (volta, pascal, turing)")
+		full      = flag.Bool("full", false, "use the full-fidelity workload scale")
+		outPath   = flag.String("o", "", "save the tuned SASS SIM model as a JSON config file")
+		faultName = flag.String("faults", "off", "inject power-meter faults while tuning ("+
+			strings.Join(accelwattch.NamedFaultProfiles(), ", ")+")")
+		faultSeed = flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
 	)
 	flag.Parse()
 
@@ -42,9 +46,18 @@ func main() {
 		sc = accelwattch.Full
 	}
 
+	prof, err := accelwattch.NamedFaultProfile(*faultName, *faultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("tuning AccelWattch for %s (%d SMs, %d nm, base %.0f MHz)...\n",
 		arch.Name, arch.NumSMs, arch.TechNodeNM, arch.BaseClockMHz)
-	sess, err := accelwattch.NewSession(arch, sc)
+	if prof.Enabled() {
+		fmt.Printf("injecting %q power-meter faults (seed %d); hardened measurement policy\n",
+			*faultName, *faultSeed)
+	}
+	sess, err := accelwattch.NewSessionWithOptions(arch, sc, accelwattch.SessionOptions{Faults: &prof})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,6 +100,18 @@ func main() {
 		fmt.Fprintf(w, "%v\t%.1f\t%.4f\t%.2f\n", c, m.BaseEnergyPJ[c], m.Scale[c], m.EffectiveEnergyPJ(c))
 	}
 	w.Flush()
+
+	if st, ok := sess.FaultStats(); ok {
+		fmt.Printf("\n== meter fault report ==\n")
+		fmt.Printf("%d reads: %d transient errors, %d stuck, %d spikes, %d dropped samples\n",
+			st.Reads, st.TransientErrors, st.StuckReads, st.Spikes, st.DroppedSamples)
+	}
+	if q := sess.Quarantined(); len(q) > 0 {
+		fmt.Printf("\n== quarantined workloads ==\n")
+		for _, name := range q {
+			fmt.Printf("  %s\n", name)
+		}
+	}
 
 	if *outPath != "" {
 		if err := m.Save(*outPath); err != nil {

@@ -86,15 +86,6 @@ func New(cfg Config) (*Cache, error) {
 	return &Cache{cfg: cfg, sets: sets}, nil
 }
 
-// MustNew is New for static configurations.
-func MustNew(cfg Config) *Cache {
-	c, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Result describes one access outcome.
 type Result struct {
 	Hit        bool // line (and sector) already resident

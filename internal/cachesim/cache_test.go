@@ -29,7 +29,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestHitMissBasics(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	if r := c.Access(0, false); r.Hit {
 		t.Error("cold access hit")
 	}
@@ -49,7 +49,7 @@ func TestHitMissBasics(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := MustNew(small()) // 8 sets, 2 ways; set stride = 64*8 = 512
+	c := mustNew(t, small()) // 8 sets, 2 ways; set stride = 64*8 = 512
 	a0, a1, a2 := uint64(0), uint64(512), uint64(1024)
 	c.Access(a0, false)
 	c.Access(a1, false)
@@ -67,7 +67,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestDirtyWriteback(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	c.Access(0, true)
 	c.Access(512, false)
 	r := c.Access(1024, false)
@@ -82,7 +82,7 @@ func TestDirtyWriteback(t *testing.T) {
 func TestNoWriteAllocate(t *testing.T) {
 	cfg := small()
 	cfg.WriteAllocate = false
-	c := MustNew(cfg)
+	c := mustNew(t, cfg)
 	c.Access(0, true)
 	if r := c.Access(0, false); r.Hit {
 		t.Error("write should not have allocated")
@@ -91,7 +91,7 @@ func TestNoWriteAllocate(t *testing.T) {
 
 func TestSectoredFills(t *testing.T) {
 	cfg := Config{SizeBytes: 2048, LineBytes: 128, Assoc: 2, Sectored: true, WriteAllocate: true}
-	c := MustNew(cfg)
+	c := mustNew(t, cfg)
 	if r := c.Access(0, false); r.Hit || r.SectorFill {
 		t.Error("cold sectored access should line-miss")
 	}
@@ -112,7 +112,7 @@ func TestSectoredFills(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	c.Access(0, true)
 	c.Reset()
 	if s := c.Stats(); s.Accesses != 0 {
@@ -139,7 +139,7 @@ func TestMissRate(t *testing.T) {
 func TestQuickResidentWorkingSet(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		c := MustNew(Config{SizeBytes: 4096, LineBytes: 64, Assoc: 4, WriteAllocate: true})
+		c := mustNew(t, Config{SizeBytes: 4096, LineBytes: 64, Assoc: 4, WriteAllocate: true})
 		// Working set: 16 lines in distinct sets (16 sets).
 		lines := make([]uint64, 16)
 		for i := range lines {
@@ -165,7 +165,7 @@ func TestQuickResidentWorkingSet(t *testing.T) {
 func TestQuickStatsConsistent(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2, Sectored: false, WriteAllocate: r.Intn(2) == 0})
+		c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2, Sectored: false, WriteAllocate: r.Intn(2) == 0})
 		for i := 0; i < 500; i++ {
 			c.Access(uint64(r.Intn(1<<14)), r.Intn(3) == 0)
 		}
@@ -182,7 +182,7 @@ func TestQuickStatsConsistent(t *testing.T) {
 func TestQuickSectoredAccounting(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		c := MustNew(Config{SizeBytes: 2048, LineBytes: 128, Assoc: 2, Sectored: true, WriteAllocate: true})
+		c := mustNew(t, Config{SizeBytes: 2048, LineBytes: 128, Assoc: 2, Sectored: true, WriteAllocate: true})
 		for i := 0; i < 500; i++ {
 			c.Access(uint64(r.Intn(1<<13)), r.Intn(4) == 0)
 		}

@@ -1,0 +1,14 @@
+package cachesim
+
+import "testing"
+
+// mustNew builds a cache or fails the test — the test-side replacement for
+// the removed MustNew constructor.
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

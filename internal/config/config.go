@@ -75,8 +75,20 @@ func (a *Arch) Validate() error {
 			a.Name, a.LanesPerBlock, a.WarpSize)
 	case a.BaseClockMHz <= 0 || a.MinClockMHz <= 0 || a.MaxClockMHz < a.BaseClockMHz:
 		return fmt.Errorf("config: %s: clock range is inconsistent", a.Name)
+	case a.MinClockMHz > a.MaxClockMHz:
+		return fmt.Errorf("config: %s: inverted clock range [%.0f, %.0f] MHz",
+			a.Name, a.MinClockMHz, a.MaxClockMHz)
+	case a.BaseClockMHz < a.MinClockMHz:
+		return fmt.Errorf("config: %s: base clock %.0f MHz below minimum %.0f MHz",
+			a.Name, a.BaseClockMHz, a.MinClockMHz)
 	case a.VoltSlope <= 0:
 		return fmt.Errorf("config: %s: VoltSlope must be positive", a.Name)
+	case a.Voltage(a.MinClockMHz) <= 0:
+		// With a positive slope the minimum-clock voltage is the lowest
+		// the sweep will see; a non-positive value means VoltOffset drags
+		// V(f) through zero inside the DVFS range.
+		return fmt.Errorf("config: %s: voltage %.3f V at the minimum clock is not positive",
+			a.Name, a.Voltage(a.MinClockMHz))
 	case a.L1KBPerSM <= 0 || a.L2KB <= 0:
 		return fmt.Errorf("config: %s: cache sizes must be positive", a.Name)
 	case a.DRAMGBps <= 0:

@@ -59,24 +59,41 @@ func TestByName(t *testing.T) {
 }
 
 func TestValidateCatchesBadConfigs(t *testing.T) {
-	mutations := []func(*Arch){
-		func(a *Arch) { a.Name = "" },
-		func(a *Arch) { a.NumSMs = 0 },
-		func(a *Arch) { a.WarpSize = 64 },
-		func(a *Arch) { a.LanesPerBlock = 32 },
-		func(a *Arch) { a.MaxClockMHz = a.BaseClockMHz - 1 },
-		func(a *Arch) { a.VoltSlope = 0 },
-		func(a *Arch) { a.L2KB = 0 },
-		func(a *Arch) { a.DRAMGBps = 0 },
-		func(a *Arch) { a.TechNodeNM = 0 },
-		func(a *Arch) { a.PowerLimitW = 0 },
+	cases := []struct {
+		name string
+		mut  func(*Arch)
+	}{
+		{"empty name", func(a *Arch) { a.Name = "" }},
+		{"zero SMs", func(a *Arch) { a.NumSMs = 0 }},
+		{"negative SMs", func(a *Arch) { a.NumSMs = -80 }},
+		{"wrong warp size", func(a *Arch) { a.WarpSize = 64 }},
+		{"zero proc blocks", func(a *Arch) { a.ProcBlocksPerSM = 0 }},
+		{"zero lanes", func(a *Arch) { a.LanesPerBlock = 0 }},
+		{"negative lanes", func(a *Arch) { a.LanesPerBlock = -16 }},
+		{"full-warp lanes", func(a *Arch) { a.LanesPerBlock = 32 }},
+		{"zero base clock", func(a *Arch) { a.BaseClockMHz = 0 }},
+		{"zero min clock", func(a *Arch) { a.MinClockMHz = 0 }},
+		{"max below base", func(a *Arch) { a.MaxClockMHz = a.BaseClockMHz - 1 }},
+		{"inverted clock range", func(a *Arch) { a.MinClockMHz, a.MaxClockMHz = a.MaxClockMHz, a.MinClockMHz }},
+		{"base below min", func(a *Arch) { a.BaseClockMHz = a.MinClockMHz - 100 }},
+		{"zero volt slope", func(a *Arch) { a.VoltSlope = 0 }},
+		{"negative volt slope", func(a *Arch) { a.VoltSlope = -0.3 }},
+		{"zero voltage at min clock", func(a *Arch) { a.VoltOffset -= a.Voltage(a.MinClockMHz) }},
+		{"negative voltage at min clock", func(a *Arch) { a.VoltOffset = -10 }},
+		{"zero L1", func(a *Arch) { a.L1KBPerSM = 0 }},
+		{"zero L2", func(a *Arch) { a.L2KB = 0 }},
+		{"zero DRAM bandwidth", func(a *Arch) { a.DRAMGBps = 0 }},
+		{"zero tech node", func(a *Arch) { a.TechNodeNM = 0 }},
+		{"zero power limit", func(a *Arch) { a.PowerLimitW = 0 }},
 	}
-	for i, mut := range mutations {
-		a := Volta()
-		mut(a)
-		if err := a.Validate(); err == nil {
-			t.Errorf("mutation %d produced a valid config", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Volta()
+			tc.mut(a)
+			if err := a.Validate(); err == nil {
+				t.Errorf("%s: produced a valid config", tc.name)
+			}
+		})
 	}
 }
 

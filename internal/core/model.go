@@ -51,12 +51,29 @@ func (m *Model) Validate() error {
 	if m.RefSMs <= 0 {
 		return fmt.Errorf("core: model has non-positive RefSMs %d", m.RefSMs)
 	}
-	if m.ConstW < 0 {
-		return fmt.Errorf("core: negative constant power %g", m.ConstW)
+	// The comparisons below are written so that NaN fails them: NaN < 0 is
+	// false, so a plain negativity check would wave corrupted values
+	// through into every downstream power estimate.
+	if !(m.ConstW >= 0) || math.IsInf(m.ConstW, 0) {
+		return fmt.Errorf("core: constant power %g is negative or not finite", m.ConstW)
+	}
+	if !(m.IdleSMW >= 0) || math.IsInf(m.IdleSMW, 0) {
+		return fmt.Errorf("core: idle-SM power %g is negative or not finite", m.IdleSMW)
+	}
+	if math.IsNaN(m.TempCoeff) || math.IsInf(m.TempCoeff, 0) {
+		return fmt.Errorf("core: temperature coefficient %g is not finite", m.TempCoeff)
 	}
 	for i := 0; i < NumDynComponents; i++ {
-		if m.BaseEnergyPJ[i] < 0 || m.Scale[i] < 0 {
-			return fmt.Errorf("core: negative energy or scale for %v", Component(i))
+		if !(m.BaseEnergyPJ[i] >= 0) || math.IsInf(m.BaseEnergyPJ[i], 0) ||
+			!(m.Scale[i] >= 0) || math.IsInf(m.Scale[i], 0) {
+			return fmt.Errorf("core: negative or non-finite energy or scale for %v", Component(i))
+		}
+	}
+	for mix := MixCategory(0); mix < NumMixCategories; mix++ {
+		d := m.Div[mix]
+		if !(d.FirstLaneW >= 0) || math.IsInf(d.FirstLaneW, 0) ||
+			!(d.AddLaneW >= 0) || math.IsInf(d.AddLaneW, 0) {
+			return fmt.Errorf("core: negative or non-finite divergence model for %v", mix)
 		}
 	}
 	return nil

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelwattch/internal/config"
+)
+
+// validModelJSON builds a well-formed config file to seed the fuzzer.
+func validModelJSON(t testing.TB) []byte {
+	t.Helper()
+	m := &Model{
+		Arch:         config.Volta(),
+		BaseEnergyPJ: InitialEnergiesPJ(),
+		ConstW:       32.5,
+		IdleSMW:      0.4,
+		TempCoeff:    0.015,
+		RefSMs:       80,
+	}
+	for i := range m.Scale {
+		m.Scale[i] = 1
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatalf("marshal seed model: %v", err)
+	}
+	return data
+}
+
+// FuzzLoadModel feeds arbitrary bytes through the config-file loader. The
+// invariant under test: LoadModel either returns an error or returns a model
+// that passes Validate — never a panic, and never a silently-accepted model
+// carrying NaN/Inf/negative energies that would poison every later power
+// estimate.
+func FuzzLoadModel(f *testing.F) {
+	seed := validModelJSON(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated file
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(strings.Replace(string(seed), `"const_w": 32.5`, `"const_w": -1`, 1)))
+	f.Add([]byte(strings.Replace(string(seed), `"arch": "volta-gv100"`, `"arch": "NOPE"`, 1)))
+	f.Add([]byte(strings.Replace(string(seed), `"alu"`, `"bogus_component"`, 1)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "model.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		m, err := LoadModel(path)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("LoadModel accepted a model that fails Validate: %v", err)
+		}
+		for i := 0; i < NumDynComponents; i++ {
+			if math.IsNaN(m.BaseEnergyPJ[i]) || math.IsInf(m.BaseEnergyPJ[i], 0) || m.BaseEnergyPJ[i] < 0 {
+				t.Fatalf("loaded model has bad energy %g for %v", m.BaseEnergyPJ[i], Component(i))
+			}
+			if math.IsNaN(m.Scale[i]) || math.IsInf(m.Scale[i], 0) || m.Scale[i] < 0 {
+				t.Fatalf("loaded model has bad scale %g for %v", m.Scale[i], Component(i))
+			}
+		}
+		if m.ConstW < 0 || math.IsNaN(m.ConstW) {
+			t.Fatalf("loaded model has bad constant power %g", m.ConstW)
+		}
+	})
+}

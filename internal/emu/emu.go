@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -12,6 +13,25 @@ import (
 // MaxDynInstrsPerWarp bounds runaway kernels; exceeding it is reported as
 // an error rather than hanging the caller.
 const MaxDynInstrsPerWarp = 4 << 20
+
+// ErrUnhandledOpcode marks a kernel that reached an opcode the emulator has
+// no semantics for. It surfaces through Run as a wrapped error (match with
+// errors.Is) so callers can distinguish an emulator gap from a bad kernel.
+var ErrUnhandledOpcode = errors.New("emu: unhandled opcode")
+
+// UnhandledOpcodeError reports which opcode, in which kernel, the emulator
+// could not execute.
+type UnhandledOpcodeError struct {
+	Kernel string
+	Op     isa.Op
+}
+
+func (e *UnhandledOpcodeError) Error() string {
+	return fmt.Sprintf("emu: kernel %s: unhandled opcode %s", e.Kernel, e.Op.Info().Name)
+}
+
+// Unwrap lets errors.Is(err, ErrUnhandledOpcode) match.
+func (e *UnhandledOpcodeError) Unwrap() error { return ErrUnhandledOpcode }
 
 // Run executes a kernel functionally and returns its dynamic trace. The
 // kernel may be at either ISA level; the trace is tagged with the level it
@@ -172,7 +192,9 @@ func (w *warpState) runUntilBarrierOrExit() error {
 		if in.Op.Info().IsMem && execMask != 0 {
 			addrs = w.execMem(in, execMask)
 		} else if execMask != 0 {
-			w.execALU(in, execMask)
+			if err := w.execALU(in, execMask); err != nil {
+				return err
+			}
 		}
 		w.record(pc, in, execMask, addrs)
 		top.pc++
@@ -280,9 +302,9 @@ func (w *warpState) execMem(in *isa.Instr, mask uint32) []uint64 {
 	return addrs
 }
 
-func (w *warpState) execALU(in *isa.Instr, mask uint32) {
+func (w *warpState) execALU(in *isa.Instr, mask uint32) error {
 	if in.SemNop {
-		return
+		return nil
 	}
 	op := semOp(in)
 	info := op.Info()
@@ -394,10 +416,11 @@ func (w *warpState) execALU(in *isa.Instr, mask uint32) {
 			r[in.Dst] = r[in.Srcs[0]] + src1()
 		default:
 			if info.Name != "" {
-				panic(fmt.Sprintf("emu: unhandled opcode %s", info.Name))
+				return &UnhandledOpcodeError{Kernel: w.k.Name, Op: op}
 			}
 		}
 	}
+	return nil
 }
 
 func (w *warpState) sreg(sr isa.SReg, lane int) uint64 {

@@ -1,0 +1,306 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/silicon"
+	"accelwattch/internal/trace"
+	"accelwattch/internal/ubench"
+)
+
+// tinyScale keeps trace generation cheap; fault behavior is scale-free.
+var tinyScale = ubench.Scale{Iters: 2, Unroll: 1, WarpsPerCTA: 2}
+
+func testDevice(t *testing.T) *silicon.Device {
+	t.Helper()
+	d, err := silicon.NewDevice(config.Volta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testTrace(t *testing.T) *trace.KernelTrace {
+	t.Helper()
+	b := ubench.DVFSSuite(config.Volta(), tinyScale)[0]
+	k, err := isa.ForLevel(b.Kernel, isa.SASS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := emu.NewMemory()
+	if b.SetupMem != nil {
+		b.SetupMem(mem)
+	}
+	kt, err := emu.Run(k, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kt
+}
+
+func mustMeter(t *testing.T, inner Meter, p Profile) *FaultyMeter {
+	t.Helper()
+	fm, err := NewFaultyMeter(inner, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fm
+}
+
+// A zero profile must return the inner device's measurement object itself —
+// the bit-identical pass-through guarantee the tuning pipeline relies on.
+func TestZeroProfilePassThrough(t *testing.T) {
+	dev := testDevice(t)
+	kt := testTrace(t)
+	fm := mustMeter(t, dev, Profile{Seed: 99})
+
+	direct, err := dev.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := fm.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.AvgPowerW != direct.AvgPowerW {
+		t.Fatalf("pass-through altered reading: %v != %v", wrapped.AvgPowerW, direct.AvgPowerW)
+	}
+	for i := range direct.Samples {
+		if wrapped.Samples[i] != direct.Samples[i] {
+			t.Fatalf("pass-through altered sample %d", i)
+		}
+	}
+}
+
+// The same seed must reproduce identical fault sequences; different seeds
+// must not.
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	kt := testTrace(t)
+	prof := Profile{Seed: 7, NoiseSigma: 0.05, SpikeRate: 0.05, SpikeFactor: 3}
+
+	read := func(seed int64) []float64 {
+		fm := mustMeter(t, testDevice(t), Profile{
+			Seed: seed, NoiseSigma: prof.NoiseSigma,
+			SpikeRate: prof.SpikeRate, SpikeFactor: prof.SpikeFactor,
+		})
+		var out []float64
+		for i := 0; i < 4; i++ {
+			m, err := fm.Run(kt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, m.AvgPowerW)
+		}
+		return out
+	}
+
+	a, b := read(7), read(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at read %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := read(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// Repeated reads of the same operating point must see fresh fault draws —
+// otherwise median-of-repeats aggregation would be useless.
+func TestRepeatsSeeFreshFaults(t *testing.T) {
+	kt := testTrace(t)
+	fm := mustMeter(t, testDevice(t), Profile{Seed: 3, NoiseSigma: 0.10})
+	m1, err := fm.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := fm.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.AvgPowerW == m2.AvgPowerW {
+		t.Fatal("two noisy reads of the same point were identical")
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	kt := testTrace(t)
+	fm := mustMeter(t, testDevice(t), Profile{Seed: 1, QuantStepW: 2})
+	m, err := fm.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range m.Samples {
+		if r := math.Mod(s, 2); math.Abs(r) > 1e-9 && math.Abs(r-2) > 1e-9 {
+			t.Fatalf("sample %d = %v not on a 2 W grid", i, s)
+		}
+	}
+}
+
+func TestTransientErrorsAndIsTransient(t *testing.T) {
+	kt := testTrace(t)
+	fm := mustMeter(t, testDevice(t), Profile{Seed: 5, ErrorRate: 0.5})
+	var failures int
+	for i := 0; i < 40; i++ {
+		_, err := fm.Run(kt)
+		if err != nil {
+			failures++
+			if !IsTransient(err) {
+				t.Fatalf("injected error not transient: %v", err)
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("ErrorRate 0.5 injected no failures in 40 reads")
+	}
+	if failures == 40 {
+		t.Fatal("ErrorRate 0.5 failed every read")
+	}
+	if got := fm.Stats().TransientErrors; got != int64(failures) {
+		t.Fatalf("stats count %d != observed %d", got, failures)
+	}
+}
+
+func TestDroppedSamplesAndTotalLoss(t *testing.T) {
+	kt := testTrace(t)
+	fm := mustMeter(t, testDevice(t), Profile{Seed: 11, DropRate: 0.5})
+	direct, err := testDevice(t).Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fm.Run(kt)
+	if err == nil {
+		if len(m.Samples) >= len(direct.Samples) {
+			t.Fatalf("DropRate 0.5 dropped nothing (%d vs %d samples)", len(m.Samples), len(direct.Samples))
+		}
+	} else if !IsTransient(err) {
+		t.Fatalf("total sample loss must surface as transient, got %v", err)
+	}
+
+	// DropRate 1 loses every sample: the read must fail transiently.
+	all := mustMeter(t, testDevice(t), Profile{Seed: 11, DropRate: 1})
+	if _, err := all.Run(kt); !IsTransient(err) {
+		t.Fatalf("DropRate 1 returned %v, want transient error", err)
+	}
+}
+
+func TestStuckSensorRepeatsLastReading(t *testing.T) {
+	kt := testTrace(t)
+	fm := mustMeter(t, testDevice(t), Profile{Seed: 2, StuckRate: 0.5})
+	first, err := fm.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stuck bool
+	for i := 0; i < 30 && !stuck; i++ {
+		m, err := fm.Run(kt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stuck = m.AvgPowerW == first.AvgPowerW && fm.Stats().StuckReads > 0
+	}
+	if !stuck {
+		t.Fatal("StuckRate 0.5 never repeated a reading in 30 reads")
+	}
+}
+
+func TestSpikesInflateReadings(t *testing.T) {
+	kt := testTrace(t)
+	fm := mustMeter(t, testDevice(t), Profile{Seed: 13, SpikeRate: 0.2, SpikeFactor: 3})
+	for i := 0; i < 20; i++ {
+		if _, err := fm.Run(kt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fm.Stats().Spikes == 0 {
+		t.Fatal("SpikeRate 0.2 injected no spikes across 20 reads")
+	}
+}
+
+func TestLagSmearsAcrossReads(t *testing.T) {
+	kt := testTrace(t)
+	dev := testDevice(t)
+	fm := mustMeter(t, dev, Profile{Seed: 17, LagAlpha: 0.2})
+	// Warm the filter at a high clock, then read at a low one: the lagged
+	// reading must sit above the true low-clock power.
+	if err := fm.SetClock(dev.Arch().MaxClockMHz); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.Run(kt); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.SetClock(dev.Arch().MinClockMHz); err != nil {
+		t.Fatal(err)
+	}
+	lagged, err := fm.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.ResetClock()
+
+	clean := testDevice(t)
+	if err := clean.SetClock(dev.Arch().MinClockMHz); err != nil {
+		t.Fatal(err)
+	}
+	truth, err := clean.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lagged.AvgPowerW <= truth.AvgPowerW {
+		t.Fatalf("lagged reading %v should exceed true power %v after a hot prior read",
+			lagged.AvgPowerW, truth.AvgPowerW)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{ErrorRate: -0.1},
+		{ErrorRate: 1.5},
+		{DropRate: math.NaN()},
+		{NoiseSigma: -1},
+		{NoiseSigma: math.Inf(1)},
+		{SpikeRate: 0.1}, // SpikeFactor missing
+		{LagAlpha: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d validated: %+v", i, p)
+		}
+	}
+	if err := (Profile{}).Validate(); err != nil {
+		t.Errorf("zero profile rejected: %v", err)
+	}
+	if (Profile{Seed: 42}).Enabled() {
+		t.Error("seed-only profile reports Enabled")
+	}
+}
+
+func TestNamedProfiles(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Named(name, 1)
+		if err != nil {
+			t.Errorf("Named(%q): %v", name, err)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("Named(%q) does not validate: %v", name, err)
+		}
+		if name != "off" && !p.Enabled() {
+			t.Errorf("Named(%q) injects nothing", name)
+		}
+	}
+	if _, err := Named("bogus", 1); err == nil {
+		t.Error("unknown profile name accepted")
+	}
+}

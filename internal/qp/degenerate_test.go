@@ -1,0 +1,187 @@
+package qp
+
+import (
+	"math"
+	"testing"
+)
+
+// Degenerate fit inputs must produce an error or a finite fit — never a
+// panic and never NaN coefficients that poison the downstream constant-power
+// estimate.
+
+func allFinite(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFitCubicDuplicateFrequencies(t *testing.T) {
+	// Every sample at the same frequency: the design matrix is rank 1.
+	fs := []float64{1.2, 1.2, 1.2, 1.2, 1.2}
+	ps := []float64{80, 81, 79, 80.5, 80}
+	fit, err := FitCubicNoQuad(fs, ps)
+	if err == nil && !allFinite(fit.Beta, fit.Tau, fit.Const) {
+		t.Fatalf("rank-deficient fit returned non-finite coefficients: %+v", fit)
+	}
+
+	// Two distinct frequencies, still rank-deficient for 3 parameters.
+	fs = []float64{1.0, 1.0, 1.5, 1.5}
+	ps = []float64{70, 71, 90, 91}
+	fit, err = FitCubicNoQuad(fs, ps)
+	if err == nil && !allFinite(fit.Beta, fit.Tau, fit.Const) {
+		t.Fatalf("two-frequency fit returned non-finite coefficients: %+v", fit)
+	}
+}
+
+func TestFitCubicConstantPower(t *testing.T) {
+	// A flat power curve is legitimate (fully memory-bound workloads come
+	// close): the fit must succeed with finite coefficients and reproduce
+	// the constant.
+	fs := []float64{0.8, 1.0, 1.2, 1.4, 1.6}
+	ps := []float64{120, 120, 120, 120, 120}
+	fit, err := FitCubicNoQuad(fs, ps)
+	if err != nil {
+		t.Fatalf("constant-power fit failed: %v", err)
+	}
+	if !allFinite(fit.Beta, fit.Tau, fit.Const) {
+		t.Fatalf("constant-power fit not finite: %+v", fit)
+	}
+	if math.Abs(fit.Eval(1.1)-120) > 1e-3 {
+		t.Fatalf("constant-power fit does not reproduce the constant: %+v", fit)
+	}
+}
+
+func TestFitCubicRejectsNonFinite(t *testing.T) {
+	fs := []float64{0.8, 1.0, 1.2, 1.4}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		ps := []float64{100, bad, 120, 130}
+		if _, err := FitCubicNoQuad(fs, ps); err == nil {
+			t.Fatalf("power %g accepted", bad)
+		}
+		if _, err := FitCubicNoQuadRobust(fs, ps); err == nil {
+			t.Fatalf("power %g accepted by robust fit", bad)
+		}
+		bfs := []float64{0.8, bad, 1.2, 1.4}
+		if _, err := FitCubicNoQuad(bfs, []float64{100, 110, 120, 130}); err == nil {
+			t.Fatalf("frequency %g accepted", bad)
+		}
+	}
+}
+
+func TestFitLinearRejectsNonFinite(t *testing.T) {
+	if _, err := FitLinear([]float64{1, 2}, []float64{10, math.NaN()}); err == nil {
+		t.Fatal("NaN power accepted by linear fit")
+	}
+	if _, err := FitLinearRobust([]float64{1, math.Inf(1)}, []float64{10, 20}); err == nil {
+		t.Fatal("Inf frequency accepted by robust linear fit")
+	}
+}
+
+func TestFitCubicTooFewSamples(t *testing.T) {
+	if _, err := FitCubicNoQuad([]float64{1, 2}, []float64{10, 20}); err == nil {
+		t.Fatal("2-sample cubic fit accepted")
+	}
+	if _, err := FitCubicNoQuad(nil, nil); err == nil {
+		t.Fatal("empty cubic fit accepted")
+	}
+	if _, err := FitCubicNoQuad([]float64{1, 2, 3}, []float64{10, 20}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestRobustFitMatchesPlainOnCleanData(t *testing.T) {
+	// On outlier-free data the Huber estimator and plain least squares
+	// must agree to within IRLS tolerance.
+	beta, tau, c := 25.0, 40.0, 32.0
+	var fs, ps []float64
+	for f := 0.6; f <= 1.8; f += 0.1 {
+		fs = append(fs, f)
+		ps = append(ps, beta*f*f*f+tau*f+c)
+	}
+	plain, err := FitCubicNoQuad(fs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := FitCubicNoQuadRobust(fs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Beta-robust.Beta) > 1e-6 ||
+		math.Abs(plain.Tau-robust.Tau) > 1e-6 ||
+		math.Abs(plain.Const-robust.Const) > 1e-6 {
+		t.Fatalf("robust fit diverges on clean data: plain %+v robust %+v", plain, robust)
+	}
+}
+
+func TestRobustFitShrugsOffSpikes(t *testing.T) {
+	// One 3x spike in ten samples: the plain fit's intercept moves by
+	// many watts, the robust one stays close to the truth.
+	beta, tau, c := 25.0, 40.0, 32.0
+	var fs, ps []float64
+	for f := 0.6; f <= 1.65; f += 0.1 {
+		fs = append(fs, f)
+		ps = append(ps, beta*f*f*f+tau*f+c)
+	}
+	ps[2] *= 3 // spike
+
+	robust, err := FitCubicNoQuadRobust(fs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(robust.Const-c) > 1.0 {
+		t.Fatalf("robust intercept %.2f strayed from %.2f despite trim", robust.Const, c)
+	}
+	plain, err := FitCubicNoQuad(fs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Const-c) < math.Abs(robust.Const-c) {
+		t.Fatalf("plain fit (%.2f) beat robust fit (%.2f) on spiked data", plain.Const, robust.Const)
+	}
+}
+
+func TestSolveRejectsPoisonedProblems(t *testing.T) {
+	base := func() *Problem {
+		return &Problem{
+			A:  [][]float64{{1, 0}, {0, 1}, {1, 1}},
+			B:  []float64{1, 2, 3},
+			W:  []float64{1, 1, 1},
+			Lo: []float64{0, 0},
+			Hi: []float64{10, 10},
+		}
+	}
+	x0 := []float64{1, 1}
+
+	p := base()
+	p.A[1][1] = math.NaN()
+	if _, err := Solve(p, x0, DefaultOptions()); err == nil {
+		t.Fatal("NaN matrix entry accepted")
+	}
+	p = base()
+	p.B[0] = math.Inf(1)
+	if _, err := Solve(p, x0, DefaultOptions()); err == nil {
+		t.Fatal("Inf rhs accepted")
+	}
+	p = base()
+	p.W[2] = math.NaN()
+	if _, err := Solve(p, x0, DefaultOptions()); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	p = base()
+	p.Lo[0] = math.NaN()
+	if _, err := Solve(p, x0, DefaultOptions()); err == nil {
+		t.Fatal("NaN bound accepted")
+	}
+	p = base()
+	if _, err := Solve(p, []float64{math.NaN(), 1}, DefaultOptions()); err == nil {
+		t.Fatal("NaN starting point accepted")
+	}
+	p = base()
+	p.Orders = []Order{{I: 0, J: 1, Ratio: math.Inf(1)}}
+	if _, err := Solve(p, x0, DefaultOptions()); err == nil {
+		t.Fatal("Inf order ratio accepted")
+	}
+}

@@ -30,6 +30,12 @@ func FitCubicNoQuad(fGHz, powerW []float64) (CubicFit, error) {
 	if len(fGHz) != len(powerW) || len(fGHz) < 3 {
 		return CubicFit{}, fmt.Errorf("qp: cubic fit needs >=3 matched samples, got %d/%d", len(fGHz), len(powerW))
 	}
+	if err := checkFiniteSeries("frequency", fGHz); err != nil {
+		return CubicFit{}, err
+	}
+	if err := checkFiniteSeries("power", powerW); err != nil {
+		return CubicFit{}, err
+	}
 	a := make([][]float64, len(fGHz))
 	for i, f := range fGHz {
 		a[i] = []float64{f * f * f, f, 1}
@@ -57,6 +63,12 @@ func (l LinearFit) Eval(fGHz float64) float64 { return l.Slope*fGHz + l.Intercep
 func FitLinear(fGHz, powerW []float64) (LinearFit, error) {
 	if len(fGHz) != len(powerW) || len(fGHz) < 2 {
 		return LinearFit{}, fmt.Errorf("qp: linear fit needs >=2 matched samples")
+	}
+	if err := checkFiniteSeries("frequency", fGHz); err != nil {
+		return LinearFit{}, err
+	}
+	if err := checkFiniteSeries("power", powerW); err != nil {
+		return LinearFit{}, err
 	}
 	a := make([][]float64, len(fGHz))
 	for i, f := range fGHz {

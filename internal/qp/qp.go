@@ -73,18 +73,39 @@ func (p *Problem) Validate() error {
 	if len(p.Lo) != n || len(p.Hi) != n {
 		return fmt.Errorf("qp: bound length mismatch")
 	}
+	// Every boundary and matrix entry must be finite: a single NaN row
+	// (a corrupted measurement that slipped through) would poison the
+	// whole gradient.
+	for r := range p.A {
+		if len(p.A[r]) != n {
+			return fmt.Errorf("qp: ragged matrix at row %d", r)
+		}
+		for _, v := range p.A[r] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("qp: non-finite matrix entry at row %d", r)
+			}
+		}
+		if !finite(p.B[r]) || !finite(p.W[r]) {
+			return fmt.Errorf("qp: non-finite rhs or weight at row %d", r)
+		}
+	}
 	for i := range p.Lo {
+		if !finite(p.Lo[i]) || !finite(p.Hi[i]) {
+			return fmt.Errorf("qp: non-finite bound at %d", i)
+		}
 		if p.Lo[i] > p.Hi[i] {
 			return fmt.Errorf("qp: inverted bounds at %d", i)
 		}
 	}
 	for _, o := range p.Orders {
-		if o.I < 0 || o.I >= n || o.J < 0 || o.J >= n || o.Ratio <= 0 {
+		if o.I < 0 || o.I >= n || o.J < 0 || o.J >= n || o.Ratio <= 0 || !finite(o.Ratio) {
 			return fmt.Errorf("qp: bad order constraint %+v", o)
 		}
 	}
 	return nil
 }
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // Objective evaluates ||W(Ax-b)||^2.
 func (p *Problem) Objective(x []float64) float64 {
@@ -115,6 +136,11 @@ func Solve(p *Problem, x0 []float64, opts Options) (*Result, error) {
 	n := len(p.A[0])
 	if len(x0) != n {
 		return nil, fmt.Errorf("qp: starting point has %d entries, want %d", len(x0), n)
+	}
+	for j, v := range x0 {
+		if !finite(v) {
+			return nil, fmt.Errorf("qp: non-finite starting point x0[%d]", j)
+		}
 	}
 	if opts.MaxIters <= 0 {
 		opts = DefaultOptions()
@@ -168,6 +194,11 @@ func Solve(p *Problem, x0 []float64, opts Options) (*Result, error) {
 	}
 	for j := 0; j < n; j++ {
 		res.X[j] /= colNorm[j]
+	}
+	for j, v := range res.X {
+		if !finite(v) {
+			return nil, fmt.Errorf("qp: solver produced non-finite x[%d]", j)
+		}
 	}
 	res.Objective = p.Objective(res.X)
 	return res, nil

@@ -1,0 +1,180 @@
+package qp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file provides the robust variants of the Eq. (3) fits used when the
+// tuning pipeline runs against a fault-injected power meter: an IRLS Huber
+// M-estimator with a final hard trim of gross outliers. On clean data the
+// estimates agree with plain least squares to within the IRLS tolerance; on
+// spiked data a handful of corrupted operating points cannot drag the
+// y-intercept (and hence the constant-power estimate) arbitrarily far.
+
+// huberK is the standard 95%-efficiency Huber tuning constant.
+const huberK = 1.345
+
+// trimK is the residual scale multiple beyond which a sample is discarded
+// outright in the final pass (a spike at 3x power sits far beyond it).
+const trimK = 5.0
+
+// irlsIters bounds the reweighting iterations; the weighted problems are
+// 3-parameter fits, so convergence is fast.
+const irlsIters = 10
+
+// robustScale estimates sigma from residuals via 1.4826*MAD, with a floor
+// that keeps weights finite when the fit is (near-)exact.
+func robustScale(resid []float64, yScale float64) float64 {
+	dev := make([]float64, len(resid))
+	for i, r := range resid {
+		dev[i] = math.Abs(r)
+	}
+	sort.Float64s(dev)
+	var mad float64
+	n := len(dev)
+	if n%2 == 1 {
+		mad = dev[n/2]
+	} else if n > 0 {
+		mad = (dev[n/2-1] + dev[n/2]) / 2
+	}
+	s := 1.4826 * mad
+	floor := 1e-9 * (1 + math.Abs(yScale))
+	if s < floor {
+		s = floor
+	}
+	return s
+}
+
+// fitWeighted solves the weighted least-squares fit on the given basis.
+func fitWeighted(basis [][]float64, ys, w []float64) ([]float64, error) {
+	a := make([][]float64, 0, len(basis))
+	b := make([]float64, 0, len(ys))
+	for i := range basis {
+		if w[i] == 0 {
+			continue
+		}
+		sw := math.Sqrt(w[i])
+		row := make([]float64, len(basis[i]))
+		for j, v := range basis[i] {
+			row[j] = v * sw
+		}
+		a = append(a, row)
+		b = append(b, ys[i]*sw)
+	}
+	if len(a) < len(basis[0]) {
+		return nil, fmt.Errorf("qp: robust fit trimmed too many samples (%d left)", len(a))
+	}
+	return LeastSquares(a, b)
+}
+
+// fitRobust runs Huber IRLS with a final hard trim on an arbitrary basis.
+func fitRobust(basis [][]float64, ys []float64) ([]float64, error) {
+	if err := checkFiniteSeries("power", ys); err != nil {
+		return nil, err
+	}
+	w := make([]float64, len(ys))
+	for i := range w {
+		w[i] = 1
+	}
+	x, err := fitWeighted(basis, ys, w)
+	if err != nil {
+		return nil, err
+	}
+	yScale := 0.0
+	for _, y := range ys {
+		yScale += math.Abs(y)
+	}
+	yScale /= float64(len(ys))
+
+	resid := make([]float64, len(ys))
+	for it := 0; it < irlsIters; it++ {
+		for i := range ys {
+			r := -ys[i]
+			for j, v := range basis[i] {
+				r += v * x[j]
+			}
+			resid[i] = r
+		}
+		s := robustScale(resid, yScale)
+		for i, r := range resid {
+			ar := math.Abs(r) / s
+			switch {
+			case ar > trimK:
+				w[i] = 0 // gross outlier: drop entirely
+			case ar > huberK:
+				w[i] = huberK / ar
+			default:
+				w[i] = 1
+			}
+		}
+		nx, err := fitWeighted(basis, ys, w)
+		if err != nil {
+			return nil, err
+		}
+		delta := 0.0
+		for j := range x {
+			delta += math.Abs(nx[j] - x[j])
+		}
+		x = nx
+		if delta < 1e-12*(1+yScale) {
+			break
+		}
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("qp: robust fit produced non-finite coefficients")
+		}
+	}
+	return x, nil
+}
+
+// FitCubicNoQuadRobust fits Eq. (3) with a Huber M-estimator plus a hard
+// trim of gross outliers, for measurements taken through a faulty meter.
+func FitCubicNoQuadRobust(fGHz, powerW []float64) (CubicFit, error) {
+	if len(fGHz) != len(powerW) || len(fGHz) < 3 {
+		return CubicFit{}, fmt.Errorf("qp: robust cubic fit needs >=3 matched samples, got %d/%d", len(fGHz), len(powerW))
+	}
+	if err := checkFiniteSeries("frequency", fGHz); err != nil {
+		return CubicFit{}, err
+	}
+	basis := make([][]float64, len(fGHz))
+	for i, f := range fGHz {
+		basis[i] = []float64{f * f * f, f, 1}
+	}
+	x, err := fitRobust(basis, powerW)
+	if err != nil {
+		return CubicFit{}, err
+	}
+	return CubicFit{Beta: x[0], Tau: x[1], Const: x[2]}, nil
+}
+
+// FitLinearRobust is FitLinear with the same Huber-plus-trim estimator.
+func FitLinearRobust(fGHz, powerW []float64) (LinearFit, error) {
+	if len(fGHz) != len(powerW) || len(fGHz) < 2 {
+		return LinearFit{}, fmt.Errorf("qp: robust linear fit needs >=2 matched samples")
+	}
+	if err := checkFiniteSeries("frequency", fGHz); err != nil {
+		return LinearFit{}, err
+	}
+	basis := make([][]float64, len(fGHz))
+	for i, f := range fGHz {
+		basis[i] = []float64{f, 1}
+	}
+	x, err := fitRobust(basis, powerW)
+	if err != nil {
+		return LinearFit{}, err
+	}
+	return LinearFit{Slope: x[0], Intercept: x[1]}, nil
+}
+
+// checkFiniteSeries rejects NaN/Inf fit inputs with a descriptive error.
+func checkFiniteSeries(what string, xs []float64) error {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("qp: non-finite %s sample %g at index %d", what, x, i)
+		}
+	}
+	return nil
+}

@@ -34,15 +34,6 @@ func NewDevice(arch *config.Arch) (*Device, error) {
 	return &Device{arch: arch, t: t, clockMHz: arch.BaseClockMHz, tempC: 65}, nil
 }
 
-// MustNewDevice is NewDevice for stock architectures.
-func MustNewDevice(arch *config.Arch) *Device {
-	d, err := NewDevice(arch)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // Arch returns the device's architecture description.
 func (d *Device) Arch() *config.Arch { return d.arch }
 

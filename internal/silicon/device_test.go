@@ -13,7 +13,7 @@ import (
 )
 
 func TestDeviceRejectsPTX(t *testing.T) {
-	d := MustNewDevice(config.Volta())
+	d := mustNewDevice(t, config.Volta())
 	b := ubench.DivergenceBench(config.Volta(), ubench.Quick, core.MixIntAdd, 32)
 	kt, err := emu.Run(b.Kernel, b.NewMemory()) // PTX-level trace
 	if err != nil {
@@ -25,7 +25,7 @@ func TestDeviceRejectsPTX(t *testing.T) {
 }
 
 func TestClockControls(t *testing.T) {
-	d := MustNewDevice(config.Volta())
+	d := mustNewDevice(t, config.Volta())
 	if err := d.SetClock(50); err == nil {
 		t.Error("clock below minimum accepted")
 	}
@@ -66,7 +66,7 @@ func measureAt(t *testing.T, d *Device, b ubench.Bench, mhz float64) *Measuremen
 // extrapolate to roughly the true constant power (Section 4.2 / Figure 2).
 func TestDVFSCubicShape(t *testing.T) {
 	arch := config.Volta()
-	d := MustNewDevice(arch)
+	d := mustNewDevice(t, arch)
 	b := ubench.DVFSSuite(arch, ubench.Quick)[1] // INT_ADD
 	var fs, ps []float64
 	for mhz := 300.0; mhz <= 1500; mhz += 200 {
@@ -94,7 +94,7 @@ func TestDVFSCubicShape(t *testing.T) {
 // NANOSLEEP workloads sit barely above constant power at the lowest clock.
 func TestLightWorkloadNearConstPower(t *testing.T) {
 	arch := config.Volta()
-	d := MustNewDevice(arch)
+	d := mustNewDevice(t, arch)
 	b := ubench.DVFSSuite(arch, ubench.Quick)[4] // NANOSLEEP
 	m := measureAt(t, d, b, arch.MinClockMHz+65)
 	if m.AvgPowerW < 30 || m.AvgPowerW > 80 {
@@ -104,7 +104,7 @@ func TestLightWorkloadNearConstPower(t *testing.T) {
 
 func TestTemperatureRaisesStaticPower(t *testing.T) {
 	arch := config.Volta()
-	d := MustNewDevice(arch)
+	d := mustNewDevice(t, arch)
 	b := ubench.OccupancyBench(arch, ubench.Quick, arch.NumSMs)
 	sass := isa.MustLower(b.Kernel)
 	kt, err := emu.Run(sass, b.NewMemory())
@@ -128,7 +128,7 @@ func TestTemperatureRaisesStaticPower(t *testing.T) {
 
 func TestMeasurementDeterminismAndNoise(t *testing.T) {
 	arch := config.Volta()
-	d := MustNewDevice(arch)
+	d := mustNewDevice(t, arch)
 	b := ubench.OccupancyBench(arch, ubench.Quick, 16)
 	sass := isa.MustLower(b.Kernel)
 	kt, err := emu.Run(sass, b.NewMemory())
@@ -158,7 +158,7 @@ func TestMeasurementDeterminismAndNoise(t *testing.T) {
 
 func TestProfileCounters(t *testing.T) {
 	arch := config.Volta()
-	d := MustNewDevice(arch)
+	d := mustNewDevice(t, arch)
 	benches, err := ubench.Suite(arch, ubench.Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -196,7 +196,7 @@ func TestProfileCounters(t *testing.T) {
 }
 
 func TestIdleChipConsumesConstOnly(t *testing.T) {
-	d := MustNewDevice(config.Volta())
+	d := mustNewDevice(t, config.Volta())
 	b := isa.NewKernel("empty").Grid(1).Block(32)
 	b.Exit()
 	kt, err := emu.Run(isa.MustLower(b.MustBuild()), emu.NewMemory())
@@ -232,7 +232,7 @@ func TestAllTruthModelsExist(t *testing.T) {
 // because DRAM bandwidth is clock-independent.
 func TestMemoryBoundDVFSFlattening(t *testing.T) {
 	arch := config.Volta()
-	d := MustNewDevice(arch)
+	d := mustNewDevice(t, arch)
 	benches, _ := ubench.Suite(arch, ubench.Quick)
 	var mem, cmp ubench.Bench
 	for _, b := range benches {
@@ -256,7 +256,7 @@ func TestMemoryBoundDVFSFlattening(t *testing.T) {
 }
 
 func TestMeasureIdleIsConstOnly(t *testing.T) {
-	d := MustNewDevice(config.Volta())
+	d := mustNewDevice(t, config.Volta())
 	m := d.MeasureIdle()
 	if m.AvgPowerW < 31 || m.AvgPowerW > 34.5 {
 		t.Errorf("inactive chip draws %.2f W, want ~32.5 W constant power", m.AvgPowerW)

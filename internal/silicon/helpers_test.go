@@ -1,0 +1,18 @@
+package silicon
+
+import (
+	"testing"
+
+	"accelwattch/internal/config"
+)
+
+// mustNewDevice builds a device or fails the test — the test-side
+// replacement for the removed MustNewDevice constructor.
+func mustNewDevice(t *testing.T, arch *config.Arch) *Device {
+	t.Helper()
+	d, err := NewDevice(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

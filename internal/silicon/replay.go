@@ -59,18 +59,26 @@ func (d *Device) replay(kts []*trace.KernelTrace) (*replayAcct, error) {
 	latScale := d.clockMHz / arch.BaseClockMHz
 
 	sms := make([]smState, arch.NumSMs)
-	l2 := cachesim.MustNew(cachesim.Config{
+	l2cfg := cachesim.Config{
 		SizeBytes: arch.L2KB * 1024, LineBytes: arch.L2LineBytes,
 		Assoc: arch.L2Assoc, Sectored: true, WriteAllocate: true,
-	})
+	}
+	l1cfg := cachesim.Config{
+		SizeBytes: arch.L1KBPerSM * 1024, LineBytes: arch.L1LineBytes,
+		Assoc: arch.L1Assoc, Sectored: true, WriteAllocate: false,
+	}
+	l2, err := cachesim.New(l2cfg)
+	if err != nil {
+		return nil, fmt.Errorf("silicon: L2 model: %w", err)
+	}
+	if err := l1cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("silicon: L1 model: %w", err)
+	}
 	l1s := make(map[int]*cachesim.Cache)
 	l1For := func(sm int) *cachesim.Cache {
 		c, ok := l1s[sm]
 		if !ok {
-			c = cachesim.MustNew(cachesim.Config{
-				SizeBytes: arch.L1KBPerSM * 1024, LineBytes: arch.L1LineBytes,
-				Assoc: arch.L1Assoc, Sectored: true, WriteAllocate: false,
-			})
+			c, _ = cachesim.New(l1cfg) // validated above; cannot fail
 			l1s[sm] = c
 		}
 		return c

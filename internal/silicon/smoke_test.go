@@ -28,7 +28,7 @@ func runBench(t *testing.T, d *Device, b ubench.Bench) *Measurement {
 
 func TestSmokeIntMul(t *testing.T) {
 	arch := config.Volta()
-	d := MustNewDevice(arch)
+	d := mustNewDevice(t, arch)
 	b := ubench.DivergenceBench(arch, ubench.Quick, 1, 32) // MixIntMul
 	m := runBench(t, d, b)
 	t.Logf("int_mul y=32: %.1f W, %.0f cycles", m.AvgPowerW, m.Cycles)
@@ -39,7 +39,7 @@ func TestSmokeIntMul(t *testing.T) {
 
 func TestSmokeGatingShape(t *testing.T) {
 	arch := config.Volta()
-	d := MustNewDevice(arch)
+	d := mustNewDevice(t, arch)
 	sc := ubench.Quick
 
 	p1x1 := runBench(t, d, ubench.GatingBench(arch, sc, 1, 1)).AvgPowerW

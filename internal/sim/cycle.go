@@ -5,7 +5,6 @@ import (
 	"math/bits"
 	"sort"
 
-	"accelwattch/internal/cachesim"
 	"accelwattch/internal/core"
 	"accelwattch/internal/isa"
 	"accelwattch/internal/trace"
@@ -79,21 +78,9 @@ func (s *Simulator) RunCycleAccurate(policy SchedPolicy, kts ...*trace.KernelTra
 		}
 		return st
 	}
-	l2 := cachesim.MustNew(cachesim.Config{
-		SizeBytes: arch.L2KB * 1024, LineBytes: arch.L2LineBytes,
-		Assoc: arch.L2Assoc / 2, Sectored: false, WriteAllocate: true,
-	})
-	l1s := map[int]*cachesim.Cache{}
-	l1For := func(sm int) *cachesim.Cache {
-		c, ok := l1s[sm]
-		if !ok {
-			c = cachesim.MustNew(cachesim.Config{
-				SizeBytes: arch.L1KBPerSM * 1024, LineBytes: arch.L1LineBytes,
-				Assoc: arch.L1Assoc * 2, Sectored: false, WriteAllocate: true,
-			})
-			l1s[sm] = c
-		}
-		return c
+	l2, l1For, err := s.buildCaches()
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{OpCounts: make(map[isa.Op]int64)}

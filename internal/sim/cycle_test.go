@@ -14,7 +14,7 @@ var cycleScale = ubench.Scale{Iters: 4, Unroll: 1, WarpsPerCTA: 4}
 
 func TestCycleAccurateMatchesInterval(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	for _, mix := range []core.MixCategory{core.MixIntMul, core.MixIntFP, core.MixIntFPSFU} {
 		b := ubench.DivergenceBench(arch, cycleScale, mix, 32)
 		kt := traceOf(t, b, isa.SASS)
@@ -48,7 +48,7 @@ func TestCycleAccurateMatchesInterval(t *testing.T) {
 
 func TestCycleAccurateHalfWarpThroughput(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	b16 := ubench.DivergenceBench(arch, cycleScale, core.MixIntMul, 16)
 	b32 := ubench.DivergenceBench(arch, cycleScale, core.MixIntMul, 32)
 	r16, err := s.RunCycleAccurate(GTO, traceOf(t, b16, isa.SASS))
@@ -66,7 +66,7 @@ func TestCycleAccurateHalfWarpThroughput(t *testing.T) {
 
 func TestSchedulerPoliciesDiffer(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	// A latency-bound memory kernel is where scheduling policy matters.
 	benches := ubench.MustSuite(arch, cycleScale)
 	var bench ubench.Bench
@@ -96,7 +96,7 @@ func TestSchedulerPoliciesDiffer(t *testing.T) {
 }
 
 func TestCycleAccurateRejectsBadInput(t *testing.T) {
-	s := MustNew(config.Volta())
+	s := mustNew(t, config.Volta())
 	if _, err := s.RunCycleAccurate(GTO); err == nil {
 		t.Error("empty run accepted")
 	}
@@ -110,7 +110,7 @@ func TestCycleAccurateRejectsBadInput(t *testing.T) {
 
 func TestCycleAccurateDeterminism(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	b := ubench.DivergenceBench(arch, cycleScale, core.MixIntFP, 32)
 	kt := traceOf(t, b, isa.SASS)
 	r1, err := s.RunCycleAccurate(GTO, kt)

@@ -1,0 +1,18 @@
+package sim
+
+import (
+	"testing"
+
+	"accelwattch/internal/config"
+)
+
+// mustNew builds a simulator or fails the test — the test-side replacement
+// for the removed MustNew constructor.
+func mustNew(t *testing.T, arch *config.Arch) *Simulator {
+	t.Helper()
+	s, err := New(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

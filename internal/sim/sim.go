@@ -40,13 +40,37 @@ func New(arch *config.Arch) (*Simulator, error) {
 	return &Simulator{arch: arch, lat: simLatencies()}, nil
 }
 
-// MustNew is New for stock architectures.
-func MustNew(arch *config.Arch) *Simulator {
-	s, err := New(arch)
-	if err != nil {
-		panic(err)
+// buildCaches constructs the simulator's L2 plus a lazy per-SM L1 factory.
+// Both configurations are validated here so cache construction inside the
+// replay loop cannot fail: a bad cache geometry surfaces as a returned
+// error before any simulation work, not a panic mid-run.
+func (s *Simulator) buildCaches() (*cachesim.Cache, func(int) *cachesim.Cache, error) {
+	arch := s.arch
+	l2cfg := cachesim.Config{
+		SizeBytes: arch.L2KB * 1024, LineBytes: arch.L2LineBytes,
+		Assoc: arch.L2Assoc / 2, Sectored: false, WriteAllocate: true,
 	}
-	return s
+	l1cfg := cachesim.Config{
+		SizeBytes: arch.L1KBPerSM * 1024, LineBytes: arch.L1LineBytes,
+		Assoc: arch.L1Assoc * 2, Sectored: false, WriteAllocate: true,
+	}
+	l2, err := cachesim.New(l2cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: L2 model: %w", err)
+	}
+	if err := l1cfg.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sim: L1 model: %w", err)
+	}
+	l1s := make(map[int]*cachesim.Cache)
+	l1For := func(sm int) *cachesim.Cache {
+		c, ok := l1s[sm]
+		if !ok {
+			c, _ = cachesim.New(l1cfg) // validated above; cannot fail
+			l1s[sm] = c
+		}
+		return c
+	}
+	return l2, l1For, nil
 }
 
 // Arch returns the simulated architecture.
@@ -145,21 +169,9 @@ func (s *Simulator) Run(kts ...*trace.KernelTrace) (*Result, error) {
 	}
 
 	sms := make([]smAcct, arch.NumSMs)
-	l2 := cachesim.MustNew(cachesim.Config{
-		SizeBytes: arch.L2KB * 1024, LineBytes: arch.L2LineBytes,
-		Assoc: arch.L2Assoc / 2, Sectored: false, WriteAllocate: true,
-	})
-	l1s := make(map[int]*cachesim.Cache)
-	l1For := func(sm int) *cachesim.Cache {
-		c, ok := l1s[sm]
-		if !ok {
-			c = cachesim.MustNew(cachesim.Config{
-				SizeBytes: arch.L1KBPerSM * 1024, LineBytes: arch.L1LineBytes,
-				Assoc: arch.L1Assoc * 2, Sectored: false, WriteAllocate: true,
-			})
-			l1s[sm] = c
-		}
-		return c
+	l2, l1For, err := s.buildCaches()
+	if err != nil {
+		return nil, err
 	}
 	var dramBytes float64
 	var laneSum float64

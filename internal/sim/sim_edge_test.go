@@ -17,7 +17,7 @@ import (
 // access becomes 1 vs 4 L1 transactions.
 func TestPTXCoalescingGranularity(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	b := isa.NewKernel("coal").Grid(1).Block(32)
 	b.S2R(1, isa.SRegLaneID)
 	b.Op2i(isa.OpSHL, 2, 1, 2)
@@ -51,7 +51,7 @@ func emuRun(t *testing.T, k *isa.Kernel) (*trace.KernelTrace, error) {
 
 func TestConcurrentTracesShareTheChip(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	b := ubench.OccupancyBench(arch, ubench.Quick, arch.NumSMs/2)
 	kt := traceOf(t, b, isa.SASS)
 	single, err := s.Run(kt)
@@ -73,7 +73,7 @@ func TestConcurrentTracesShareTheChip(t *testing.T) {
 
 func TestWindowConservation(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	for _, name := range []string{"int_add", "l2_chase", "dram_stream_read"} {
 		var bench ubench.Bench
 		for _, b := range ubench.MustSuite(arch, ubench.Quick) {
@@ -107,7 +107,7 @@ func TestWindowConservation(t *testing.T) {
 
 func TestSimDeterminism(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	b := ubench.DivergenceBench(arch, ubench.Quick, core.MixIntFP, 24)
 	kt := traceOf(t, b, isa.SASS)
 	r1, err := s.Run(kt)

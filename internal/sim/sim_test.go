@@ -27,7 +27,7 @@ func traceOf(t *testing.T, b ubench.Bench, level isa.Level) *trace.KernelTrace {
 
 func TestRunBasics(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	b := ubench.DivergenceBench(arch, ubench.Quick, core.MixIntFP, 32)
 	r, err := s.Run(traceOf(t, b, isa.SASS))
 	if err != nil {
@@ -52,7 +52,7 @@ func TestRunBasics(t *testing.T) {
 
 func TestActivityMatchesTraceCounts(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	b := ubench.DivergenceBench(arch, ubench.Quick, core.MixIntMul, 32)
 	kt := traceOf(t, b, isa.SASS)
 	r, err := s.Run(kt)
@@ -83,7 +83,7 @@ func TestActivityMatchesTraceCounts(t *testing.T) {
 
 func TestWindowsPartitionAggregate(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	b := ubench.DivergenceBench(arch, ubench.Quick, core.MixIntAdd, 32)
 	r, err := s.Run(traceOf(t, b, isa.SASS))
 	if err != nil {
@@ -107,7 +107,7 @@ func TestWindowsPartitionAggregate(t *testing.T) {
 
 func TestPTXModeDiffersFromSASS(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	// sfu_sin uses the PTX sin.f32, which expands to RRO+MUFU at SASS
 	// level, so the two instruction streams differ.
 	var b ubench.Bench
@@ -132,7 +132,7 @@ func TestPTXModeDiffersFromSASS(t *testing.T) {
 
 func TestMixedLevelsRejected(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	b := ubench.DivergenceBench(arch, ubench.Quick, core.MixIntAdd, 32)
 	kp := traceOf(t, b, isa.PTX)
 	ks := traceOf(t, b, isa.SASS)
@@ -148,8 +148,11 @@ func TestMixedLevelsRejected(t *testing.T) {
 // counts within tens of percent, not identical on memory-bound kernels.
 func TestSimTracksSiliconTiming(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
-	d := silicon.MustNewDevice(arch)
+	s := mustNew(t, arch)
+	d, err := silicon.NewDevice(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
 	benches, err := ubench.Suite(arch, ubench.Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +188,7 @@ func TestSimTracksSiliconTiming(t *testing.T) {
 
 func TestHalfWarpThroughputInSim(t *testing.T) {
 	arch := config.Volta()
-	s := MustNew(arch)
+	s := mustNew(t, arch)
 	// Single-unit kernel at 16 vs 32 lanes: the 32-lane version needs
 	// roughly twice the FU slots (two half-warps), so it should take
 	// noticeably longer despite having the same instruction count per

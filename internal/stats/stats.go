@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // MAPE returns the mean absolute percentage error (in percent) of estimates
@@ -103,6 +104,49 @@ func Geomean(xs []float64) (float64, error) {
 		s += math.Log(x)
 	}
 	return math.Exp(s / float64(len(xs))), nil
+}
+
+// Median returns the middle value (mean of the two middle values for even
+// lengths). The input slice is not modified. Medians are the workhorse of
+// the fault-hardened measurement path: a handful of wild NVML samples
+// cannot move them.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: median of empty set")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	return (s[n/2-1] + s[n/2]) / 2, nil
+}
+
+// MAD returns the median absolute deviation around the median — the robust
+// scale estimate used to reject outlier samples (multiply by 1.4826 for a
+// consistent sigma estimate under Gaussian noise).
+func MAD(xs []float64) (med, mad float64, err error) {
+	med, err = Median(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	mad, err = Median(dev)
+	return med, mad, err
+}
+
+// AllFinite reports whether every value is neither NaN nor infinite.
+func AllFinite(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // Mean returns the arithmetic mean.

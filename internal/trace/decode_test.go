@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"testing"
+
+	"accelwattch/internal/isa"
+)
+
+// Decode must reject malformed input with an error, never a panic: trace
+// files are the framework's NVBit stand-in and arrive from disk.
+func TestDecodeMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"zero-length", []byte{}},
+		{"garbage", []byte("this is not a gob stream")},
+		{"single byte", []byte{0x42}},
+		{"nul run", make([]byte, 64)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			kt, err := Decode(tc.data)
+			if err == nil {
+				t.Fatalf("Decode(%q) accepted malformed input: %+v", tc.name, kt)
+			}
+		})
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	k := &isa.Kernel{Name: "k"}
+	full, err := Encode(&KernelTrace{
+		Kernel: k,
+		Warps: []WarpTrace{{
+			CTA: 0, Warp: 0,
+			Recs: []Rec{{PC: 0, Op: isa.OpIADD, Mask: 0xffffffff}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly, not panic or return a
+	// half-filled trace as success.
+	for cut := 1; cut < len(full); cut += 7 {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("truncated trace (%d/%d bytes) decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	k := &isa.Kernel{Name: "rt"}
+	in := &KernelTrace{
+		Kernel: k,
+		Warps: []WarpTrace{{
+			CTA: 1, Warp: 2,
+			Recs: []Rec{
+				{PC: 0, Op: isa.OpIADD, Mask: 0x0000ffff},
+				{PC: 1, Op: isa.OpLDG, Mask: 0xffffffff, Space: isa.SpaceGlobal, Addrs: []uint64{0, 128, 256}},
+			},
+		}},
+	}
+	data, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Warps) != 1 || len(out.Warps[0].Recs) != 2 {
+		t.Fatalf("round trip lost records: %+v", out)
+	}
+	if out.Warps[0].Recs[1].Addrs[2] != 256 {
+		t.Fatalf("round trip corrupted addresses: %+v", out.Warps[0].Recs[1])
+	}
+}
+
+// Summarize must tolerate empty traces — a kernel whose every lane exited
+// immediately produces one.
+func TestSummarizeEmptyTrace(t *testing.T) {
+	s := Summarize(&KernelTrace{Kernel: &isa.Kernel{Name: "empty"}})
+	if s.WarpCount != 0 || s.DynInstrs != 0 || s.AvgLanes != 0 {
+		t.Fatalf("empty trace summarised as %+v", s)
+	}
+	// A warp with no records is likewise fine.
+	s = Summarize(&KernelTrace{
+		Kernel: &isa.Kernel{Name: "empty"},
+		Warps:  []WarpTrace{{CTA: 0, Warp: 0}},
+	})
+	if s.WarpCount != 1 || s.DynInstrs != 0 {
+		t.Fatalf("record-free warp summarised as %+v", s)
+	}
+}

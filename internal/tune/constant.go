@@ -64,16 +64,31 @@ func (tb *Testbench) EstimateConstPower(sweep FreqSweep) (*ConstPowerResult, err
 		for _, mhz := range sweep.Points() {
 			m, err := tb.Measure(w, mhz)
 			if err != nil {
+				if IsMeasurementFailure(err) {
+					// Skip the failed operating point; the fit can
+					// survive holes in the ladder.
+					continue
+				}
 				return nil, err
+			}
+			if !stats.AllFinite(m.AvgPowerW) {
+				continue
 			}
 			fs = append(fs, mhz/1000)
 			ps = append(ps, m.AvgPowerW)
 		}
-		fit, err := qp.FitCubicNoQuad(fs, ps)
+		// Eq. (3) has 3 parameters; demand at least one extra point so a
+		// degraded sweep cannot produce an exactly-interpolating fit with
+		// a meaningless intercept.
+		if len(fs) < 4 {
+			tb.Quarantine(w.Name, fmt.Sprintf("only %d/%d DVFS points survived", len(fs), len(sweep.Points())))
+			continue
+		}
+		fit, err := tb.fitCubic(fs, ps)
 		if err != nil {
 			return nil, fmt.Errorf("tune: DVFS fit for %s: %w", b.Name, err)
 		}
-		lfit, err := qp.FitLinear(fs, ps)
+		lfit, err := tb.fitLinear(fs, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -87,6 +102,9 @@ func (tb *Testbench) EstimateConstPower(sweep FreqSweep) (*ConstPowerResult, err
 		})
 		intercepts = append(intercepts, fit.Const)
 		lineIntercepts = append(lineIntercepts, lfit.Intercept)
+	}
+	if len(intercepts) == 0 {
+		return nil, fmt.Errorf("tune: no DVFS workload survived measurement; cannot estimate constant power")
 	}
 	res.ConstW = stats.Mean(intercepts)
 	res.LegacyConstW = stats.Mean(lineIntercepts)

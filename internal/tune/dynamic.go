@@ -33,6 +33,9 @@ type DynamicFit struct {
 	TrainMAPE  float64 // MAPE across the tuning microbenchmarks
 	Objective  float64
 	Iterations int
+	// Fallback is set when the QP solver failed and the scaling factors
+	// are the (projected) starting point instead of a solved optimum.
+	Fallback bool
 }
 
 // buildProblem assembles the Eq. (13) system for one variant: one row per
@@ -51,11 +54,23 @@ func (tb *Testbench) buildProblem(benches []ubench.Bench, v Variant, m *core.Mod
 		w := FromBench(b)
 		a, err := tb.Activity(w, v)
 		if err != nil {
+			if IsMeasurementFailure(err) {
+				// A quarantined or unprofilable microbenchmark drops out
+				// of the tuning set; the QP tunes over the survivors.
+				continue
+			}
 			return nil, nil, nil, err
 		}
 		mm, err := tb.Measure(w, 0)
 		if err != nil {
+			if IsMeasurementFailure(err) {
+				continue
+			}
 			return nil, nil, nil, err
+		}
+		if !stats.AllFinite(mm.AvgPowerW) || mm.AvgPowerW <= 0 {
+			tb.Quarantine(b.Name, fmt.Sprintf("non-physical measured power %g W", mm.AvgPowerW))
+			continue
 		}
 		// Fixed terms at x=1: evaluate the model with zero dynamic
 		// scales.
@@ -69,14 +84,24 @@ func (tb *Testbench) buildProblem(benches []ubench.Bench, v Variant, m *core.Mod
 		}
 		timeS := a.Cycles / (tb.Arch.BaseClockMHz * 1e6)
 		row := make([]float64, core.NumDynComponents)
+		rowOK := stats.AllFinite(fb.Total(), timeS) && timeS > 0
 		for i := 0; i < core.NumDynComponents; i++ {
 			row[i] = a.Counts[i] * m.BaseEnergyPJ[i] * 1e-12 / timeS
+			rowOK = rowOK && stats.AllFinite(row[i])
+		}
+		if !rowOK {
+			tb.Quarantine(b.Name, "non-finite QP row")
+			continue
 		}
 		rows = append(rows, row)
 		rhs = append(rhs, mm.AvgPowerW-fb.Total())
 		wts = append(wts, 1/mm.AvgPowerW) // minimise relative error
 		acts = append(acts, a)
 		meas = append(meas, mm.AvgPowerW)
+	}
+
+	if len(rows) == 0 {
+		return nil, nil, nil, fmt.Errorf("tune: no microbenchmark survived measurement for variant %v", v)
 	}
 
 	n := core.NumDynComponents
@@ -121,12 +146,24 @@ func (tb *Testbench) TuneDynamic(benches []ubench.Bench, v Variant, m *core.Mode
 	}
 	fits := make([]*DynamicFit, 0, 2)
 	for _, sp := range []StartPoint{StartFermi, StartOnes} {
-		res, err := qp.Solve(prob, startVector(sp, m.BaseEnergyPJ), opts)
+		x0 := startVector(sp, m.BaseEnergyPJ)
+		res, err := qp.Solve(prob, x0, opts)
+		fit := &DynamicFit{Variant: v, Start: sp}
 		if err != nil {
-			return nil, nil, fmt.Errorf("tune: QP (%v, %v): %w", v, sp, err)
+			// Solver failure (a poisoned problem that slipped past the
+			// guards, or a numerically-degenerate system): fall back to
+			// the starting point itself. The Fermi start is the paper's
+			// physically-motivated prior, so the model stays usable —
+			// just untuned — and the failure is visible via Fallback.
+			tb.Quarantine(fmt.Sprintf("qp-%v-%v", v, sp), fmt.Sprintf("solver failed: %v", err))
+			fit.Fallback = true
+			copy(fit.Scale[:], x0)
+			fit.Objective = prob.Objective(x0)
+		} else {
+			fit.Objective = res.Objective
+			fit.Iterations = res.Iterations
+			copy(fit.Scale[:], res.X)
 		}
-		fit := &DynamicFit{Variant: v, Start: sp, Objective: res.Objective, Iterations: res.Iterations}
-		copy(fit.Scale[:], res.X)
 
 		// Training MAPE: evaluate the tuned model over the tuning set.
 		tuned := *m

@@ -1,0 +1,307 @@
+package tune
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/faults"
+	"accelwattch/internal/qp"
+	"accelwattch/internal/silicon"
+	"accelwattch/internal/stats"
+	"accelwattch/internal/trace"
+	"accelwattch/internal/ubench"
+)
+
+// MeterPolicy governs how the testbench reads its power meter. The default
+// policy is a single read per operating point with a couple of retries — on
+// a clean meter it reproduces the historical pipeline bit for bit. The
+// hardened policy trades measurement time for robustness and is installed
+// automatically when a fault profile is active.
+type MeterPolicy struct {
+	// Repeats is the number of full measurements taken per operating
+	// point; the reported power is the median over the pooled samples.
+	// 1 preserves single-read semantics exactly.
+	Repeats int
+
+	// MaxRetries is how many additional attempts a transiently-failed
+	// read gets before the operating point is declared failed.
+	MaxRetries int
+
+	// RetryBackoff is the initial wait between retries; it doubles per
+	// attempt (real NVML timeouts cluster, so immediate retries lose).
+	RetryBackoff time.Duration
+
+	// QuarantineAfter is the number of failed operating points a
+	// workload tolerates before it is quarantined: further measurements
+	// fail fast with ErrQuarantined and the tuning flow proceeds over
+	// the surviving microbenchmarks.
+	QuarantineAfter int
+
+	// Robust selects the Huber/trimmed variants of the Eq. (3) fits and
+	// MAD-based rejection of outlier samples inside each measurement.
+	Robust bool
+
+	// OutlierK is the MAD multiple beyond which pooled samples are
+	// rejected when Robust aggregation runs (0 disables rejection).
+	OutlierK float64
+}
+
+// DefaultMeterPolicy is the clean-meter configuration: one read per point,
+// two retries, no robust machinery. With a fault-free meter it leaves every
+// measurement — and therefore every tuned coefficient — bit-identical to
+// the unhardened pipeline.
+func DefaultMeterPolicy() MeterPolicy {
+	return MeterPolicy{Repeats: 1, MaxRetries: 2, RetryBackoff: time.Millisecond, QuarantineAfter: 2}
+}
+
+// HardenedMeterPolicy is the configuration for measuring through a faulty
+// meter: median-of-5 reads, deeper retry budget, robust fits, and MAD
+// sample rejection.
+func HardenedMeterPolicy() MeterPolicy {
+	return MeterPolicy{
+		Repeats:         5,
+		MaxRetries:      4,
+		RetryBackoff:    time.Millisecond,
+		QuarantineAfter: 3,
+		Robust:          true,
+		OutlierK:        6,
+	}
+}
+
+// normalized clamps degenerate knob values so a zero policy behaves like
+// the default.
+func (p MeterPolicy) normalized() MeterPolicy {
+	if p.Repeats < 1 {
+		p.Repeats = 1
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.QuarantineAfter < 1 {
+		p.QuarantineAfter = 1
+	}
+	return p
+}
+
+// Measurement-path error classes. Callers skip workloads whose errors match
+// these (via IsMeasurementFailure) and abort on anything else.
+var (
+	// ErrMeasurement marks an operating point that failed all retries.
+	ErrMeasurement = errors.New("tune: measurement failed")
+	// ErrQuarantined marks workloads removed from the tuning flow after
+	// repeated measurement failures.
+	ErrQuarantined = errors.New("tune: workload quarantined")
+)
+
+// IsMeasurementFailure reports whether err is a meter-path failure the
+// tuning flow should degrade around (skip the point or the workload) rather
+// than abort on.
+func IsMeasurementFailure(err error) bool {
+	return errors.Is(err, ErrMeasurement) || errors.Is(err, ErrQuarantined)
+}
+
+// UseMeter replaces the measurement path (for example with a
+// faults.FaultyMeter wrapping the device) and installs a meter policy. It
+// must be called before the first measurement; installed caches of prior
+// measurements are cleared, traces and simulation results are kept (they do
+// not pass through the meter).
+func (tb *Testbench) UseMeter(m faults.Meter, p MeterPolicy) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.Meter = m
+	tb.Policy = p
+	tb.measures = make(map[string]*silicon.Measurement)
+	tb.profiles = make(map[string]*silicon.Counters)
+	tb.quarantined = make(map[string]string)
+	tb.failCount = make(map[string]int)
+}
+
+// NewFaultyTestbench builds a testbench whose measurements flow through a
+// fault-injected meter, with the hardened meter policy installed.
+func NewFaultyTestbench(arch *config.Arch, sc ubench.Scale, prof faults.Profile) (*Testbench, error) {
+	tb, err := NewTestbench(arch, sc)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := faults.NewFaultyMeter(tb.Device, prof)
+	if err != nil {
+		return nil, err
+	}
+	tb.UseMeter(fm, HardenedMeterPolicy())
+	return tb, nil
+}
+
+// Quarantined returns the workloads removed from the tuning flow, sorted,
+// as "name: reason" strings.
+func (tb *Testbench) Quarantined() []string {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	out := make([]string, 0, len(tb.quarantined))
+	for name, reason := range tb.quarantined {
+		out = append(out, name+": "+reason)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// quarantineLocked records a workload (or pipeline stage) as quarantined.
+// Callers hold tb.mu.
+func (tb *Testbench) quarantineLocked(name, reason string) {
+	if _, dup := tb.quarantined[name]; !dup {
+		tb.quarantined[name] = reason
+	}
+}
+
+// Quarantine records a workload as removed from the tuning flow.
+func (tb *Testbench) Quarantine(name, reason string) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.quarantineLocked(name, reason)
+}
+
+// noteFailureLocked counts a failed operating point against a workload and
+// quarantines it once the budget is exhausted. Callers hold tb.mu.
+func (tb *Testbench) noteFailureLocked(name string, p MeterPolicy, cause error) {
+	tb.failCount[name]++
+	if tb.failCount[name] >= p.QuarantineAfter {
+		tb.quarantineLocked(name, fmt.Sprintf("%d failed operating points (last: %v)", tb.failCount[name], cause))
+	}
+}
+
+// runWithRetry performs one measurement attempt with transient-error
+// retries and exponential backoff. Non-transient errors (bad traces, clock
+// out of range) surface immediately.
+func (tb *Testbench) runWithRetry(kt *trace.KernelTrace, p MeterPolicy) (*silicon.Measurement, error) {
+	backoff := p.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		m, err := tb.Meter.Run(kt)
+		if err == nil {
+			if math.IsNaN(m.AvgPowerW) || math.IsInf(m.AvgPowerW, 0) || m.AvgPowerW <= 0 {
+				// A non-physical reading is as useless as a failed
+				// one; retry it like a transient.
+				lastErr = fmt.Errorf("non-physical power reading %g W", m.AvgPowerW)
+				continue
+			}
+			return m, nil
+		}
+		if !faults.IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("all %d attempts failed: %w", p.MaxRetries+1, lastErr)
+}
+
+// profileWithRetry reads hardware counters with the same transient-error
+// retry discipline as power measurements (real profilers time out too).
+func (tb *Testbench) profileWithRetry(kt *trace.KernelTrace, p MeterPolicy) (*silicon.Counters, error) {
+	backoff := p.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		c, err := tb.Meter.Profile(kt)
+		if err == nil {
+			return c, nil
+		}
+		if !faults.IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("all %d attempts failed: %w", p.MaxRetries+1, lastErr)
+}
+
+// measurePoint reads one operating point under the policy: Repeats
+// independent reads (each with its own retry budget), aggregated by the
+// median, with optional MAD rejection of outlier samples. With Repeats=1
+// and no rejection the single read is returned untouched, keeping the
+// clean-meter path bit-identical to the historical one.
+func (tb *Testbench) measurePoint(kt *trace.KernelTrace, p MeterPolicy) (*silicon.Measurement, error) {
+	var good []*silicon.Measurement
+	var lastErr error
+	for r := 0; r < p.Repeats; r++ {
+		m, err := tb.runWithRetry(kt, p)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		good = append(good, m)
+	}
+	if len(good) == 0 {
+		return nil, lastErr
+	}
+	if len(good) == 1 && p.OutlierK <= 0 {
+		return good[0], nil
+	}
+	return aggregateMeasurements(good, p), nil
+}
+
+// aggregateMeasurements pools the samples of repeated reads, optionally
+// rejects outliers at OutlierK robust sigmas from the pooled median, and
+// reports the median of the surviving samples.
+func aggregateMeasurements(ms []*silicon.Measurement, p MeterPolicy) *silicon.Measurement {
+	out := &silicon.Measurement{
+		Cycles:   ms[0].Cycles,
+		RuntimeS: ms[0].RuntimeS,
+		ClockMHz: ms[0].ClockMHz,
+	}
+	var pool []float64
+	for _, m := range ms {
+		pool = append(pool, m.Samples...)
+	}
+	if len(pool) == 0 {
+		// Degenerate: no sample detail, fall back to per-read averages.
+		for _, m := range ms {
+			pool = append(pool, m.AvgPowerW)
+		}
+	}
+	if p.OutlierK > 0 && len(pool) >= 4 {
+		med, mad, err := stats.MAD(pool)
+		if err == nil && mad > 0 {
+			sigma := 1.4826 * mad
+			kept := pool[:0]
+			for _, s := range pool {
+				if math.Abs(s-med) <= p.OutlierK*sigma {
+					kept = append(kept, s)
+				}
+			}
+			if len(kept) > 0 {
+				pool = kept
+			}
+		}
+	}
+	out.Samples = pool
+	if med, err := stats.Median(pool); err == nil {
+		out.AvgPowerW = med
+	}
+	return out
+}
+
+// fitCubic dispatches between the plain and robust Eq. (3) fits per the
+// active policy.
+func (tb *Testbench) fitCubic(fGHz, powerW []float64) (qp.CubicFit, error) {
+	if tb.Policy.Robust {
+		return qp.FitCubicNoQuadRobust(fGHz, powerW)
+	}
+	return qp.FitCubicNoQuad(fGHz, powerW)
+}
+
+// fitLinear is the legacy-methodology analogue of fitCubic.
+func (tb *Testbench) fitLinear(fGHz, powerW []float64) (qp.LinearFit, error) {
+	if tb.Policy.Robust {
+		return qp.FitLinearRobust(fGHz, powerW)
+	}
+	return qp.FitLinear(fGHz, powerW)
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"accelwattch/internal/core"
-	"accelwattch/internal/qp"
 	"accelwattch/internal/stats"
 	"accelwattch/internal/ubench"
 )
@@ -40,16 +39,32 @@ func (tb *Testbench) fitStaticAt(mix core.MixCategory, lanes int) (float64, erro
 	for _, mhz := range staticFreqs(tb) {
 		m, err := tb.Measure(w, mhz)
 		if err != nil {
+			if IsMeasurementFailure(err) {
+				continue // tolerate holes in the reduced ladder
+			}
 			return 0, err
+		}
+		if !stats.AllFinite(m.AvgPowerW) {
+			continue
 		}
 		fs = append(fs, mhz/1000)
 		ps = append(ps, m.AvgPowerW)
 	}
-	fit, err := qp.FitCubicNoQuad(fs, ps)
+	if len(fs) < 4 {
+		return 0, fmt.Errorf("tune: static fit %v y=%d: only %d points survived: %w",
+			mix, lanes, len(fs), ErrMeasurement)
+	}
+	fit, err := tb.fitCubic(fs, ps)
 	if err != nil {
 		return 0, fmt.Errorf("tune: static fit %v y=%d: %w", mix, lanes, err)
 	}
-	return fit.StaticAt(tb.Arch.BaseClockMHz / 1000), nil
+	st := fit.StaticAt(tb.Arch.BaseClockMHz / 1000)
+	if st < 0 {
+		// Leakage is non-negative by construction; a small negative tau
+		// under a noisy meter is fit jitter, clamp it.
+		st = 0
+	}
+	return st, nil
 }
 
 // FitDivergenceModels builds the divergence-aware static models for every
@@ -65,10 +80,21 @@ func (tb *Testbench) FitDivergenceModels() ([core.NumMixCategories]core.DivModel
 	for _, mix := range ubench.DivergenceMixes(tb.Arch) {
 		first, err := tb.fitStaticAt(mix, 1)
 		if err != nil {
+			if IsMeasurementFailure(err) {
+				// The whole mix category degrades to the INT_FP model
+				// (the inheritance pass below), like an unmeasurable
+				// category would.
+				tb.Quarantine(fmt.Sprintf("div-%v", mix), fmt.Sprintf("y=1 static fit failed: %v", err))
+				continue
+			}
 			return models, nil, err
 		}
 		full, err := tb.fitStaticAt(mix, 32)
 		if err != nil {
+			if IsMeasurementFailure(err) {
+				tb.Quarantine(fmt.Sprintf("div-%v", mix), fmt.Sprintf("y=32 static fit failed: %v", err))
+				continue
+			}
 			return models, nil, err
 		}
 		if full < first {
@@ -76,19 +102,35 @@ func (tb *Testbench) FitDivergenceModels() ([core.NumMixCategories]core.DivModel
 		}
 
 		var ys []float64
+		var lanes []int
+		byLane := make(map[int]float64)
 		for _, y := range sweepLanes {
 			b := ubench.DivergenceBench(tb.Arch, tb.Scale, mix, y)
 			m, err := tb.Measure(FromBench(b), 0)
 			if err != nil {
+				if IsMeasurementFailure(err) {
+					continue // missing sweep points weaken the sawtooth test but don't kill the mix
+				}
 				return models, nil, err
 			}
+			if !stats.AllFinite(m.AvgPowerW) {
+				continue
+			}
 			ys = append(ys, m.AvgPowerW)
+			lanes = append(lanes, y)
+			byLane[y] = m.AvgPowerW
 		}
 		// Sawtooth detection: with half-warp execution, total power at
 		// y=20 sits below the y=16 peak (Section 4.4). A small margin
-		// keeps measurement noise from flipping the decision.
-		p16, p20 := ys[3], ys[4]
-		halfWarp := p20 < p16*0.995
+		// keeps measurement noise from flipping the decision. If either
+		// probe point is missing, default to the linear (no-sawtooth)
+		// model — the conservative choice.
+		halfWarp := false
+		if p16, ok16 := byLane[16]; ok16 {
+			if p20, ok20 := byLane[20]; ok20 {
+				halfWarp = p20 < p16*0.995
+			}
+		}
 
 		dm := core.FitDivModel(first, full, halfWarp)
 		models[mix] = dm
@@ -98,7 +140,7 @@ func (tb *Testbench) FitDivergenceModels() ([core.NumMixCategories]core.DivModel
 			Static32LanesW:   full,
 			HalfWarp:         halfWarp,
 			MeasuredYSweep:   ys,
-			YSweepLanes:      sweepLanes,
+			YSweepLanes:      lanes,
 			Model:            dm,
 		})
 	}
@@ -141,10 +183,14 @@ func (tb *Testbench) FitIdleSM(constW float64) (*IdleSMResult, error) {
 	for _, body := range bodies {
 		mFull, err := tb.Measure(FromBench(body.full), 0)
 		if err != nil {
+			if IsMeasurementFailure(err) {
+				tb.Quarantine("idlesm-"+body.name, fmt.Sprintf("full-occupancy measurement failed: %v", err))
+				continue
+			}
 			return nil, err
 		}
 		perActive := (mFull.AvgPowerW - constW) / float64(n) // Eq. (6)
-		if perActive <= 0 {
+		if !stats.AllFinite(perActive) || perActive <= 0 {
 			return nil, fmt.Errorf("tune: per-active-SM power non-positive for %s", body.name)
 		}
 		for _, k := range ladder {
@@ -154,11 +200,14 @@ func (tb *Testbench) FitIdleSM(constW float64) (*IdleSMResult, error) {
 			b := body.at(k)
 			m, err := tb.Measure(FromBench(b), 0)
 			if err != nil {
+				if IsMeasurementFailure(err) {
+					continue // drop the failed ladder step, keep the rest
+				}
 				return nil, err
 			}
 			idle := m.AvgPowerW - constW - perActive*float64(k) // Eq. (7)
 			perIdle := idle / float64(n-k)
-			if perIdle > 0 {
+			if stats.AllFinite(perIdle) && perIdle > 0 {
 				ests = append(ests, perIdle)
 			}
 		}

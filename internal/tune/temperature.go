@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"accelwattch/internal/isa"
+	"accelwattch/internal/stats"
 	"accelwattch/internal/ubench"
 )
 
@@ -36,28 +37,49 @@ func (tb *Testbench) FitTemperature() (*TemperatureFit, error) {
 	const step = 15.0
 	temps := []float64{65, 65 + step, 65 + 2*step}
 	powers := make([]float64, len(temps))
+	pol := tb.Policy.normalized()
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
-	tb.Device.ResetClock()
+	tb.Meter.ResetClock()
 	for i, tc := range temps {
-		tb.Device.SetTemperature(tc)
-		m, err := tb.Device.Run(kt)
+		tb.Meter.SetTemperature(tc)
+		m, err := tb.measurePoint(kt, pol)
 		if err != nil {
-			tb.Device.SetTemperature(65)
+			tb.Meter.SetTemperature(65)
+			if pol.Robust {
+				// A dead temperature ladder should not sink the whole
+				// tuning run: temperature scaling is a refinement on
+				// top of the 65C calibration point, and Coeff=0
+				// degrades gracefully to "no temperature correction".
+				tb.quarantineLocked("temperature-ladder",
+					fmt.Sprintf("measurement at %.0fC failed: %v", tc, err))
+				return &TemperatureFit{Coeff: 0, TemperaturesC: temps, PowerW: powers}, nil
+			}
 			return nil, err
 		}
 		powers[i] = m.AvgPowerW
 	}
-	tb.Device.SetTemperature(65)
+	tb.Meter.SetTemperature(65)
 
 	d01 := powers[1] - powers[0]
 	d12 := powers[2] - powers[1]
 	if d01 <= 0 || d12 <= 0 {
+		if pol.Robust {
+			tb.quarantineLocked("temperature-ladder",
+				fmt.Sprintf("power did not grow with temperature (%.2f, %.2f, %.2f W)",
+					powers[0], powers[1], powers[2]))
+			return &TemperatureFit{Coeff: 0, TemperaturesC: temps, PowerW: powers}, nil
+		}
 		return nil, fmt.Errorf("tune: power did not grow with temperature (%.2f, %.2f, %.2f W)",
 			powers[0], powers[1], powers[2])
 	}
 	coeff := math.Log(d12/d01) / step
-	if coeff <= 0 || coeff > 0.1 {
+	if !stats.AllFinite(coeff) || coeff <= 0 || coeff > 0.1 {
+		if pol.Robust {
+			tb.quarantineLocked("temperature-ladder",
+				fmt.Sprintf("implausible temperature coefficient %.4f/C", coeff))
+			return &TemperatureFit{Coeff: 0, TemperaturesC: temps, PowerW: powers}, nil
+		}
 		return nil, fmt.Errorf("tune: implausible temperature coefficient %.4f/C", coeff)
 	}
 	return &TemperatureFit{Coeff: coeff, TemperaturesC: temps, PowerW: powers}, nil

@@ -12,6 +12,7 @@ import (
 
 	"accelwattch/internal/config"
 	"accelwattch/internal/emu"
+	"accelwattch/internal/faults"
 	"accelwattch/internal/isa"
 	"accelwattch/internal/silicon"
 	"accelwattch/internal/sim"
@@ -28,11 +29,19 @@ type Testbench struct {
 	Sim    *sim.Simulator
 	Scale  ubench.Scale
 
-	mu       sync.Mutex
-	traces   map[string]*trace.KernelTrace
-	measures map[string]*silicon.Measurement
-	profiles map[string]*silicon.Counters
-	simRuns  map[string]*sim.Result
+	// Meter is the measurement path — the device itself by default, or a
+	// faults.FaultyMeter wrapping it (see UseMeter). Policy governs
+	// retries, repeats and robust aggregation on that path.
+	Meter  faults.Meter
+	Policy MeterPolicy
+
+	mu          sync.Mutex
+	traces      map[string]*trace.KernelTrace
+	measures    map[string]*silicon.Measurement
+	profiles    map[string]*silicon.Counters
+	simRuns     map[string]*sim.Result
+	quarantined map[string]string
+	failCount   map[string]int
 }
 
 // NewTestbench builds a testbench for an architecture with a silicon model.
@@ -47,10 +56,14 @@ func NewTestbench(arch *config.Arch, sc ubench.Scale) (*Testbench, error) {
 	}
 	return &Testbench{
 		Arch: arch, Device: dev, Sim: s, Scale: sc,
-		traces:   make(map[string]*trace.KernelTrace),
-		measures: make(map[string]*silicon.Measurement),
-		profiles: make(map[string]*silicon.Counters),
-		simRuns:  make(map[string]*sim.Result),
+		Meter:       dev,
+		Policy:      DefaultMeterPolicy(),
+		traces:      make(map[string]*trace.KernelTrace),
+		measures:    make(map[string]*silicon.Measurement),
+		profiles:    make(map[string]*silicon.Counters),
+		simRuns:     make(map[string]*sim.Result),
+		quarantined: make(map[string]string),
+		failCount:   make(map[string]int),
 	}, nil
 }
 
@@ -122,14 +135,19 @@ func (tb *Testbench) Measure(w Workload, clockMHz float64) (*silicon.Measurement
 	if m, ok = tb.measures[key]; ok {
 		return m, nil
 	}
-	tb.Device.SetTemperature(65)
-	if err := tb.Device.SetClock(clockMHz); err != nil {
+	if reason, bad := tb.quarantined[w.Name]; bad {
+		return nil, fmt.Errorf("tune: %s (%s): %w", w.Name, reason, ErrQuarantined)
+	}
+	pol := tb.Policy.normalized()
+	tb.Meter.SetTemperature(65)
+	if err := tb.Meter.SetClock(clockMHz); err != nil {
 		return nil, err
 	}
-	m, err = tb.Device.Run(kt)
-	tb.Device.ResetClock()
+	m, err = tb.measurePoint(kt, pol)
+	tb.Meter.ResetClock()
 	if err != nil {
-		return nil, fmt.Errorf("tune: measuring %s: %w", w.Name, err)
+		tb.noteFailureLocked(w.Name, pol, err)
+		return nil, fmt.Errorf("tune: measuring %s at %.0f MHz: %v: %w", w.Name, clockMHz, err, ErrMeasurement)
 	}
 	tb.measures[key] = m
 	return m, nil
@@ -153,9 +171,14 @@ func (tb *Testbench) Profile(w Workload) (*silicon.Counters, error) {
 	if c, ok = tb.profiles[w.Name]; ok {
 		return c, nil
 	}
-	c, err = tb.Device.Profile(kt)
+	if reason, bad := tb.quarantined[w.Name]; bad {
+		return nil, fmt.Errorf("tune: %s (%s): %w", w.Name, reason, ErrQuarantined)
+	}
+	pol := tb.Policy.normalized()
+	c, err = tb.profileWithRetry(kt, pol)
 	if err != nil {
-		return nil, fmt.Errorf("tune: profiling %s: %w", w.Name, err)
+		tb.noteFailureLocked(w.Name, pol, err)
+		return nil, fmt.Errorf("tune: profiling %s: %v: %w", w.Name, err, ErrMeasurement)
 	}
 	tb.profiles[w.Name] = c
 	return c, nil

@@ -37,6 +37,11 @@ type Result struct {
 	// the Section 5.4 comparison.
 	BestFits  [NumVariants]*DynamicFit
 	OtherFits [NumVariants]*DynamicFit
+
+	// Quarantined lists workloads and pipeline stages removed from the
+	// tuning flow after repeated measurement failures ("name: reason",
+	// sorted). Empty on a clean meter.
+	Quarantined []string
 }
 
 // Model returns the tuned model for a variant.
@@ -98,5 +103,6 @@ func Tune(tb *Testbench, opts Options) (*Result, error) {
 		out.BestFits[v] = best
 		out.OtherFits[v] = other
 	}
+	out.Quarantined = tb.Quarantined()
 	return out, nil
 }
