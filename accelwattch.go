@@ -20,7 +20,9 @@
 package accelwattch
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"accelwattch/internal/config"
@@ -88,16 +90,25 @@ var (
 
 // Session is a tuned AccelWattch deployment for one architecture.
 type Session struct {
-	tb    *tune.Testbench
-	tuned *tune.Result
-	arch  *Arch
-	scale Scale
+	tb      *tune.Testbench
+	ex      *tune.Exec
+	tuned   *tune.Result
+	arch    *Arch
+	scale   Scale
+	ctx     context.Context
+	workers int
 }
 
 // NewSession builds the testbench for an architecture and runs the full
 // tuning pipeline of Figure 1 at the given scale.
 func NewSession(arch *Arch, sc Scale) (*Session, error) {
 	return NewSessionWithOptions(arch, sc, SessionOptions{})
+}
+
+// NewSessionWithContext is NewSession with cancellation and options: ctx
+// aborts the tuning pipeline (and later evaluation calls) mid-flight.
+func NewSessionWithContext(ctx context.Context, arch *Arch, sc Scale, opts SessionOptions) (*Session, error) {
+	return newSession(ctx, arch, sc, opts)
 }
 
 // SessionOptions customises how a session measures and tunes. The zero
@@ -112,6 +123,12 @@ type SessionOptions struct {
 	// policy for a clean meter and the hardened policy (repeats, outlier
 	// rejection, robust fits, quarantine) when Faults is enabled.
 	Meter *MeterPolicy
+
+	// Workers sets the execution-engine pool size used for tuning and
+	// evaluation: 0 means GOMAXPROCS, values < 0 mean 1. Results are
+	// bit-identical at every worker count — parallelism only changes
+	// wall-clock time.
+	Workers int
 }
 
 // NamedFaultProfile returns a canned fault profile by name ("noisy",
@@ -124,8 +141,23 @@ func NamedFaultProfile(name string, seed int64) (FaultProfile, error) {
 func NamedFaultProfiles() []string { return faults.Names() }
 
 // NewSessionWithOptions is NewSession with measurement robustness knobs:
-// an optional fault-injected meter and an explicit measurement policy.
+// an optional fault-injected meter, an explicit measurement policy, and the
+// execution-engine worker count.
 func NewSessionWithOptions(arch *Arch, sc Scale, opts SessionOptions) (*Session, error) {
+	return newSession(context.Background(), arch, sc, opts)
+}
+
+func newSession(ctx context.Context, arch *Arch, sc Scale, opts SessionOptions) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	tb, err := tune.NewTestbench(arch, sc)
 	if err != nil {
 		return nil, err
@@ -147,12 +179,24 @@ func NewSessionWithOptions(arch *Arch, sc Scale, opts SessionOptions) (*Session,
 	} else if opts.Meter != nil {
 		tb.UseMeter(tb.Device, *opts.Meter)
 	}
-	tuned, err := tune.Tune(tb, tb.DefaultOptions())
+	// The engine is built after UseMeter so replicas wrap the installed
+	// meter (fault state is shared across replicas; see internal/faults).
+	ex, err := tune.NewExec(ctx, tb, workers)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{tb: tb, tuned: tuned, arch: arch, scale: sc}, nil
+	tuneOpts := tb.DefaultOptions()
+	tuneOpts.Workers = workers
+	tuned, err := ex.Tune(tuneOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{tb: tb, ex: ex, tuned: tuned, arch: arch, scale: sc, ctx: ctx, workers: workers}, nil
 }
+
+// Workers returns the execution-engine pool size the session tunes and
+// evaluates with.
+func (s *Session) Workers() int { return s.workers }
 
 // FaultStats reports the fault counters of a fault-injected session's
 // meter; ok is false for sessions measuring through the clean device.
@@ -192,7 +236,7 @@ func (s *Session) Validate(v Variant) (*ValidationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eval.Validate(s.tb, s.tuned.Model(v), v, suite)
+	return eval.ValidateExec(s.ex, s.tuned.Model(v), v, suite)
 }
 
 // ValidateAll runs all four variants (Figure 7a-d).
@@ -201,19 +245,19 @@ func (s *Session) ValidateAll() (map[Variant]*ValidationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eval.ValidateAll(s.tb, s.tuned, suite)
+	return eval.ValidateAllExec(s.ex, s.tuned, suite)
 }
 
 // CaseStudy applies this session's Volta-tuned model to another
 // architecture without retuning (Section 7.1).
 func (s *Session) CaseStudy(target *Arch) (*eval.CaseStudyResult, error) {
-	return eval.CaseStudy(s.tuned, target, s.scale)
+	return eval.CaseStudyContext(s.ctx, s.tuned, target, s.scale, s.workers)
 }
 
 // DeepBench runs the Section 7.2 case study with the SASS SIM model.
 func (s *Session) DeepBench() ([]eval.DeepBenchResult, float64, error) {
 	suite := workloads.DeepBenchSuite(s.arch, s.scale)
-	return eval.DeepBenchStudy(s.tb, s.tuned.Model(SASSSIM), suite)
+	return eval.DeepBenchStudyExec(s.ex, s.tuned.Model(SASSSIM), suite)
 }
 
 // CompareGPUWattch applies the legacy GPUWattch Fermi configuration to this

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"accelwattch/internal/config"
@@ -25,6 +26,7 @@ func main() {
 		archName = flag.String("arch", "volta", "target architecture (volta, pascal, turing)")
 		exp      = flag.String("exp", "all", "experiment: dvfs, gating, divergence, idlesm, or all")
 		full     = flag.Bool("full", false, "use the full-fidelity workload scale")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -40,12 +42,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ex, err := tune.NewExec(nil, tb, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	run := func(name string, f func(*tune.Testbench) error) {
+	run := func(name string, f func(*tune.Exec) error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := f(tb); err != nil {
+		if err := f(ex); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 	}
@@ -55,9 +61,10 @@ func main() {
 	run("idlesm", sweepIdleSM)
 }
 
-func sweepDVFS(tb *tune.Testbench) error {
+func sweepDVFS(ex *tune.Exec) error {
+	tb := ex.TB()
 	fmt.Println("== Figure 2: total power vs core clock, with Eq.(3) fits ==")
-	res, err := tb.EstimateConstPower(tune.DefaultSweep(tb.Arch.MinClockMHz+65, tb.Arch.MaxClockMHz))
+	res, err := ex.EstimateConstPower(tune.DefaultSweep(tb.Arch.MinClockMHz+65, tb.Arch.MaxClockMHz))
 	if err != nil {
 		return err
 	}
@@ -76,7 +83,8 @@ func sweepDVFS(tb *tune.Testbench) error {
 	return nil
 }
 
-func sweepGating(tb *tune.Testbench) error {
+func sweepGating(ex *tune.Exec) error {
+	tb := ex.TB()
 	fmt.Println("== Figure 3: power-gating lane/SM activation ladder ==")
 	n := tb.Arch.NumSMs
 	configs := []struct {
@@ -113,9 +121,24 @@ func sweepGating(tb *tune.Testbench) error {
 	return nil
 }
 
-func sweepDivergence(tb *tune.Testbench) error {
+func sweepDivergence(ex *tune.Exec) error {
+	tb := ex.TB()
 	fmt.Println("== Figure 4: power vs active threads per warp ==")
-	for _, mix := range []core.MixCategory{core.MixIntMul, core.MixIntFP, core.MixIntFPSFU} {
+	mixes := []core.MixCategory{core.MixIntMul, core.MixIntFP, core.MixIntFPSFU}
+	var tasks []func(*tune.Testbench) error
+	for _, mix := range mixes {
+		for y := 4; y <= 32; y += 4 {
+			b := ubench.DivergenceBench(tb.Arch, tb.Scale, mix, y)
+			tasks = append(tasks, func(r *tune.Testbench) error {
+				_, err := r.Measure(tune.FromBench(b), 0)
+				return err
+			})
+		}
+	}
+	if err := ex.Warm(tasks); err != nil {
+		return err
+	}
+	for _, mix := range mixes {
 		fmt.Printf("%s:", mix)
 		for y := 4; y <= 32; y += 4 {
 			b := ubench.DivergenceBench(tb.Arch, tb.Scale, mix, y)
@@ -132,10 +155,23 @@ func sweepDivergence(tb *tune.Testbench) error {
 	return nil
 }
 
-func sweepIdleSM(tb *tune.Testbench) error {
+func sweepIdleSM(ex *tune.Exec) error {
+	tb := ex.TB()
 	fmt.Println("== Figure 5: power vs idle SM count (INT_MUL) ==")
 	n := tb.Arch.NumSMs
-	for _, active := range []int{n, 3 * n / 4, n / 2, n / 4, n / 8, 1} {
+	ladder := []int{n, 3 * n / 4, n / 2, n / 4, n / 8, 1}
+	var tasks []func(*tune.Testbench) error
+	for _, active := range ladder {
+		b := ubench.OccupancyBench(tb.Arch, tb.Scale, active)
+		tasks = append(tasks, func(r *tune.Testbench) error {
+			_, err := r.Measure(tune.FromBench(b), 0)
+			return err
+		})
+	}
+	if err := ex.Warm(tasks); err != nil {
+		return err
+	}
+	for _, active := range ladder {
 		b := ubench.OccupancyBench(tb.Arch, tb.Scale, active)
 		m, err := tb.Measure(tune.FromBench(b), 0)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -27,6 +28,7 @@ func main() {
 		faultName = flag.String("faults", "off", "inject power-meter faults while tuning ("+
 			strings.Join(accelwattch.NamedFaultProfiles(), ", ")+")")
 		faultSeed = flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -57,7 +59,7 @@ func main() {
 		fmt.Printf("injecting %q power-meter faults (seed %d); hardened measurement policy\n",
 			*faultName, *faultSeed)
 	}
-	sess, err := accelwattch.NewSessionWithOptions(arch, sc, accelwattch.SessionOptions{Faults: &prof})
+	sess, err := accelwattch.NewSessionWithOptions(arch, sc, accelwattch.SessionOptions{Faults: &prof, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"accelwattch"
@@ -25,6 +26,7 @@ func main() {
 		doDeep    = flag.Bool("deepbench", true, "run the DeepBench case study")
 		doLegacy  = flag.Bool("gpuwattch", true, "run the GPUWattch baseline comparison")
 		perKernel = flag.Bool("kernels", false, "print per-kernel rows (Figure 9)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -33,7 +35,8 @@ func main() {
 		sc = accelwattch.Full
 	}
 	fmt.Println("tuning AccelWattch on the Volta testbench...")
-	sess, err := accelwattch.NewSession(accelwattch.Volta(), sc)
+	sess, err := accelwattch.NewSessionWithOptions(accelwattch.Volta(), sc,
+		accelwattch.SessionOptions{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

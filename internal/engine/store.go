@@ -1,0 +1,58 @@
+package engine
+
+import "sync"
+
+// Store is a concurrency-safe singleflight memo map: for each key the
+// compute function runs exactly once, process-wide, and every caller —
+// concurrent or later — receives the identical value and error.
+//
+// Caching errors alongside values is what keeps parallel runs bit-identical
+// to sequential ones when computations carry per-key attempt counters (the
+// fault injector's retry streams): a failed measurement is never silently
+// retried with fresh state by a later caller.
+type Store[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*storeEntry[V]
+}
+
+type storeEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// NewStore returns an empty store.
+func NewStore[K comparable, V any]() *Store[K, V] {
+	return &Store[K, V]{m: make(map[K]*storeEntry[V])}
+}
+
+// Do returns the memoised result for key, running compute (at most once,
+// globally) on a miss. Concurrent callers of the same key block until the
+// first caller's compute returns, then share its result.
+func (s *Store[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if !ok {
+		e = &storeEntry[V]{}
+		s.m[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.val, e.err = compute()
+	})
+	return e.val, e.err
+}
+
+// Len returns the number of keys with a started computation.
+func (s *Store[K, V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Reset discards every memoised entry.
+func (s *Store[K, V]) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[K]*storeEntry[V])
+}

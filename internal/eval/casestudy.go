@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"accelwattch/internal/config"
@@ -34,7 +35,17 @@ func constMultFor(arch *config.Arch) float64 {
 // applied when nodes differ (Pascal, 16 nm), constant power is adjusted for
 // Turing, and traces are re-extracted on the target GPU (Section 7.1).
 func CaseStudy(tuned *tune.Result, target *config.Arch, sc ubench.Scale) (*CaseStudyResult, error) {
+	return CaseStudyContext(context.Background(), tuned, target, sc, 1)
+}
+
+// CaseStudyContext is CaseStudy with cancellation and an execution-engine
+// worker count; results are identical at every worker count.
+func CaseStudyContext(ctx context.Context, tuned *tune.Result, target *config.Arch, sc ubench.Scale, workers int) (*CaseStudyResult, error) {
 	tb, err := tune.NewTestbench(target, sc)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := tune.NewExec(ctx, tb, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -49,14 +60,14 @@ func CaseStudy(tuned *tune.Result, target *config.Arch, sc ubench.Scale) (*CaseS
 		return nil, fmt.Errorf("eval: retarget SASS model: %w", err)
 	}
 	out.Model = sassModel
-	if out.SASS, err = Validate(tb, sassModel, tune.SASSSIM, suite); err != nil {
+	if out.SASS, err = ValidateExec(ex, sassModel, tune.SASSSIM, suite); err != nil {
 		return nil, err
 	}
 	ptxModel, err := tuned.Model(tune.PTXSIM).Retarget(target, constMultFor(target))
 	if err != nil {
 		return nil, err
 	}
-	if out.PTX, err = Validate(tb, ptxModel, tune.PTXSIM, suite); err != nil {
+	if out.PTX, err = ValidateExec(ex, ptxModel, tune.PTXSIM, suite); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -24,52 +24,23 @@ type DeepBenchResult struct {
 // concurrent kernel group is replayed on silicon and on the simulator, and
 // group powers combine energy-weighted into the benchmark's average power.
 func DeepBenchStudy(tb *tune.Testbench, model *core.Model, suite []workloads.DeepBenchmark) ([]DeepBenchResult, float64, error) {
-	var out []DeepBenchResult
+	return DeepBenchStudyExec(tb.Sequential(), model, suite)
+}
+
+// DeepBenchStudyExec is DeepBenchStudy with the per-benchmark replays fanned
+// out across the engine's replica pool. Silicon and simulator replays are
+// deterministic functions of the kernel groups (device noise is keyed by
+// operating point, not call order), so the figures are identical at every
+// worker count.
+func DeepBenchStudyExec(ex *tune.Exec, model *core.Model, suite []workloads.DeepBenchmark) ([]DeepBenchResult, float64, error) {
+	out, err := tune.Map(ex, suite, func(tb *tune.Testbench, db workloads.DeepBenchmark) (DeepBenchResult, error) {
+		return deepBenchOne(tb, model, db)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
 	var meas, est []float64
-	for _, db := range suite {
-		// Collect traces once per kernel.
-		traces := make([]*trace.KernelTrace, len(db.Kernels))
-		for i := range db.Kernels {
-			k := &db.Kernels[i]
-			w := tune.Workload{Name: k.Name, Kernel: k.Kernel, Setup: k.Setup}
-			kt, err := tb.Trace(w, isa.SASS)
-			if err != nil {
-				return nil, 0, err
-			}
-			traces[i] = kt
-		}
-		var mEnergy, mTime, eEnergy, eTime float64
-		for _, group := range db.Groups {
-			gts := make([]*trace.KernelTrace, 0, len(group))
-			for _, gi := range group {
-				gts = append(gts, traces[gi])
-			}
-			// Hardware measurement of the concurrent group.
-			m, err := tb.Device.Run(gts...)
-			if err != nil {
-				return nil, 0, err
-			}
-			mEnergy += m.AvgPowerW * m.RuntimeS
-			mTime += m.RuntimeS
-			// Simulator + power model on the same group.
-			r, err := tb.Sim.Run(gts...)
-			if err != nil {
-				return nil, 0, err
-			}
-			p, err := model.EstimatePower(r.Aggregate)
-			if err != nil {
-				return nil, 0, fmt.Errorf("eval: deepbench %s: %w", db.Name, err)
-			}
-			t := r.Cycles / (tb.Arch.BaseClockMHz * 1e6)
-			eEnergy += p * t
-			eTime += t
-		}
-		res := DeepBenchResult{
-			Name:       db.Name,
-			MeasuredW:  mEnergy / mTime,
-			EstimatedW: eEnergy / eTime,
-		}
-		out = append(out, res)
+	for _, res := range out {
 		meas = append(meas, res.MeasuredW)
 		est = append(est, res.EstimatedW)
 	}
@@ -78,4 +49,52 @@ func DeepBenchStudy(tb *tune.Testbench, model *core.Model, suite []workloads.Dee
 		return nil, 0, err
 	}
 	return out, mape, nil
+}
+
+// deepBenchOne replays one benchmark's kernel groups on silicon and on the
+// simulator and combines group powers energy-weighted.
+func deepBenchOne(tb *tune.Testbench, model *core.Model, db workloads.DeepBenchmark) (DeepBenchResult, error) {
+	// Collect traces once per kernel (shared across replicas via the
+	// artifact store).
+	traces := make([]*trace.KernelTrace, len(db.Kernels))
+	for i := range db.Kernels {
+		k := &db.Kernels[i]
+		w := tune.Workload{Name: k.Name, Kernel: k.Kernel, Setup: k.Setup}
+		kt, err := tb.Trace(w, isa.SASS)
+		if err != nil {
+			return DeepBenchResult{}, err
+		}
+		traces[i] = kt
+	}
+	var mEnergy, mTime, eEnergy, eTime float64
+	for _, group := range db.Groups {
+		gts := make([]*trace.KernelTrace, 0, len(group))
+		for _, gi := range group {
+			gts = append(gts, traces[gi])
+		}
+		// Hardware measurement of the concurrent group.
+		m, err := tb.Device.Run(gts...)
+		if err != nil {
+			return DeepBenchResult{}, err
+		}
+		mEnergy += m.AvgPowerW * m.RuntimeS
+		mTime += m.RuntimeS
+		// Simulator + power model on the same group.
+		r, err := tb.Sim.Run(gts...)
+		if err != nil {
+			return DeepBenchResult{}, err
+		}
+		p, err := model.EstimatePower(r.Aggregate)
+		if err != nil {
+			return DeepBenchResult{}, fmt.Errorf("eval: deepbench %s: %w", db.Name, err)
+		}
+		t := r.Cycles / (tb.Arch.BaseClockMHz * 1e6)
+		eEnergy += p * t
+		eTime += t
+	}
+	return DeepBenchResult{
+		Name:       db.Name,
+		MeasuredW:  mEnergy / mTime,
+		EstimatedW: eEnergy / eTime,
+	}, nil
 }

@@ -2,10 +2,16 @@ package eval
 
 import (
 	"math"
+	"sync"
 	"testing"
 
+	"accelwattch/internal/config"
 	"accelwattch/internal/core"
+	"accelwattch/internal/faults"
+	"accelwattch/internal/silicon"
+	"accelwattch/internal/trace"
 	"accelwattch/internal/tune"
+	"accelwattch/internal/ubench"
 	"accelwattch/internal/workloads"
 )
 
@@ -120,5 +126,77 @@ func TestGroupNames(t *testing.T) {
 	}
 	if Group(99).String() != "?" {
 		t.Error("out-of-range group should print ?")
+	}
+}
+
+// countingMeter wraps the device and counts Run calls per kernel name, to
+// prove the artifact store shares silicon measurements across variants.
+type countingMeter struct {
+	faults.Meter
+	mu   sync.Mutex
+	runs map[string]int
+}
+
+func (c *countingMeter) Run(kts ...*trace.KernelTrace) (*silicon.Measurement, error) {
+	c.mu.Lock()
+	for _, kt := range kts {
+		c.runs[kt.Kernel.Name]++
+	}
+	c.mu.Unlock()
+	return c.Meter.Run(kts...)
+}
+
+// TestValidateAllMeasuresEachKernelOnce asserts the satellite requirement
+// that the four-variant validation measures each kernel on silicon exactly
+// once: the measurement is keyed by (workload, frequency), not by variant.
+func TestValidateAllMeasuresEachKernelOnce(t *testing.T) {
+	arch := config.Volta()
+	sc := ubench.Scale{Iters: 2, Unroll: 1, WarpsPerCTA: 2}
+	tb, err := tune.NewTestbench(arch, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := &countingMeter{Meter: tb.Device, runs: map[string]int{}}
+	tb.UseMeter(cm, tune.DefaultMeterPolicy())
+
+	model := &core.Model{
+		Arch:         arch,
+		BaseEnergyPJ: core.InitialEnergiesPJ(),
+		ConstW:       30,
+		IdleSMW:      0.03,
+		RefSMs:       arch.NumSMs,
+	}
+	for i := range model.Scale {
+		model.Scale[i] = 1
+	}
+	tuned := &tune.Result{}
+	for _, v := range tune.Variants() {
+		tuned.Models[v] = model
+	}
+	suite, err := workloads.ValidationSuite(arch, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ValidateAll(tb, tuned, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != int(tune.NumVariants) {
+		t.Fatalf("got %d variants, want %d", len(all), tune.NumVariants)
+	}
+	if len(cm.runs) == 0 {
+		t.Fatal("counting meter saw no measurements")
+	}
+	for name, n := range cm.runs {
+		if n != 1 {
+			t.Errorf("kernel %s measured %d times across variants, want exactly 1", name, n)
+		}
+	}
+}
+
+func TestRelErrPctNaNOnZeroMeasurement(t *testing.T) {
+	k := KernelResult{MeasuredW: 0, EstimatedW: 50}
+	if got := k.RelErrPct(); !math.IsNaN(got) {
+		t.Fatalf("RelErrPct with zero measurement = %v, want NaN", got)
 	}
 }

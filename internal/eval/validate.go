@@ -6,6 +6,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 
 	"accelwattch/internal/core"
 	"accelwattch/internal/stats"
@@ -21,8 +22,13 @@ type KernelResult struct {
 	Breakdown  core.Breakdown
 }
 
-// RelErrPct returns the signed relative error in percent.
+// RelErrPct returns the signed relative error in percent. A degenerate
+// zero-measured kernel reports NaN ("no defined error") rather than an
+// infinity that would poison downstream aggregates.
 func (k *KernelResult) RelErrPct() float64 {
+	if k.MeasuredW == 0 {
+		return math.NaN()
+	}
 	return 100 * (k.EstimatedW - k.MeasuredW) / k.MeasuredW
 }
 
@@ -52,6 +58,34 @@ func inSuite(k *workloads.Kernel, v tune.Variant) bool {
 // Validate runs the model over the validation suite under one variant and
 // compares against silicon measurements (the Figure 7 experiment).
 func Validate(tb *tune.Testbench, model *core.Model, v tune.Variant, suite []workloads.Kernel) (*ValidationResult, error) {
+	return ValidateExec(tb.Sequential(), model, v, suite)
+}
+
+// ValidateExec is Validate through an execution engine: the per-kernel
+// measurements and activity extractions warm across the worker pool, then
+// the sequential comparison replays against the memoised artifacts, so the
+// result is identical at every worker count.
+func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []workloads.Kernel) (*ValidationResult, error) {
+	var tasks []func(*tune.Testbench) error
+	for i := range suite {
+		k := &suite[i]
+		if !inSuite(k, v) {
+			continue
+		}
+		w := tune.Workload{Name: k.Name, Kernel: k.Kernel, Setup: k.Setup}
+		tasks = append(tasks, func(r *tune.Testbench) error {
+			if _, err := r.Measure(w, 0); err != nil {
+				return err
+			}
+			_, err := r.Activity(w, v)
+			return err
+		})
+	}
+	if err := ex.Warm(tasks); err != nil {
+		return nil, err
+	}
+
+	tb := ex.TB()
 	res := &ValidationResult{Variant: v}
 	var meas, est []float64
 	for i := range suite {
@@ -94,11 +128,18 @@ func Validate(tb *tune.Testbench, model *core.Model, v tune.Variant, suite []wor
 	return res, nil
 }
 
-// ValidateAll runs all four variants over the suite (Figure 7).
+// ValidateAll runs all four variants over the suite (Figure 7). Each kernel
+// is measured on silicon exactly once — the artifact store shares the
+// measurement across all four variants.
 func ValidateAll(tb *tune.Testbench, tuned *tune.Result, suite []workloads.Kernel) (map[tune.Variant]*ValidationResult, error) {
+	return ValidateAllExec(tb.Sequential(), tuned, suite)
+}
+
+// ValidateAllExec is ValidateAll through an execution engine.
+func ValidateAllExec(ex *tune.Exec, tuned *tune.Result, suite []workloads.Kernel) (map[tune.Variant]*ValidationResult, error) {
 	out := make(map[tune.Variant]*ValidationResult, tune.NumVariants)
 	for _, v := range tune.Variants() {
-		r, err := Validate(tb, tuned.Model(v), v, suite)
+		r, err := ValidateExec(ex, tuned.Model(v), v, suite)
 		if err != nil {
 			return nil, fmt.Errorf("eval: variant %v: %w", v, err)
 		}

@@ -14,6 +14,12 @@
 // counter, so runs are reproducible, repeated reads of the same operating
 // point see fresh faults (which is what makes median aggregation effective),
 // and results do not depend on the interleaving of different workloads.
+//
+// Stateful fault classes (the lag filter's EMA and the stuck sensor's stale
+// value) keep their history per operating point, not globally, for the same
+// reason: a reading must be a pure function of (seed, point, attempt), so
+// that the concurrent execution engine can measure points in any order — or
+// on any replica, via Replicate — and still produce bit-identical readings.
 package faults
 
 import (
@@ -24,6 +30,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"accelwattch/internal/config"
 	"accelwattch/internal/silicon"
@@ -67,7 +74,8 @@ type Profile struct {
 	// moving average: reported = alpha*raw + (1-alpha)*previous. Values
 	// near 0 model a sensor with large thermal mass; 0 disables, 1 is an
 	// instantaneous (fault-free) sensor. The filter state persists across
-	// reads, so a short kernel measured after a hot one reads high.
+	// reads of the same operating point, so repeated reads of a point see
+	// a smeared history seeded by its previous reading.
 	LagAlpha float64
 
 	// ErrorRate is the probability that a whole read (Run or Profile)
@@ -80,13 +88,22 @@ type Profile struct {
 	DropRate float64
 
 	// StuckRate is the probability that a read reports the meter's
-	// previous reading instead of a fresh one (a stuck/stale sensor).
+	// previous reading of the same operating point instead of a fresh one
+	// (a stuck/stale sensor).
 	StuckRate float64
 
 	// SpikeRate is the probability that each sample is multiplied by
 	// SpikeFactor — the occasional wild outlier real NVML logs show.
 	SpikeRate   float64
 	SpikeFactor float64
+
+	// ReadLatency is the wall-clock cost of one power measurement — the
+	// seconds of looped-kernel NVML sampling a real rig spends per
+	// operating point (Section 4.1). It only sleeps; readings are
+	// untouched, so it does not count as a fault for Enabled and does not
+	// trigger the hardened measurement policy. It exists to make the
+	// execution engine's latency-hiding measurable.
+	ReadLatency time.Duration
 }
 
 // Enabled reports whether the profile injects any fault at all.
@@ -191,17 +208,27 @@ type Stats struct {
 	DroppedSamples  int64
 }
 
-// FaultyMeter wraps a Meter with the fault composition of a Profile. It is
-// safe for concurrent use (the wrapped device's own locking discipline still
-// applies, as with the real testbench mutex).
+// FaultyMeter wraps a Meter with the fault composition of a Profile. Its
+// mutable fault state — attempt counters, per-point last readings, fault
+// statistics — lives in a meterState shared by every replica (see
+// Replicate), so a pool of replicas injects faults exactly as one meter
+// would. All of that state is keyed by operating point, never by call
+// order, which is what keeps concurrent measurement bit-identical to
+// sequential.
 type FaultyMeter struct {
 	inner Meter
 	prof  Profile
+	st    *meterState
+}
 
+// meterState is the cross-replica fault state. attempts and last are keyed
+// by operating point; a point's reads are serialised by the artifact
+// store's singleflight above this layer, so per-key sequences (attempt
+// numbers, lag history) advance deterministically under any scheduling.
+type meterState struct {
 	mu       sync.Mutex
 	attempts map[string]int64
-	lastW    float64
-	hasLast  bool
+	last     map[string]float64 // previous successful reading per point
 	stats    Stats
 }
 
@@ -210,7 +237,19 @@ func NewFaultyMeter(inner Meter, prof Profile) (*FaultyMeter, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
-	return &FaultyMeter{inner: inner, prof: prof, attempts: make(map[string]int64)}, nil
+	return &FaultyMeter{
+		inner: inner,
+		prof:  prof,
+		st:    &meterState{attempts: make(map[string]int64), last: make(map[string]float64)},
+	}, nil
+}
+
+// Replicate returns a meter that injects the same fault composition around
+// a different inner meter — typically a replica of the wrapped device —
+// while sharing all fault state with the original. Readings depend only on
+// the operating point, so replicas and the original are interchangeable.
+func (f *FaultyMeter) Replicate(inner Meter) *FaultyMeter {
+	return &FaultyMeter{inner: inner, prof: f.prof, st: f.st}
 }
 
 // Inner returns the wrapped meter.
@@ -219,20 +258,21 @@ func (f *FaultyMeter) Inner() Meter { return f.inner }
 // Profile returns the active fault profile.
 func (f *FaultyMeter) FaultProfile() Profile { return f.prof }
 
-// Stats returns a snapshot of the injected-fault counters.
+// Stats returns a snapshot of the injected-fault counters, aggregated
+// across all replicas sharing this meter's state.
 func (f *FaultyMeter) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	f.st.mu.Lock()
+	defer f.st.mu.Unlock()
+	return f.st.stats
 }
 
 // Pass-through device control.
-func (f *FaultyMeter) Arch() *config.Arch        { return f.inner.Arch() }
+func (f *FaultyMeter) Arch() *config.Arch         { return f.inner.Arch() }
 func (f *FaultyMeter) SetClock(mhz float64) error { return f.inner.SetClock(mhz) }
-func (f *FaultyMeter) ResetClock()               { f.inner.ResetClock() }
-func (f *FaultyMeter) ClockMHz() float64         { return f.inner.ClockMHz() }
-func (f *FaultyMeter) SetTemperature(c float64)  { f.inner.SetTemperature(c) }
-func (f *FaultyMeter) Temperature() float64      { return f.inner.Temperature() }
+func (f *FaultyMeter) ResetClock()                { f.inner.ResetClock() }
+func (f *FaultyMeter) ClockMHz() float64          { return f.inner.ClockMHz() }
+func (f *FaultyMeter) SetTemperature(c float64)   { f.inner.SetTemperature(c) }
+func (f *FaultyMeter) Temperature() float64       { return f.inner.Temperature() }
 
 // pointKey identifies one operating point: the same composition the device
 // uses to seed its intrinsic sample noise.
@@ -254,10 +294,10 @@ func (f *FaultyMeter) rng(key string, attempt int64) *rand.Rand {
 
 // nextAttempt bumps and returns the per-point attempt counter.
 func (f *FaultyMeter) nextAttempt(key string) int64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.attempts[key]++
-	return f.attempts[key]
+	f.st.mu.Lock()
+	defer f.st.mu.Unlock()
+	f.st.attempts[key]++
+	return f.st.attempts[key]
 }
 
 // Run replays the traces on the wrapped meter and passes the measurement
@@ -266,6 +306,9 @@ func (f *FaultyMeter) nextAttempt(key string) int64 {
 // drops) in physical order — the spike corrupts the sensor input, the lag
 // filter smears it, the quantizer formats it, and the transport drops it.
 func (f *FaultyMeter) Run(kts ...*trace.KernelTrace) (*silicon.Measurement, error) {
+	if f.prof.ReadLatency > 0 {
+		time.Sleep(f.prof.ReadLatency)
+	}
 	if !f.prof.Enabled() {
 		return f.inner.Run(kts...)
 	}
@@ -274,9 +317,9 @@ func (f *FaultyMeter) Run(kts ...*trace.KernelTrace) (*silicon.Measurement, erro
 	rng := f.rng(key, attempt)
 
 	if f.prof.ErrorRate > 0 && rng.Float64() < f.prof.ErrorRate {
-		f.mu.Lock()
-		f.stats.TransientErrors++
-		f.mu.Unlock()
+		f.st.mu.Lock()
+		f.st.stats.TransientErrors++
+		f.st.mu.Unlock()
 		return nil, &TransientError{Op: "run", Point: key, Attempt: attempt}
 	}
 
@@ -285,9 +328,9 @@ func (f *FaultyMeter) Run(kts ...*trace.KernelTrace) (*silicon.Measurement, erro
 		return nil, err
 	}
 
-	f.mu.Lock()
-	lastW, hasLast := f.lastW, f.hasLast
-	f.mu.Unlock()
+	f.st.mu.Lock()
+	lastW, hasLast := f.st.last[key]
+	f.st.mu.Unlock()
 
 	out := &silicon.Measurement{
 		Cycles:   m.Cycles,
@@ -296,15 +339,15 @@ func (f *FaultyMeter) Run(kts ...*trace.KernelTrace) (*silicon.Measurement, erro
 	}
 
 	if f.prof.StuckRate > 0 && hasLast && rng.Float64() < f.prof.StuckRate {
-		// The sensor repeats its previous reading verbatim.
+		// The sensor repeats its previous reading of this point verbatim.
 		for range m.Samples {
 			out.Samples = append(out.Samples, lastW)
 		}
 		out.AvgPowerW = lastW
-		f.mu.Lock()
-		f.stats.StuckReads++
-		f.stats.Reads++
-		f.mu.Unlock()
+		f.st.mu.Lock()
+		f.st.stats.StuckReads++
+		f.st.stats.Reads++
+		f.st.mu.Unlock()
 		return out, nil
 	}
 
@@ -337,23 +380,23 @@ func (f *FaultyMeter) Run(kts ...*trace.KernelTrace) (*silicon.Measurement, erro
 		sum += s
 	}
 
-	f.mu.Lock()
-	f.stats.Spikes += spikes
-	f.stats.DroppedSamples += dropped
-	f.mu.Unlock()
+	f.st.mu.Lock()
+	f.st.stats.Spikes += spikes
+	f.st.stats.DroppedSamples += dropped
+	f.st.mu.Unlock()
 
 	if len(out.Samples) == 0 {
-		f.mu.Lock()
-		f.stats.TransientErrors++
-		f.mu.Unlock()
+		f.st.mu.Lock()
+		f.st.stats.TransientErrors++
+		f.st.mu.Unlock()
 		return nil, &TransientError{Op: "run", Point: key, Attempt: attempt}
 	}
 	out.AvgPowerW = sum / float64(len(out.Samples))
 
-	f.mu.Lock()
-	f.lastW, f.hasLast = out.AvgPowerW, true
-	f.stats.Reads++
-	f.mu.Unlock()
+	f.st.mu.Lock()
+	f.st.last[key] = out.AvgPowerW
+	f.st.stats.Reads++
+	f.st.mu.Unlock()
 	return out, nil
 }
 
@@ -365,9 +408,9 @@ func (f *FaultyMeter) Profile(kts ...*trace.KernelTrace) (*silicon.Counters, err
 		key := f.pointKey("profile", kts)
 		attempt := f.nextAttempt(key)
 		if f.rng(key, attempt).Float64() < f.prof.ErrorRate {
-			f.mu.Lock()
-			f.stats.TransientErrors++
-			f.mu.Unlock()
+			f.st.mu.Lock()
+			f.st.stats.TransientErrors++
+			f.st.mu.Unlock()
 			return nil, &TransientError{Op: "profile", Point: key, Attempt: attempt}
 		}
 	}

@@ -3,6 +3,7 @@ package faults
 import (
 	"math"
 	"testing"
+	"time"
 
 	"accelwattch/internal/config"
 	"accelwattch/internal/emu"
@@ -228,38 +229,147 @@ func TestSpikesInflateReadings(t *testing.T) {
 	}
 }
 
-func TestLagSmearsAcrossReads(t *testing.T) {
+// The lag filter low-pass filters the sample stream: the smoothed series
+// must have visibly less sample-to-sample variance than the raw one.
+func TestLagSmoothsSamples(t *testing.T) {
 	kt := testTrace(t)
-	dev := testDevice(t)
-	fm := mustMeter(t, dev, Profile{Seed: 17, LagAlpha: 0.2})
-	// Warm the filter at a high clock, then read at a low one: the lagged
-	// reading must sit above the true low-clock power.
-	if err := fm.SetClock(dev.Arch().MaxClockMHz); err != nil {
+	direct, err := testDevice(t).Run(kt)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fm.Run(kt); err != nil {
-		t.Fatal(err)
-	}
-	if err := fm.SetClock(dev.Arch().MinClockMHz); err != nil {
-		t.Fatal(err)
-	}
+	fm := mustMeter(t, testDevice(t), Profile{Seed: 17, LagAlpha: 0.2})
 	lagged, err := fm.Run(kt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fm.ResetClock()
-
-	clean := testDevice(t)
-	if err := clean.SetClock(dev.Arch().MinClockMHz); err != nil {
-		t.Fatal(err)
+	variance := func(xs []float64) float64 {
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		return v / float64(len(xs))
 	}
-	truth, err := clean.Run(kt)
+	vd, vl := variance(direct.Samples), variance(lagged.Samples)
+	if vl >= vd {
+		t.Fatalf("lag filter did not smooth: variance %g (lagged) >= %g (raw)", vl, vd)
+	}
+}
+
+// The lag filter's EMA persists across reads of the same operating point:
+// a point's second read is seeded by its first reading, so it differs from
+// what a first read at the same attempt would produce, deterministically.
+func TestLagPersistsPerPoint(t *testing.T) {
+	kt := testTrace(t)
+	fm := mustMeter(t, testDevice(t), Profile{Seed: 17, LagAlpha: 0.2})
+	first, err := fm.Run(kt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lagged.AvgPowerW <= truth.AvgPowerW {
-		t.Fatalf("lagged reading %v should exceed true power %v after a hot prior read",
-			lagged.AvgPowerW, truth.AvgPowerW)
+	second, err := fm.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.AvgPowerW == second.AvgPowerW {
+		t.Fatal("repeated lagged reads were identical; the EMA never advanced")
+	}
+	// Determinism: a fresh meter with the same seed reproduces both reads.
+	fm2 := mustMeter(t, testDevice(t), Profile{Seed: 17, LagAlpha: 0.2})
+	r1, err := fm2.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := fm2.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.AvgPowerW != first.AvgPowerW || r2.AvgPowerW != second.AvgPowerW {
+		t.Fatalf("lagged read sequence not reproducible: (%v, %v) vs (%v, %v)",
+			r1.AvgPowerW, r2.AvgPowerW, first.AvgPowerW, second.AvgPowerW)
+	}
+}
+
+// Readings must be a pure function of (seed, operating point, attempt):
+// interleaving reads of different points differently must not change any
+// reading. This is the property that lets the execution engine schedule
+// measurements in any order, on any replica.
+func TestFaultStateIsPerOperatingPoint(t *testing.T) {
+	kt := testTrace(t)
+	prof := Profile{Seed: 23, NoiseSigma: 0.05, LagAlpha: 0.3, StuckRate: 0.2}
+
+	read := func(fm *FaultyMeter, mhz float64) float64 {
+		t.Helper()
+		if err := fm.SetClock(mhz); err != nil {
+			t.Fatal(err)
+		}
+		m, err := fm.Run(kt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.AvgPowerW
+	}
+
+	dev := testDevice(t)
+	lo, hi := dev.Arch().MinClockMHz, dev.Arch().MaxClockMHz
+
+	// Order 1: lo, lo, hi, hi. Order 2: hi, lo, hi, lo. Each point sees
+	// attempts 1 and 2 in both orders; readings must match exactly.
+	a := mustMeter(t, dev, prof)
+	lo1, lo2 := read(a, lo), read(a, lo)
+	hi1, hi2 := read(a, hi), read(a, hi)
+
+	b := mustMeter(t, testDevice(t), prof)
+	hi1b := read(b, hi)
+	lo1b := read(b, lo)
+	hi2b := read(b, hi)
+	lo2b := read(b, lo)
+
+	if lo1 != lo1b || lo2 != lo2b || hi1 != hi1b || hi2 != hi2b {
+		t.Fatalf("readings depend on interleaving:\n  lo: (%v, %v) vs (%v, %v)\n  hi: (%v, %v) vs (%v, %v)",
+			lo1, lo2, lo1b, lo2b, hi1, hi2, hi1b, hi2b)
+	}
+}
+
+// Replicate must share attempt counters, per-point state and statistics:
+// a read on the original followed by a read on the replica is exactly a
+// single meter reading the point twice.
+func TestReplicateSharesState(t *testing.T) {
+	kt := testTrace(t)
+	prof := Profile{Seed: 9, NoiseSigma: 0.05, LagAlpha: 0.3}
+
+	fm := mustMeter(t, testDevice(t), prof)
+	rep := fm.Replicate(testDevice(t))
+	m1, err := fm.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := rep.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solo := mustMeter(t, testDevice(t), prof)
+	s1, err := solo.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := solo.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.AvgPowerW != s1.AvgPowerW || m2.AvgPowerW != s2.AvgPowerW {
+		t.Fatalf("replica pair read (%v, %v), single meter read (%v, %v)",
+			m1.AvgPowerW, m2.AvgPowerW, s1.AvgPowerW, s2.AvgPowerW)
+	}
+	if got := fm.Stats().Reads; got != 2 {
+		t.Fatalf("stats not aggregated across replicas: %d reads, want 2", got)
+	}
+	if fm.Stats() != rep.Stats() {
+		t.Fatal("original and replica report different stats")
 	}
 }
 
@@ -302,5 +412,40 @@ func TestNamedProfiles(t *testing.T) {
 	}
 	if _, err := Named("bogus", 1); err == nil {
 		t.Error("unknown profile name accepted")
+	}
+}
+
+// ReadLatency is a wall-clock knob, not a fault: a latency-only profile
+// must not count as Enabled (so it never triggers the hardened policy),
+// must sleep roughly the configured duration per read, and must leave the
+// readings bit-identical to the bare device.
+func TestReadLatencyOnlySleeps(t *testing.T) {
+	dev := testDevice(t)
+	kt := testTrace(t)
+	prof := Profile{Seed: 7, ReadLatency: 30 * time.Millisecond}
+	if prof.Enabled() {
+		t.Fatal("latency-only profile must not report Enabled")
+	}
+	fm := mustMeter(t, dev, prof)
+
+	direct, err := dev.Run(kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	wrapped, err := fm.Run(kt)
+	took := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took < prof.ReadLatency {
+		t.Fatalf("read returned after %v, want >= %v", took, prof.ReadLatency)
+	}
+	if wrapped.AvgPowerW != direct.AvgPowerW {
+		t.Fatalf("latency profile altered reading: %v != %v", wrapped.AvgPowerW, direct.AvgPowerW)
+	}
+	st := fm.Stats()
+	if st != (Stats{}) {
+		t.Fatalf("latency-only profile injected faults: %+v", st)
 	}
 }

@@ -188,3 +188,29 @@ func TestQuickPearsonAffineInvariance(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Degenerate measured series must never produce ±Inf: RelErr reports NaN
+// (detectable with AllFinite) and the aggregate metrics report errors.
+func TestDegenerateMeasuredSeries(t *testing.T) {
+	if got := RelErr(0, 50); !math.IsNaN(got) {
+		t.Errorf("RelErr(0, 50) = %v, want NaN", got)
+	}
+	if got := RelErr(0, 0); !math.IsNaN(got) {
+		t.Errorf("RelErr(0, 0) = %v, want NaN", got)
+	}
+	if AllFinite(RelErr(0, 50)) {
+		t.Error("degenerate RelErr must fail AllFinite")
+	}
+	if _, err := MAPE([]float64{10, 0}, []float64{10, 5}); err == nil {
+		t.Error("MAPE must error on a zero measurement, not return Inf")
+	}
+	if _, _, err := MAPEWithCI([]float64{10, 0}, []float64{10, 5}); err == nil {
+		t.Error("MAPEWithCI must error on a zero measurement")
+	}
+	if _, err := MaxAPE([]float64{0}, []float64{5}); err == nil {
+		t.Error("MaxAPE must error on a zero measurement, not return Inf")
+	}
+	if _, err := Pearson([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("Pearson must error on a constant series, not divide by zero")
+	}
+}

@@ -55,7 +55,32 @@ type ConstPowerResult struct {
 // the y-intercepts. It also reports the (broken) legacy linear estimate for
 // the GPUWattch comparison.
 func (tb *Testbench) EstimateConstPower(sweep FreqSweep) (*ConstPowerResult, error) {
+	return tb.Sequential().EstimateConstPower(sweep)
+}
+
+// EstimateConstPower warms every (workload, frequency) operating point of
+// the DVFS ladder across the worker pool, then replays the Section 4.2
+// fitting flow against the memoised measurements.
+func (ex *Exec) EstimateConstPower(sweep FreqSweep) (*ConstPowerResult, error) {
+	tb := ex.TB()
 	benches := ubench.DVFSSuite(tb.Arch, tb.Scale)
+	var tasks []func(*Testbench) error
+	for _, b := range benches {
+		w := FromBench(b)
+		for _, mhz := range sweep.Points() {
+			tasks = append(tasks, func(r *Testbench) error {
+				_, err := r.Measure(w, mhz)
+				return err
+			})
+		}
+	}
+	if err := ex.Warm(tasks); err != nil {
+		return nil, err
+	}
+	return tb.estimateConstPower(sweep, benches)
+}
+
+func (tb *Testbench) estimateConstPower(sweep FreqSweep, benches []ubench.Bench) (*ConstPowerResult, error) {
 	res := &ConstPowerResult{}
 	var intercepts, lineIntercepts []float64
 	for _, b := range benches {

@@ -64,6 +64,10 @@ func (tb *Testbench) buildProblem(benches []ubench.Bench, v Variant, m *core.Mod
 		mm, err := tb.Measure(w, 0)
 		if err != nil {
 			if IsMeasurementFailure(err) {
+				// The failed point is memoised, so every variant sees this
+				// identical outcome; record the drop (constant reason —
+				// whichever variant gets here first writes the same thing).
+				tb.Quarantine(b.Name, "measurement failed; dropped from tuning set")
 				continue
 			}
 			return nil, nil, nil, err

@@ -1,0 +1,75 @@
+package tune
+
+import (
+	"context"
+
+	"accelwattch/internal/engine"
+)
+
+// Exec is a testbench bound to an execution context: a worker pool of
+// testbench replicas plus a cancellation context. Tuning and evaluation
+// stages fan their measurement work out through it, then replay their
+// (unchanged, sequential) model-fitting logic against the now-warm artifact
+// store — which is what makes a parallel run bit-identical to a sequential
+// one at any worker count.
+type Exec struct {
+	ctx  context.Context
+	pool *engine.Pool[*Testbench]
+}
+
+// NewExec builds an execution engine over tb with the given worker count
+// (values < 1 mean 1). A nil ctx means context.Background(). Workers beyond
+// the first get replicas of tb via Testbench.Replicate; call it after
+// UseMeter so replicas wrap the installed meter.
+func NewExec(ctx context.Context, tb *Testbench, workers int) (*Exec, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pool, err := engine.NewPool(tb, workers, tb.Replicate)
+	if err != nil {
+		return nil, err
+	}
+	return &Exec{ctx: ctx, pool: pool}, nil
+}
+
+// Sequential wraps the testbench in a single-worker engine, the drop-in
+// equivalent of the historical direct-call path.
+func (tb *Testbench) Sequential() *Exec {
+	return &Exec{ctx: context.Background(), pool: engine.PoolOf(tb)}
+}
+
+// Ctx returns the engine's cancellation context.
+func (ex *Exec) Ctx() context.Context { return ex.ctx }
+
+// TB returns the primary testbench (the one the engine was built from).
+func (ex *Exec) TB() *Testbench { return ex.pool.Primary() }
+
+// Workers returns the pool size.
+func (ex *Exec) Workers() int { return ex.pool.Workers() }
+
+// Map fans fn over items across ex's replica pool. Results arrive in input
+// order and the reported error on failure is the lowest-index one — exactly
+// what a sequential loop over items would produce.
+func Map[T, V any](ex *Exec, items []T, fn func(*Testbench, T) (V, error)) ([]V, error) {
+	return engine.Map(ex.ctx, ex.pool, items, func(_ context.Context, tb *Testbench, it T) (V, error) {
+		return fn(tb, it)
+	})
+}
+
+// Warm fans the tasks out across the pool to populate the artifact store.
+// Measurement failures (ErrMeasurement, ErrQuarantined) are swallowed —
+// they are memoised per key, and the sequential replay that follows makes
+// the skip-or-abort decision exactly where it always did. Any other error
+// cancels the remaining tasks and is returned.
+func (ex *Exec) Warm(tasks []func(*Testbench) error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	_, err := engine.Map(ex.ctx, ex.pool, tasks, func(_ context.Context, tb *Testbench, task func(*Testbench) error) (struct{}, error) {
+		if err := task(tb); err != nil && !IsMeasurementFailure(err) {
+			return struct{}{}, err
+		}
+		return struct{}{}, nil
+	})
+	return err
+}

@@ -106,18 +106,18 @@ func IsMeasurementFailure(err error) bool {
 
 // UseMeter replaces the measurement path (for example with a
 // faults.FaultyMeter wrapping the device) and installs a meter policy. It
-// must be called before the first measurement; installed caches of prior
-// measurements are cleared, traces and simulation results are kept (they do
-// not pass through the meter).
+// must be called before the first measurement and before any replicas are
+// made; cached measurements and profiles are cleared, traces and simulation
+// results are kept (they do not pass through the meter).
 func (tb *Testbench) UseMeter(m faults.Meter, p MeterPolicy) {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
 	tb.Meter = m
 	tb.Policy = p
-	tb.measures = make(map[string]*silicon.Measurement)
-	tb.profiles = make(map[string]*silicon.Counters)
-	tb.quarantined = make(map[string]string)
-	tb.failCount = make(map[string]int)
+	tb.arts.measures.Reset()
+	tb.arts.profiles.Reset()
+	tb.arts.mu.Lock()
+	tb.arts.quarantined = make(map[string]string)
+	tb.arts.failCount = make(map[string]int)
+	tb.arts.mu.Unlock()
 }
 
 // NewFaultyTestbench builds a testbench whose measurements flow through a
@@ -138,37 +138,41 @@ func NewFaultyTestbench(arch *config.Arch, sc ubench.Scale, prof faults.Profile)
 // Quarantined returns the workloads removed from the tuning flow, sorted,
 // as "name: reason" strings.
 func (tb *Testbench) Quarantined() []string {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	out := make([]string, 0, len(tb.quarantined))
-	for name, reason := range tb.quarantined {
+	a := tb.arts
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.quarantined))
+	for name, reason := range a.quarantined {
 		out = append(out, name+": "+reason)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// quarantineLocked records a workload (or pipeline stage) as quarantined.
-// Callers hold tb.mu.
-func (tb *Testbench) quarantineLocked(name, reason string) {
-	if _, dup := tb.quarantined[name]; !dup {
-		tb.quarantined[name] = reason
+// Quarantine records a workload as removed from the tuning flow.
+func (tb *Testbench) Quarantine(name, reason string) {
+	a := tb.arts
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.quarantined[name]; !dup {
+		a.quarantined[name] = reason
 	}
 }
 
-// Quarantine records a workload as removed from the tuning flow.
-func (tb *Testbench) Quarantine(name, reason string) {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	tb.quarantineLocked(name, reason)
-}
-
-// noteFailureLocked counts a failed operating point against a workload and
-// quarantines it once the budget is exhausted. Callers hold tb.mu.
-func (tb *Testbench) noteFailureLocked(name string, p MeterPolicy, cause error) {
-	tb.failCount[name]++
-	if tb.failCount[name] >= p.QuarantineAfter {
-		tb.quarantineLocked(name, fmt.Sprintf("%d failed operating points (last: %v)", tb.failCount[name], cause))
+// noteFailure counts a failed operating point against a workload and
+// quarantines it once the budget is exhausted. The reason reports only the
+// count — each failed point is memoised by the artifact store, so the count
+// at quarantine is always exactly QuarantineAfter regardless of the order
+// replicas hit the points, keeping the reason string schedule-independent.
+func (tb *Testbench) noteFailure(name string, p MeterPolicy) {
+	a := tb.arts
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.failCount[name]++
+	if a.failCount[name] >= p.QuarantineAfter {
+		if _, dup := a.quarantined[name]; !dup {
+			a.quarantined[name] = fmt.Sprintf("%d failed operating points", a.failCount[name])
+		}
 	}
 }
 

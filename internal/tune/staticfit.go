@@ -73,6 +73,43 @@ func (tb *Testbench) fitStaticAt(mix core.MixCategory, lanes int) (float64, erro
 // base clock (the sawtooth test of Figure 4 — does power drop when the
 // second half-warp activates?).
 func (tb *Testbench) FitDivergenceModels() ([core.NumMixCategories]core.DivModel, []DivergenceFit, error) {
+	return tb.Sequential().FitDivergenceModels()
+}
+
+// FitDivergenceModels warms every operating point the Sections 4.4-4.5
+// construction touches — the y=1 and y=32 frequency sweeps plus the y-sweep
+// at the base clock, for every mix category — then replays the sequential
+// fitting flow against the memoised measurements.
+func (ex *Exec) FitDivergenceModels() ([core.NumMixCategories]core.DivModel, []DivergenceFit, error) {
+	tb := ex.TB()
+	sweepLanes := []int{4, 8, 12, 16, 20, 24, 28, 32}
+	var tasks []func(*Testbench) error
+	for _, mix := range ubench.DivergenceMixes(tb.Arch) {
+		for _, lanes := range []int{1, 32} {
+			w := FromBench(ubench.DivergenceBench(tb.Arch, tb.Scale, mix, lanes))
+			for _, mhz := range staticFreqs(tb) {
+				tasks = append(tasks, func(r *Testbench) error {
+					_, err := r.Measure(w, mhz)
+					return err
+				})
+			}
+		}
+		for _, y := range sweepLanes {
+			w := FromBench(ubench.DivergenceBench(tb.Arch, tb.Scale, mix, y))
+			tasks = append(tasks, func(r *Testbench) error {
+				_, err := r.Measure(w, 0)
+				return err
+			})
+		}
+	}
+	var models [core.NumMixCategories]core.DivModel
+	if err := ex.Warm(tasks); err != nil {
+		return models, nil, err
+	}
+	return tb.fitDivergenceModels()
+}
+
+func (tb *Testbench) fitDivergenceModels() ([core.NumMixCategories]core.DivModel, []DivergenceFit, error) {
 	var models [core.NumMixCategories]core.DivModel
 	var fits []DivergenceFit
 	sweepLanes := []int{4, 8, 12, 16, 20, 24, 28, 32}
@@ -166,6 +203,40 @@ type IdleSMResult struct {
 // all-SM run, Eq. (7) the residual attributed to idle SMs, and Eq. (8)
 // combines per-benchmark estimates with a geometric mean.
 func (tb *Testbench) FitIdleSM(constW float64) (*IdleSMResult, error) {
+	return tb.Sequential().FitIdleSM(constW)
+}
+
+// FitIdleSM warms the full-occupancy runs and the occupancy ladder of the
+// Section 4.6 construction across the pool, then replays the sequential
+// estimation against the memoised measurements.
+func (ex *Exec) FitIdleSM(constW float64) (*IdleSMResult, error) {
+	tb := ex.TB()
+	n := tb.Arch.NumSMs
+	ladder := []int{n / 8, n / 4, n / 2, 3 * n / 4}
+	var tasks []func(*Testbench) error
+	for _, at := range []func(int) ubench.Bench{
+		func(k int) ubench.Bench { return ubench.OccupancyBench(tb.Arch, tb.Scale, k) },
+		func(k int) ubench.Bench { return ubench.OccupancyBenchFP(tb.Arch, tb.Scale, k) },
+	} {
+		ks := append([]int{n}, ladder...)
+		for _, k := range ks {
+			if k <= 0 || k > n {
+				continue
+			}
+			w := FromBench(at(k))
+			tasks = append(tasks, func(r *Testbench) error {
+				_, err := r.Measure(w, 0)
+				return err
+			})
+		}
+	}
+	if err := ex.Warm(tasks); err != nil {
+		return nil, err
+	}
+	return tb.fitIdleSM(constW)
+}
+
+func (tb *Testbench) fitIdleSM(constW float64) (*IdleSMResult, error) {
 	n := tb.Arch.NumSMs
 	ladder := []int{n / 8, n / 4, n / 2, 3 * n / 4}
 	bodies := []struct {

@@ -38,8 +38,6 @@ func (tb *Testbench) FitTemperature() (*TemperatureFit, error) {
 	temps := []float64{65, 65 + step, 65 + 2*step}
 	powers := make([]float64, len(temps))
 	pol := tb.Policy.normalized()
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
 	tb.Meter.ResetClock()
 	for i, tc := range temps {
 		tb.Meter.SetTemperature(tc)
@@ -51,7 +49,7 @@ func (tb *Testbench) FitTemperature() (*TemperatureFit, error) {
 				// tuning run: temperature scaling is a refinement on
 				// top of the 65C calibration point, and Coeff=0
 				// degrades gracefully to "no temperature correction".
-				tb.quarantineLocked("temperature-ladder",
+				tb.Quarantine("temperature-ladder",
 					fmt.Sprintf("measurement at %.0fC failed: %v", tc, err))
 				return &TemperatureFit{Coeff: 0, TemperaturesC: temps, PowerW: powers}, nil
 			}
@@ -65,7 +63,7 @@ func (tb *Testbench) FitTemperature() (*TemperatureFit, error) {
 	d12 := powers[2] - powers[1]
 	if d01 <= 0 || d12 <= 0 {
 		if pol.Robust {
-			tb.quarantineLocked("temperature-ladder",
+			tb.Quarantine("temperature-ladder",
 				fmt.Sprintf("power did not grow with temperature (%.2f, %.2f, %.2f W)",
 					powers[0], powers[1], powers[2]))
 			return &TemperatureFit{Coeff: 0, TemperaturesC: temps, PowerW: powers}, nil
@@ -76,7 +74,7 @@ func (tb *Testbench) FitTemperature() (*TemperatureFit, error) {
 	coeff := math.Log(d12/d01) / step
 	if !stats.AllFinite(coeff) || coeff <= 0 || coeff > 0.1 {
 		if pol.Robust {
-			tb.quarantineLocked("temperature-ladder",
+			tb.Quarantine("temperature-ladder",
 				fmt.Sprintf("implausible temperature coefficient %.4f/C", coeff))
 			return &TemperatureFit{Coeff: 0, TemperaturesC: temps, PowerW: powers}, nil
 		}

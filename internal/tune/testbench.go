@@ -12,6 +12,7 @@ import (
 
 	"accelwattch/internal/config"
 	"accelwattch/internal/emu"
+	"accelwattch/internal/engine"
 	"accelwattch/internal/faults"
 	"accelwattch/internal/isa"
 	"accelwattch/internal/silicon"
@@ -20,9 +21,13 @@ import (
 	"accelwattch/internal/ubench"
 )
 
-// Testbench bundles one target device with its performance simulator and
-// caches functional traces and measurements, since the tuning flow replays
-// the same kernels at many frequencies.
+// Testbench bundles one target device with its performance simulator. It is
+// read-only after construction (UseMeter aside) except for the shared
+// artifact store, so Replicate can hand each engine worker its own device
+// and simulator while all replicas memoise traces, measurements, profiles
+// and simulation results in one place — the tuning flow replays the same
+// kernels at many frequencies, and the 4-variant validation replays the
+// same kernels per variant, so nothing is ever emulated twice.
 type Testbench struct {
 	Arch   *config.Arch
 	Device *silicon.Device
@@ -35,13 +40,46 @@ type Testbench struct {
 	Meter  faults.Meter
 	Policy MeterPolicy
 
+	arts *artifacts
+}
+
+// traceKey identifies a functional trace or simulation run.
+type traceKey struct {
+	name  string
+	level isa.Level
+}
+
+// measureKey identifies one silicon operating point.
+type measureKey struct {
+	name     string
+	clockMHz float64
+}
+
+// artifacts is the concurrency-safe store shared by a testbench and all of
+// its replicas. Each entry is computed exactly once, process-wide, keyed by
+// (workload, frequency) or (workload, ISA level) — never by call order —
+// and errors are cached alongside values so a failed measurement is never
+// silently retried with fresh fault state by a later caller.
+type artifacts struct {
+	traces   *engine.Store[traceKey, *trace.KernelTrace]
+	measures *engine.Store[measureKey, *silicon.Measurement]
+	profiles *engine.Store[string, *silicon.Counters]
+	simRuns  *engine.Store[traceKey, *sim.Result]
+
 	mu          sync.Mutex
-	traces      map[string]*trace.KernelTrace
-	measures    map[string]*silicon.Measurement
-	profiles    map[string]*silicon.Counters
-	simRuns     map[string]*sim.Result
 	quarantined map[string]string
 	failCount   map[string]int
+}
+
+func newArtifacts() *artifacts {
+	return &artifacts{
+		traces:      engine.NewStore[traceKey, *trace.KernelTrace](),
+		measures:    engine.NewStore[measureKey, *silicon.Measurement](),
+		profiles:    engine.NewStore[string, *silicon.Counters](),
+		simRuns:     engine.NewStore[traceKey, *sim.Result](),
+		quarantined: make(map[string]string),
+		failCount:   make(map[string]int),
+	}
 }
 
 // NewTestbench builds a testbench for an architecture with a silicon model.
@@ -56,15 +94,45 @@ func NewTestbench(arch *config.Arch, sc ubench.Scale) (*Testbench, error) {
 	}
 	return &Testbench{
 		Arch: arch, Device: dev, Sim: s, Scale: sc,
-		Meter:       dev,
-		Policy:      DefaultMeterPolicy(),
-		traces:      make(map[string]*trace.KernelTrace),
-		measures:    make(map[string]*silicon.Measurement),
-		profiles:    make(map[string]*silicon.Counters),
-		simRuns:     make(map[string]*sim.Result),
-		quarantined: make(map[string]string),
-		failCount:   make(map[string]int),
+		Meter:  dev,
+		Policy: DefaultMeterPolicy(),
+		arts:   newArtifacts(),
 	}, nil
+}
+
+// Replicate builds a worker-private copy of the testbench for the execution
+// engine: a fresh device and simulator (both deterministic, so replicas
+// measure exactly what the original would), sharing the artifact store and
+// quarantine state. A fault-injected meter is replicated around the new
+// device with shared fault state; any other custom meter is shared as-is
+// and must be safe for concurrent use (or the caller must keep workers=1).
+func (tb *Testbench) Replicate() (*Testbench, error) {
+	dev, err := silicon.NewDevice(tb.Arch)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(tb.Arch)
+	if err != nil {
+		return nil, err
+	}
+	nt := &Testbench{
+		Arch: tb.Arch, Device: dev, Sim: s, Scale: tb.Scale,
+		Policy: tb.Policy,
+		arts:   tb.arts,
+	}
+	switch m := tb.Meter.(type) {
+	case *silicon.Device:
+		nt.Meter = dev
+	case *faults.FaultyMeter:
+		if d, ok := m.Inner().(*silicon.Device); ok && d == tb.Device {
+			nt.Meter = m.Replicate(dev)
+		} else {
+			nt.Meter = m
+		}
+	default:
+		nt.Meter = tb.Meter
+	}
+	return nt, nil
 }
 
 // Workload is anything the testbench can run: a kernel plus its memory
@@ -91,119 +159,79 @@ func (w *Workload) newMemory() *emu.Memory {
 // Trace returns the functional trace of the workload at the given ISA
 // level, computing and caching it on first use (the NVBit step).
 func (tb *Testbench) Trace(w Workload, level isa.Level) (*trace.KernelTrace, error) {
-	key := fmt.Sprintf("%s@%v", w.Name, level)
-	tb.mu.Lock()
-	kt, ok := tb.traces[key]
-	tb.mu.Unlock()
-	if ok {
+	return tb.arts.traces.Do(traceKey{w.Name, level}, func() (*trace.KernelTrace, error) {
+		k, err := isa.ForLevel(w.Kernel, level)
+		if err != nil {
+			return nil, err
+		}
+		kt, err := emu.Run(k, w.newMemory())
+		if err != nil {
+			return nil, fmt.Errorf("tune: tracing %s: %w", w.Name, err)
+		}
 		return kt, nil
-	}
-	k, err := isa.ForLevel(w.Kernel, level)
-	if err != nil {
-		return nil, err
-	}
-	kt, err = emu.Run(k, w.newMemory())
-	if err != nil {
-		return nil, fmt.Errorf("tune: tracing %s: %w", w.Name, err)
-	}
-	tb.mu.Lock()
-	tb.traces[key] = kt
-	tb.mu.Unlock()
-	return kt, nil
+	})
 }
 
 // Measure runs the workload on the silicon at the given core clock (0 means
 // the base applications clock) following the methodology of Section 4.1
 // (65C die temperature, locked clocks) and returns the NVML measurement.
+// Each operating point is measured exactly once across all replicas; a
+// failed point counts toward the workload's quarantine budget and its error
+// is cached, so repeated sweeps see a stable outcome.
 func (tb *Testbench) Measure(w Workload, clockMHz float64) (*silicon.Measurement, error) {
 	if clockMHz == 0 {
 		clockMHz = tb.Arch.BaseClockMHz
 	}
-	key := fmt.Sprintf("%s@%.0fMHz", w.Name, clockMHz)
-	tb.mu.Lock()
-	m, ok := tb.measures[key]
-	tb.mu.Unlock()
-	if ok {
+	return tb.arts.measures.Do(measureKey{w.Name, clockMHz}, func() (*silicon.Measurement, error) {
+		kt, err := tb.Trace(w, isa.SASS)
+		if err != nil {
+			return nil, err
+		}
+		pol := tb.Policy.normalized()
+		tb.Meter.SetTemperature(65)
+		if err := tb.Meter.SetClock(clockMHz); err != nil {
+			return nil, err
+		}
+		m, err := tb.measurePoint(kt, pol)
+		tb.Meter.ResetClock()
+		if err != nil {
+			tb.noteFailure(w.Name, pol)
+			return nil, fmt.Errorf("tune: measuring %s at %.0f MHz: %v: %w", w.Name, clockMHz, err, ErrMeasurement)
+		}
 		return m, nil
-	}
-	kt, err := tb.Trace(w, isa.SASS)
-	if err != nil {
-		return nil, err
-	}
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	if m, ok = tb.measures[key]; ok {
-		return m, nil
-	}
-	if reason, bad := tb.quarantined[w.Name]; bad {
-		return nil, fmt.Errorf("tune: %s (%s): %w", w.Name, reason, ErrQuarantined)
-	}
-	pol := tb.Policy.normalized()
-	tb.Meter.SetTemperature(65)
-	if err := tb.Meter.SetClock(clockMHz); err != nil {
-		return nil, err
-	}
-	m, err = tb.measurePoint(kt, pol)
-	tb.Meter.ResetClock()
-	if err != nil {
-		tb.noteFailureLocked(w.Name, pol, err)
-		return nil, fmt.Errorf("tune: measuring %s at %.0f MHz: %v: %w", w.Name, clockMHz, err, ErrMeasurement)
-	}
-	tb.measures[key] = m
-	return m, nil
+	})
 }
 
 // Profile returns the hardware performance counters for the workload at the
 // base clock (the Nsight Compute step of the HW/HYBRID variants).
 func (tb *Testbench) Profile(w Workload) (*silicon.Counters, error) {
-	tb.mu.Lock()
-	c, ok := tb.profiles[w.Name]
-	tb.mu.Unlock()
-	if ok {
+	return tb.arts.profiles.Do(w.Name, func() (*silicon.Counters, error) {
+		kt, err := tb.Trace(w, isa.SASS)
+		if err != nil {
+			return nil, err
+		}
+		pol := tb.Policy.normalized()
+		c, err := tb.profileWithRetry(kt, pol)
+		if err != nil {
+			tb.noteFailure(w.Name, pol)
+			return nil, fmt.Errorf("tune: profiling %s: %v: %w", w.Name, err, ErrMeasurement)
+		}
 		return c, nil
-	}
-	kt, err := tb.Trace(w, isa.SASS)
-	if err != nil {
-		return nil, err
-	}
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	if c, ok = tb.profiles[w.Name]; ok {
-		return c, nil
-	}
-	if reason, bad := tb.quarantined[w.Name]; bad {
-		return nil, fmt.Errorf("tune: %s (%s): %w", w.Name, reason, ErrQuarantined)
-	}
-	pol := tb.Policy.normalized()
-	c, err = tb.profileWithRetry(kt, pol)
-	if err != nil {
-		tb.noteFailureLocked(w.Name, pol, err)
-		return nil, fmt.Errorf("tune: profiling %s: %v: %w", w.Name, err, ErrMeasurement)
-	}
-	tb.profiles[w.Name] = c
-	return c, nil
+	})
 }
 
 // Simulate runs the performance simulator on the workload at the given ISA
 // level, caching results.
 func (tb *Testbench) Simulate(w Workload, level isa.Level) (*sim.Result, error) {
-	key := fmt.Sprintf("%s@%v", w.Name, level)
-	tb.mu.Lock()
-	r, ok := tb.simRuns[key]
-	tb.mu.Unlock()
-	if ok {
+	return tb.arts.simRuns.Do(traceKey{w.Name, level}, func() (*sim.Result, error) {
+		kt, err := tb.Trace(w, level)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tb.Sim.Run(kt)
+		if err != nil {
+			return nil, fmt.Errorf("tune: simulating %s: %w", w.Name, err)
+		}
 		return r, nil
-	}
-	kt, err := tb.Trace(w, level)
-	if err != nil {
-		return nil, err
-	}
-	r, err = tb.Sim.Run(kt)
-	if err != nil {
-		return nil, fmt.Errorf("tune: simulating %s: %w", w.Name, err)
-	}
-	tb.mu.Lock()
-	tb.simRuns[key] = r
-	tb.mu.Unlock()
-	return r, nil
+	})
 }

@@ -1,9 +1,11 @@
 package tune
 
 import (
+	"context"
 	"fmt"
 
 	"accelwattch/internal/core"
+	"accelwattch/internal/engine"
 	"accelwattch/internal/qp"
 	"accelwattch/internal/ubench"
 )
@@ -12,6 +14,12 @@ import (
 type Options struct {
 	Sweep FreqSweep  // DVFS ladder for constant-power estimation
 	QP    qp.Options // quadratic-programming solver settings
+
+	// Workers is the execution-engine pool size. Values < 1 mean 1
+	// (sequential), which is also the safe default for testbenches with
+	// custom meters that cannot be replicated. Results are bit-identical
+	// at every worker count.
+	Workers int
 }
 
 // DefaultOptions uses the device's full frequency range.
@@ -50,28 +58,51 @@ func (r *Result) Model(v Variant) *core.Model { return r.Models[v] }
 // Tune runs the complete Figure 1 flow on a testbench: constant power
 // (Section 4.2), divergence-aware static models (Sections 4.3-4.5), idle-SM
 // power (Section 4.6), and per-variant dynamic tuning via quadratic
-// programming over the 102 microbenchmarks (Section 5).
+// programming over the 102 microbenchmarks (Section 5). opts.Workers sets
+// the execution-engine parallelism; output is identical at any setting.
 func Tune(tb *Testbench, opts Options) (*Result, error) {
+	return TuneContext(context.Background(), tb, opts)
+}
+
+// TuneContext is Tune with cancellation: ctx aborts in-flight measurement
+// fan-out between (and inside) pipeline stages.
+func TuneContext(ctx context.Context, tb *Testbench, opts Options) (*Result, error) {
+	ex, err := NewExec(ctx, tb, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Tune(opts)
+}
+
+// Tune runs the complete Figure 1 flow through the execution engine: each
+// stage warms its measurements across the worker pool, replays its fitting
+// logic sequentially against the memoised artifacts, and the per-variant
+// dynamic tuning fans out one variant per worker.
+func (ex *Exec) Tune(opts Options) (*Result, error) {
+	tb := ex.TB()
 	out := &Result{}
 
-	cp, err := tb.EstimateConstPower(opts.Sweep)
+	cp, err := ex.EstimateConstPower(opts.Sweep)
 	if err != nil {
 		return nil, fmt.Errorf("tune: constant power: %w", err)
 	}
 	out.ConstPower = cp
 
-	divModels, divFits, err := tb.FitDivergenceModels()
+	divModels, divFits, err := ex.FitDivergenceModels()
 	if err != nil {
 		return nil, fmt.Errorf("tune: divergence models: %w", err)
 	}
 	out.DivFits = divFits
 
-	idle, err := tb.FitIdleSM(cp.ConstW)
+	idle, err := ex.FitIdleSM(cp.ConstW)
 	if err != nil {
 		return nil, fmt.Errorf("tune: idle SM: %w", err)
 	}
 	out.IdleSM = idle
 
+	// The temperature ladder reuses one kernel at three die temperatures —
+	// inherently serial (the meter state is the variable under test), so it
+	// runs on the primary replica.
 	temp, err := tb.FitTemperature()
 	if err != nil {
 		return nil, fmt.Errorf("tune: temperature factor: %w", err)
@@ -88,20 +119,46 @@ func Tune(tb *Testbench, opts Options) (*Result, error) {
 		TempCoeff:    temp.Coeff,
 	}
 
-	benches, err := ubench.Suite(tb.Arch, tb.Scale)
+	benches, err := ubench.SuiteParallel(ex.ctx, tb.Arch, tb.Scale, ex.Workers())
 	if err != nil {
 		return nil, err
 	}
-	for _, v := range Variants() {
-		best, other, err := tb.TuneDynamic(benches, v, skeleton, opts.QP)
-		if err != nil {
-			return nil, err
-		}
+
+	// Warm every artifact the per-variant QP systems need — activities for
+	// all four variants plus the base-clock measurement per microbenchmark —
+	// so the variant fan-out below only reads the store.
+	var tasks []func(*Testbench) error
+	for _, b := range benches {
+		w := FromBench(b)
+		tasks = append(tasks, func(r *Testbench) error {
+			for _, v := range Variants() {
+				if _, err := r.Activity(w, v); err != nil && !IsMeasurementFailure(err) {
+					return err
+				}
+			}
+			_, err := r.Measure(w, 0)
+			return err
+		})
+	}
+	if err := ex.Warm(tasks); err != nil {
+		return nil, err
+	}
+
+	type variantFit struct{ best, other *DynamicFit }
+	fits, err := engine.Map(ex.ctx, ex.pool, Variants(),
+		func(_ context.Context, r *Testbench, v Variant) (variantFit, error) {
+			best, other, err := r.TuneDynamic(benches, v, skeleton, opts.QP)
+			return variantFit{best, other}, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range Variants() {
 		m := *skeleton
-		m.Scale = best.Scale
+		m.Scale = fits[i].best.Scale
 		out.Models[v] = &m
-		out.BestFits[v] = best
-		out.OtherFits[v] = other
+		out.BestFits[v] = fits[i].best
+		out.OtherFits[v] = fits[i].other
 	}
 	out.Quarantined = tb.Quarantined()
 	return out, nil

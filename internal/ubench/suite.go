@@ -1,9 +1,11 @@
 package ubench
 
 import (
+	"context"
 	"fmt"
 
 	"accelwattch/internal/config"
+	"accelwattch/internal/engine"
 	"accelwattch/internal/isa"
 )
 
@@ -11,8 +13,30 @@ import (
 // architecture. The inventory is checked against the paper's per-category
 // counts before returning.
 func Suite(arch *config.Arch, sc Scale) ([]Bench, error) {
-	var out []Bench
-	add := func(o genOpts) { out = append(out, gen(arch, sc, o)) }
+	return SuiteParallel(context.Background(), arch, sc, 1)
+}
+
+// SuiteParallel generates the Table 2 suite with kernel construction fanned
+// out across workers. gen is a pure function of its spec, so the resulting
+// slice is identical at every worker count (and to Suite's).
+func SuiteParallel(ctx context.Context, arch *config.Arch, sc Scale, workers int) ([]Bench, error) {
+	specs := suiteSpecs(arch)
+	out, err := engine.MapN(ctx, workers, len(specs), func(_ context.Context, i int) (Bench, error) {
+		return gen(arch, sc, specs[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSuiteCounts(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// suiteSpecs lists the generator options of every Table 2 microbenchmark.
+func suiteSpecs(arch *config.Arch) []genOpts {
+	var out []genOpts
+	add := func(o genOpts) { out = append(out, o) }
 
 	// --- Active/Idle SMs (12): occupancy ladders used by the idle-SM
 	// model of Section 4.6 (full 32-lane warps, varying SM counts).
@@ -183,10 +207,7 @@ func Suite(arch *config.Arch, sc Scale) ([]Bench, error) {
 	add(genOpts{name: "mix_fp_tex", cat: CatMix, body: []isa.Op{isa.OpFMUL},
 		mem: memTex, memOps: 1, strideMult: 2})
 
-	if err := checkSuiteCounts(out); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out
 }
 
 // MustSuite is Suite for stock architectures.
