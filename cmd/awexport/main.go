@@ -1,0 +1,163 @@
+// Command awexport is the observability endpoint of the pipeline: it runs
+// the AccelWattch tuning flow (and optionally the validation suite) while
+// serving the process-wide obs registry as a Prometheus-style exporter —
+// /metrics in text exposition format, /healthz as a JSON liveness/readiness
+// probe — in the mould of the GPU power exporters (Kepler, DCGM) that
+// motivated the metric naming scheme.
+//
+// Typical use:
+//
+//	awexport -addr :9767 -arch volta -faults chaos
+//	curl localhost:9767/metrics | grep aw_tune
+//
+// With -interval the pipeline re-runs on a fresh session forever, so the
+// engine/tune/faults/eval series keep moving for a scraping Prometheus;
+// without it the pipeline runs once and the final state stays up for
+// scraping. -once skips the HTTP server entirely and dumps the exposition
+// to stdout, which is what the golden CI check consumes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"accelwattch"
+	"accelwattch/internal/obs"
+)
+
+// state is what /healthz reports about the pipeline feeding the metrics.
+type state struct {
+	ready    atomic.Bool
+	runs     atomic.Int64
+	lastErr  atomic.Value // string
+	archName string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("awexport: ")
+	var (
+		addr      = flag.String("addr", ":9767", "HTTP listen address")
+		archName  = flag.String("arch", "volta", "architecture to tune (volta, pascal, turing)")
+		full      = flag.Bool("full", false, "use the full-fidelity workload scale")
+		validate  = flag.Bool("validate", true, "run the four-variant validation suite after tuning")
+		faultName = flag.String("faults", "off", "inject power-meter faults ("+
+			strings.Join(accelwattch.NamedFaultProfiles(), ", ")+")")
+		faultSeed = flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count")
+		interval  = flag.Duration("interval", 0, "re-run the pipeline on a fresh session at this period (0 = run once)")
+		once      = flag.Bool("once", false, "run the pipeline once, print /metrics output to stdout, and exit")
+		out       = flag.String("metrics-out", "", "also write the JSON telemetry snapshot to this file on exit (with -once)")
+	)
+	flag.Parse()
+
+	var arch *accelwattch.Arch
+	switch *archName {
+	case "volta":
+		arch = accelwattch.Volta()
+	case "pascal":
+		arch = accelwattch.Pascal()
+	case "turing":
+		arch = accelwattch.Turing()
+	default:
+		log.Fatalf("unknown architecture %q", *archName)
+	}
+	sc := accelwattch.Quick
+	if *full {
+		sc = accelwattch.Full
+	}
+	prof, err := accelwattch.NamedFaultProfile(*faultName, *faultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := &state{archName: arch.Name}
+	st.lastErr.Store("")
+	reg := obs.Default()
+	ready := reg.GaugeVec("aw_export_ready",
+		"1 once the exporter's pipeline has completed at least one run.", "arch").With(arch.Name)
+	runsDone := reg.CounterVec("aw_export_pipeline_runs_total",
+		"Pipeline runs completed by the exporter, by outcome.", "outcome")
+
+	runOnce := func() {
+		sess, err := accelwattch.NewSessionWithOptions(arch, sc,
+			accelwattch.SessionOptions{Faults: &prof, Workers: *workers})
+		if err == nil && *validate {
+			_, err = sess.ValidateAll()
+		}
+		if err != nil {
+			st.lastErr.Store(err.Error())
+			runsDone.With("error").Inc()
+			log.Printf("pipeline run failed: %v", err)
+			return
+		}
+		st.lastErr.Store("")
+		st.ready.Store(true)
+		st.runs.Add(1)
+		ready.Set(1)
+		runsDone.With("ok").Inc()
+	}
+
+	if *once {
+		runOnce()
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if *out != "" {
+			if err := reg.WriteJSONFile(*out); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if st.lastErr.Load().(string) != "" {
+			os.Exit(1)
+		}
+		return
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		resp := map[string]any{
+			"status": "ok",
+			"ready":  st.ready.Load(),
+			"arch":   st.archName,
+			"runs":   st.runs.Load(),
+		}
+		if e := st.lastErr.Load().(string); e != "" {
+			resp["last_error"] = e
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "awexport: AccelWattch telemetry for %s\n/metrics  Prometheus text exposition\n/healthz  JSON health probe\n", st.archName)
+	})
+
+	go func() {
+		for {
+			start := time.Now()
+			runOnce()
+			if *interval <= 0 {
+				return
+			}
+			if sleep := *interval - time.Since(start); sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+	}()
+
+	log.Printf("serving %s telemetry on %s (workers=%d, faults=%s)", arch.Name, *addr, *workers, *faultName)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -15,6 +15,7 @@ import (
 
 	"accelwattch/internal/config"
 	"accelwattch/internal/core"
+	"accelwattch/internal/obs"
 	"accelwattch/internal/tune"
 	"accelwattch/internal/ubench"
 )
@@ -23,10 +24,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("awsweep: ")
 	var (
-		archName = flag.String("arch", "volta", "target architecture (volta, pascal, turing)")
-		exp      = flag.String("exp", "all", "experiment: dvfs, gating, divergence, idlesm, or all")
-		full     = flag.Bool("full", false, "use the full-fidelity workload scale")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
+		archName   = flag.String("arch", "volta", "target architecture (volta, pascal, turing)")
+		exp        = flag.String("exp", "all", "experiment: dvfs, gating, divergence, idlesm, or all")
+		full       = flag.Bool("full", false, "use the full-fidelity workload scale")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
+		strict     = flag.Bool("strict", false, "exit non-zero on partial failure (any quarantined workload)")
+		metricsOut = flag.String("metrics-out", "", "write the JSON telemetry snapshot (metrics + stage spans) to this file")
 	)
 	flag.Parse()
 
@@ -59,6 +62,20 @@ func main() {
 	run("gating", sweepGating)
 	run("divergence", sweepDivergence)
 	run("idlesm", sweepIdleSM)
+
+	if *metricsOut != "" {
+		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote the telemetry snapshot to %s\n", *metricsOut)
+	}
+	if q := tb.Quarantined(); *strict && len(q) > 0 {
+		fmt.Println("== strict mode: quarantined workloads ==")
+		for _, name := range q {
+			fmt.Println("  " + name)
+		}
+		os.Exit(1)
+	}
 }
 
 func sweepDVFS(ex *tune.Exec) error {

@@ -15,6 +15,7 @@ import (
 
 	"accelwattch"
 	"accelwattch/internal/core"
+	"accelwattch/internal/obs"
 	"accelwattch/internal/tune"
 )
 
@@ -27,8 +28,9 @@ func main() {
 		outPath   = flag.String("o", "", "save the tuned SASS SIM model as a JSON config file")
 		faultName = flag.String("faults", "off", "inject power-meter faults while tuning ("+
 			strings.Join(accelwattch.NamedFaultProfiles(), ", ")+")")
-		faultSeed = flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
+		faultSeed  = flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
+		metricsOut = flag.String("metrics-out", "", "write the JSON telemetry snapshot (metrics + stage spans) to this file")
 	)
 	flag.Parse()
 
@@ -120,5 +122,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nsaved the tuned SASS SIM model to %s\n", *outPath)
+	}
+	if *metricsOut != "" {
+		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote the telemetry snapshot to %s\n", *metricsOut)
 	}
 }

@@ -8,12 +8,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"text/tabwriter"
 
 	"accelwattch"
 	"accelwattch/internal/eval"
+	"accelwattch/internal/obs"
 	"accelwattch/internal/tune"
 )
 
@@ -21,12 +23,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("awvalidate: ")
 	var (
-		full      = flag.Bool("full", false, "use the full-fidelity workload scale")
-		doCases   = flag.Bool("casestudies", true, "run the Pascal/Turing case studies")
-		doDeep    = flag.Bool("deepbench", true, "run the DeepBench case study")
-		doLegacy  = flag.Bool("gpuwattch", true, "run the GPUWattch baseline comparison")
-		perKernel = flag.Bool("kernels", false, "print per-kernel rows (Figure 9)")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
+		full       = flag.Bool("full", false, "use the full-fidelity workload scale")
+		doCases    = flag.Bool("casestudies", true, "run the Pascal/Turing case studies")
+		doDeep     = flag.Bool("deepbench", true, "run the DeepBench case study")
+		doLegacy   = flag.Bool("gpuwattch", true, "run the GPUWattch baseline comparison")
+		perKernel  = flag.Bool("kernels", false, "print per-kernel rows (Figure 9)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
+		strict     = flag.Bool("strict", false, "exit non-zero on partial failure (quarantined workloads or kernels without a defined error)")
+		metricsOut = flag.String("metrics-out", "", "write the JSON telemetry snapshot (metrics + stage spans) to this file")
 	)
 	flag.Parse()
 
@@ -127,5 +131,33 @@ func main() {
 		fmt.Printf("average estimate %.0f W, max %.0f W (paper: 530 W, 926 W)\n", gw.AvgEstimatedW, gw.MaxEstimatedW)
 		fmt.Printf("const+static lumped at %.2f W; INT MUL share %.1f%%; DRAM share %.1f%%\n",
 			gw.ConstPlusStaticW, 100*gw.IntMulShare, 100*gw.DRAMShare)
+	}
+
+	if *metricsOut != "" {
+		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote the telemetry snapshot to %s\n", *metricsOut)
+	}
+
+	if *strict {
+		var problems []string
+		for _, q := range sess.Quarantined() {
+			problems = append(problems, "quarantined: "+q)
+		}
+		for _, v := range tune.Variants() {
+			for _, k := range all[v].Kernels {
+				if math.IsNaN(k.RelErrPct()) {
+					problems = append(problems, fmt.Sprintf("%v/%s: no defined error (measured %.1f W)", v, k.Name, k.MeasuredW))
+				}
+			}
+		}
+		if len(problems) > 0 {
+			fmt.Println("\n== strict mode: partial failures ==")
+			for _, p := range problems {
+				fmt.Println("  " + p)
+			}
+			os.Exit(1)
+		}
 	}
 }

@@ -25,6 +25,9 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"accelwattch/internal/obs"
 )
 
 // Pool holds one replica of a resource per worker. Replica 0 is the
@@ -78,15 +81,34 @@ func Map[R, T, V any](ctx context.Context, p *Pool[R], items []T, fn func(ctx co
 	if len(items) == 0 {
 		return out, ctx.Err()
 	}
+	mFanouts.Inc()
+	mPoolWorkers.Set(float64(p.Workers()))
+	mQueueDepth.Add(float64(len(items)))
+	var claimed atomic.Int64 // items removed from the queue-depth gauge
+	defer func() {
+		mQueueDepth.Add(float64(claimed.Load()) - float64(len(items)))
+	}()
+
 	if p.Workers() == 1 {
+		busy := workerBusy(0)
 		for i := range items {
 			if err := ctx.Err(); err != nil {
+				mCancellations.Inc()
+				mTasksCancelled.Add(float64(len(items) - i))
 				return nil, err
 			}
+			claimed.Add(1)
+			mQueueDepth.Add(-1)
+			start := time.Now()
 			v, err := fn(ctx, p.replicas[0], items[i])
+			d := time.Since(start).Seconds()
+			mTaskSeconds.Observe(d)
+			busy.Add(d)
 			if err != nil {
+				mTasksErr.Inc()
 				return nil, err
 			}
+			mTasksOK.Inc()
 			out[i] = v
 		}
 		return out, nil
@@ -109,15 +131,25 @@ func Map[R, T, V any](ctx context.Context, p *Pool[R], items []T, fn func(ctx co
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(rep R) {
+		go func(w int, rep R) {
 			defer wg.Done()
+			busy := workerBusy(w)
+			sp := obs.StartSpan("engine/worker").WithWorker(w)
+			defer sp.End()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) || ctx.Err() != nil {
 					return
 				}
+				claimed.Add(1)
+				mQueueDepth.Add(-1)
+				start := time.Now()
 				v, err := fn(ctx, rep, items[i])
+				d := time.Since(start).Seconds()
+				mTaskSeconds.Observe(d)
+				busy.Add(d)
 				if err != nil {
+					mTasksErr.Inc()
 					errMu.Lock()
 					if i < firstIdx {
 						firstIdx, firstErr = i, err
@@ -126,15 +158,17 @@ func Map[R, T, V any](ctx context.Context, p *Pool[R], items []T, fn func(ctx co
 					cancel() // stop claiming further items
 					return
 				}
+				mTasksOK.Inc()
 				out[i] = v
 			}
-		}(p.replicas[w])
+		}(w, p.replicas[w])
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	if err := parent.Err(); err != nil {
+		mCancellations.Inc()
 		return nil, err
 	}
 	return out, nil

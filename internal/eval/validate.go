@@ -9,9 +9,24 @@ import (
 	"math"
 
 	"accelwattch/internal/core"
+	"accelwattch/internal/obs"
 	"accelwattch/internal/stats"
 	"accelwattch/internal/tune"
 	"accelwattch/internal/workloads"
+)
+
+// Evaluation telemetry: per-variant validation volume and error
+// distributions. Buckets are absolute-percent error levels chosen around
+// the paper's reported MAPEs (7.5-14%), so the histogram resolves both the
+// expected regime and regressions well beyond it.
+var (
+	mKernels = obs.Default().CounterVec("aw_eval_kernels_total",
+		"Kernels validated against silicon, by variant.", "variant")
+	mAbsErrPct = obs.Default().HistogramVec("aw_eval_abs_err_pct",
+		"Per-kernel absolute relative error of estimated power, in percent.",
+		[]float64{1, 2, 5, 10, 15, 20, 30, 50, 75, 100}, "variant")
+	mMAPE = obs.Default().GaugeVec("aw_eval_mape_pct",
+		"MAPE of the most recent validation run, by variant.", "variant")
 )
 
 // KernelResult is one kernel's measured-versus-estimated comparison.
@@ -66,6 +81,8 @@ func Validate(tb *tune.Testbench, model *core.Model, v tune.Variant, suite []wor
 // the sequential comparison replays against the memoised artifacts, so the
 // result is identical at every worker count.
 func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []workloads.Kernel) (*ValidationResult, error) {
+	sp := obs.StartSpan("eval/validate")
+	defer sp.End()
 	var tasks []func(*tune.Testbench) error
 	for i := range suite {
 		k := &suite[i]
@@ -87,6 +104,8 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 
 	tb := ex.TB()
 	res := &ValidationResult{Variant: v}
+	kernelsDone := mKernels.With(v.String())
+	errHist := mAbsErrPct.With(v.String())
 	var meas, est []float64
 	for i := range suite {
 		k := &suite[i]
@@ -110,6 +129,8 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 		res.Kernels = append(res.Kernels, kr)
 		meas = append(meas, kr.MeasuredW)
 		est = append(est, kr.EstimatedW)
+		kernelsDone.Inc()
+		errHist.Observe(math.Abs(kr.RelErrPct()))
 	}
 	if len(meas) == 0 {
 		return nil, fmt.Errorf("eval: empty suite for variant %v", v)
@@ -125,6 +146,7 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 	if res.Pearson, err = stats.Pearson(meas, est); err != nil {
 		return nil, err
 	}
+	mMAPE.With(v.String()).Set(res.MAPE)
 	return res, nil
 }
 

@@ -33,8 +33,22 @@ import (
 	"time"
 
 	"accelwattch/internal/config"
+	"accelwattch/internal/obs"
 	"accelwattch/internal/silicon"
 	"accelwattch/internal/trace"
+)
+
+// Injected-fault telemetry, mirroring the Stats counters onto the obs
+// registry so cmd/awexport can expose the live fault load. The "kind" label
+// vocabulary is fixed: transient, stuck, spike, drop.
+var (
+	mReads    = obs.Default().Counter("aw_faults_reads_total", "Successful meter reads through the fault injector.")
+	mInjected = obs.Default().CounterVec("aw_faults_injected_total", "Faults injected into meter reads, by kind.", "kind")
+
+	mTransient = mInjected.With("transient")
+	mStuck     = mInjected.With("stuck")
+	mSpike     = mInjected.With("spike")
+	mDrop      = mInjected.With("drop")
 )
 
 // Meter is the device surface the tuning pipeline measures through: clock
@@ -320,6 +334,7 @@ func (f *FaultyMeter) Run(kts ...*trace.KernelTrace) (*silicon.Measurement, erro
 		f.st.mu.Lock()
 		f.st.stats.TransientErrors++
 		f.st.mu.Unlock()
+		mTransient.Inc()
 		return nil, &TransientError{Op: "run", Point: key, Attempt: attempt}
 	}
 
@@ -348,6 +363,8 @@ func (f *FaultyMeter) Run(kts ...*trace.KernelTrace) (*silicon.Measurement, erro
 		f.st.stats.StuckReads++
 		f.st.stats.Reads++
 		f.st.mu.Unlock()
+		mStuck.Inc()
+		mReads.Inc()
 		return out, nil
 	}
 
@@ -384,11 +401,14 @@ func (f *FaultyMeter) Run(kts ...*trace.KernelTrace) (*silicon.Measurement, erro
 	f.st.stats.Spikes += spikes
 	f.st.stats.DroppedSamples += dropped
 	f.st.mu.Unlock()
+	mSpike.Add(float64(spikes))
+	mDrop.Add(float64(dropped))
 
 	if len(out.Samples) == 0 {
 		f.st.mu.Lock()
 		f.st.stats.TransientErrors++
 		f.st.mu.Unlock()
+		mTransient.Inc()
 		return nil, &TransientError{Op: "run", Point: key, Attempt: attempt}
 	}
 	out.AvgPowerW = sum / float64(len(out.Samples))
@@ -397,6 +417,7 @@ func (f *FaultyMeter) Run(kts ...*trace.KernelTrace) (*silicon.Measurement, erro
 	f.st.last[key] = out.AvgPowerW
 	f.st.stats.Reads++
 	f.st.mu.Unlock()
+	mReads.Inc()
 	return out, nil
 }
 
@@ -411,6 +432,7 @@ func (f *FaultyMeter) Profile(kts ...*trace.KernelTrace) (*silicon.Counters, err
 			f.st.mu.Lock()
 			f.st.stats.TransientErrors++
 			f.st.mu.Unlock()
+			mTransient.Inc()
 			return nil, &TransientError{Op: "profile", Point: key, Attempt: attempt}
 		}
 	}

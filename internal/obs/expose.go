@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the text exposition format version this package
+// writes, for HTTP Content-Type headers.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format. Output is deterministic: families sort by name, series by label
+// values, so the format is golden-testable. Families with no series yet
+// are skipped (a Vec nobody resolved has nothing to say).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*Family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		series := f.sorted()
+		if len(series) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range series {
+			switch m := s.(type) {
+			case *Counter:
+				writeSample(bw, f.name, f.labels, m.vals, "", "", m.Value())
+			case *Gauge:
+				writeSample(bw, f.name, f.labels, m.vals, "", "", m.Value())
+			case *Histogram:
+				cum := m.cumulative()
+				for i, bound := range f.buckets {
+					writeSample(bw, f.name+"_bucket", f.labels, m.vals, "le", formatFloat(bound), float64(cum[i]))
+				}
+				writeSample(bw, f.name+"_bucket", f.labels, m.vals, "le", "+Inf", float64(cum[len(cum)-1]))
+				writeSample(bw, f.name+"_sum", f.labels, m.vals, "", "", m.Sum())
+				writeSample(bw, f.name+"_count", f.labels, m.vals, "", "", float64(m.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one exposition line, appending an extra label (the
+// histogram's `le`) when extraName is non-empty.
+func writeSample(w io.Writer, name string, labels, vals []string, extraName, extraVal string, v float64) {
+	io.WriteString(w, name)
+	if len(labels) > 0 || extraName != "" {
+		io.WriteString(w, "{")
+		for i, l := range labels {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, `%s="%s"`, l, escapeLabel(vals[i]))
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, `%s="%s"`, extraName, extraVal)
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, formatFloat(v))
+	io.WriteString(w, "\n")
+}
+
+// formatFloat renders a sample value the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// escapeLabel applies the text-exposition label-value escaping: backslash,
+// double quote and newline.
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// Handler serves the registry at GET /metrics semantics: the text
+// exposition with the standard content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// Snapshot is the machine-readable telemetry artifact batch runs emit via
+// the -metrics-out flag: every metric series plus the retained spans.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+	Spans   []SpanRecord     `json:"spans,omitempty"`
+	// SpansTotal counts every span ever recorded; it exceeds len(Spans)
+	// once the bounded ring wrapped.
+	SpansTotal int64 `json:"spans_total"`
+}
+
+// MetricSnapshot is one family.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one label-value tuple's state.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter total or gauge level (absent for histograms).
+	Value *float64 `json:"value,omitempty"`
+	// Histogram state: cumulative counts per upper bound, plus sum/count.
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Sum     *float64         `json:"sum,omitempty"`
+	Count   *int64           `json:"count,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket; UpperBound is +Inf on
+// the overflow bucket and serialises as the string "+Inf".
+type BucketSnapshot struct {
+	UpperBound jsonFloat `json:"le"`
+	Cumulative int64     `json:"cumulative"`
+}
+
+// jsonFloat marshals non-finite floats as strings so the artifact stays
+// valid JSON.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return json.Marshal(formatFloat(v))
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = jsonFloat(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "+Inf":
+		*f = jsonFloat(math.Inf(1))
+	case "-Inf":
+		*f = jsonFloat(math.Inf(-1))
+	case "NaN":
+		*f = jsonFloat(math.NaN())
+	default:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return err
+		}
+		*f = jsonFloat(v)
+	}
+	return nil
+}
+
+// TakeSnapshot captures the registry's current state.
+func (r *Registry) TakeSnapshot() *Snapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*Family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	snap := &Snapshot{}
+	for _, f := range fams {
+		series := f.sorted()
+		if len(series) == 0 {
+			continue
+		}
+		ms := MetricSnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		for _, s := range series {
+			var ss SeriesSnapshot
+			var vals []string
+			switch m := s.(type) {
+			case *Counter:
+				v := m.Value()
+				ss.Value, vals = &v, m.vals
+			case *Gauge:
+				v := m.Value()
+				ss.Value, vals = &v, m.vals
+			case *Histogram:
+				cum := m.cumulative()
+				for i, bound := range f.buckets {
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{jsonFloat(bound), cum[i]})
+				}
+				ss.Buckets = append(ss.Buckets, BucketSnapshot{jsonFloat(math.Inf(1)), cum[len(cum)-1]})
+				sum, count := m.Sum(), m.Count()
+				ss.Sum, ss.Count, vals = &sum, &count, m.vals
+			}
+			if len(f.labels) > 0 {
+				ss.Labels = make(map[string]string, len(f.labels))
+				for i, l := range f.labels {
+					ss.Labels[l] = vals[i]
+				}
+			}
+			ms.Series = append(ms.Series, ss)
+		}
+		snap.Metrics = append(snap.Metrics, ms)
+	}
+	snap.Spans, snap.SpansTotal = r.Spans()
+	return snap
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.TakeSnapshot())
+}
+
+// WriteJSONFile writes the snapshot artifact to path — the implementation
+// behind the CLIs' -metrics-out flag.
+func (r *Registry) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

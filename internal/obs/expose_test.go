@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// buildDemoRegistry populates a registry with one family of each kind, with
+// fully deterministic values, so the exposition can be golden-tested.
+func buildDemoRegistry() *Registry {
+	r := NewRegistry()
+	req := r.CounterVec("aw_demo_requests_total", "Demo requests.", "outcome")
+	req.With("ok").Add(5)
+	req.With("error").Add(2)
+	r.Gauge("aw_demo_queue_depth", "Demo queue depth.").Set(3)
+	h := r.Histogram("aw_demo_latency_seconds", "Demo latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2.5)
+	// A registered family nobody resolved: must be skipped entirely.
+	r.CounterVec("aw_demo_unused_total", "Never resolved.", "k")
+	return r
+}
+
+const goldenExposition = `# HELP aw_demo_latency_seconds Demo latency.
+# TYPE aw_demo_latency_seconds histogram
+aw_demo_latency_seconds_bucket{le="0.1"} 1
+aw_demo_latency_seconds_bucket{le="1"} 2
+aw_demo_latency_seconds_bucket{le="+Inf"} 3
+aw_demo_latency_seconds_sum 3.05
+aw_demo_latency_seconds_count 3
+# HELP aw_demo_queue_depth Demo queue depth.
+# TYPE aw_demo_queue_depth gauge
+aw_demo_queue_depth 3
+# HELP aw_demo_requests_total Demo requests.
+# TYPE aw_demo_requests_total counter
+aw_demo_requests_total{outcome="error"} 2
+aw_demo_requests_total{outcome="ok"} 5
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildDemoRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != goldenExposition {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, goldenExposition)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := buildDemoRegistry()
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("aw_demo_esc_total", "Escaping.", "k").With("a\\b\"c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `aw_demo_esc_total{k="a\\b\"c\nd"} 1` + "\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped sample missing:\ngot %q\nwant line %q", sb.String(), want)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := buildDemoRegistry()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, PrometheusContentType)
+	}
+	if rec.Body.String() != goldenExposition {
+		t.Errorf("handler body differs from WritePrometheus output")
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := buildDemoRegistry()
+	r.StartSpan("demo/stage").WithWorker(1).End()
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.SpansTotal != 1 || len(snap.Spans) != 1 || snap.Spans[0].Name != "demo/stage" {
+		t.Errorf("spans = %+v (total %d), want the one demo span", snap.Spans, snap.SpansTotal)
+	}
+
+	byName := make(map[string]MetricSnapshot)
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m
+	}
+	// Ending the span registered aw_stage_seconds alongside the demo families.
+	for _, name := range []string{"aw_demo_requests_total", "aw_demo_queue_depth", "aw_demo_latency_seconds", "aw_stage_seconds"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("snapshot missing family %s (have %v)", name, names(snap.Metrics))
+		}
+	}
+	if _, ok := byName["aw_demo_unused_total"]; ok {
+		t.Error("snapshot contains the never-resolved family")
+	}
+
+	hist := byName["aw_demo_latency_seconds"].Series[0]
+	if hist.Count == nil || *hist.Count != 3 || hist.Sum == nil || *hist.Sum != 3.05 {
+		t.Errorf("histogram snapshot = %+v, want count 3 sum 3.05", hist)
+	}
+	if n := len(hist.Buckets); n != 3 {
+		t.Fatalf("histogram snapshot has %d buckets, want 3 (incl. +Inf)", n)
+	}
+	if hist.Buckets[2].Cumulative != 3 {
+		t.Errorf("+Inf cumulative = %d, want 3", hist.Buckets[2].Cumulative)
+	}
+
+	ctr := byName["aw_demo_requests_total"]
+	if len(ctr.Series) != 2 {
+		t.Fatalf("counter snapshot has %d series, want 2", len(ctr.Series))
+	}
+	if ctr.Series[0].Labels["outcome"] != "error" || *ctr.Series[0].Value != 2 {
+		t.Errorf("counter series[0] = %+v, want outcome=error value 2", ctr.Series[0])
+	}
+}
+
+func names(ms []MetricSnapshot) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name
+	}
+	return out
+}
+
+func TestJSONSnapshotNonFiniteBounds(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("aw_demo_h", "h", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"+Inf"`) {
+		t.Errorf("snapshot should serialise the overflow bound as the string \"+Inf\":\n%s", sb.String())
+	}
+}

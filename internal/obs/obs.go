@@ -1,0 +1,452 @@
+// Package obs is the observability layer of the pipeline: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms) plus
+// lightweight span tracing, exposed in Prometheus text format (expose.go)
+// and as a JSON snapshot artifact for batch runs.
+//
+// The layer is strictly observe-only. Instrumented code paths never branch
+// on a metric value, so enabling or disabling collection cannot change any
+// pipeline output — the execution engine's bit-identical-parallelism
+// contract holds with obs on or off, which TestObsParityBitIdentical
+// asserts. The hot path is allocation-free: a resolved *Counter, *Gauge or
+// *Histogram updates purely through atomics, and callers are expected to
+// resolve label handles (Vec.With) once, at package init or loop setup,
+// not per observation.
+//
+// Naming follows the Prometheus conventions used by the GPU power
+// exporters this layer is modeled on (Kepler, dcgm-style exporters):
+// every series is `aw_<subsystem>_<name>[_unit][_total]`, with subsystem
+// one of engine, tune, faults, eval, export, stage. Label cardinality is
+// bounded by construction — labels only ever carry worker indices
+// (≤ GOMAXPROCS), variant names (4), fault kinds (4), quarantine reason
+// classes, or pipeline stage names; never workload or kernel names.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric families.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Registry holds metric families and completed spans. The zero value is not
+// usable; call NewRegistry. A registry is enabled by default;
+// SetEnabled(false) turns every Add/Set/Observe/StartSpan into a cheap
+// no-op without unregistering anything.
+type Registry struct {
+	disabled atomic.Bool
+
+	mu       sync.Mutex
+	families map[string]*Family
+
+	spanMu       sync.Mutex
+	spans        []SpanRecord
+	spanNext     int // ring write cursor once the buffer is full
+	spanTotal    int64
+	spanCapacity int
+}
+
+// DefaultSpanCapacity bounds the per-registry span ring; once full, the
+// oldest spans are overwritten so the ring always holds the most recent
+// stage history.
+const DefaultSpanCapacity = 4096
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families:     make(map[string]*Family),
+		spanCapacity: DefaultSpanCapacity,
+	}
+}
+
+// defaultRegistry is the process-wide registry every instrumented package
+// registers into and cmd/awexport serves.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// SetEnabled turns collection on the default registry on or off.
+func SetEnabled(on bool) { defaultRegistry.SetEnabled(on) }
+
+// Enabled reports whether the default registry is collecting.
+func Enabled() bool { return defaultRegistry.Enabled() }
+
+// SetEnabled turns collection on or off. Disabling is observe-only too: it
+// stops updates but keeps registered families and accumulated values.
+func (r *Registry) SetEnabled(on bool) { r.disabled.Store(!on) }
+
+// Enabled reports whether the registry is collecting.
+func (r *Registry) Enabled() bool { return !r.disabled.Load() }
+
+func (r *Registry) off() bool { return r.disabled.Load() }
+
+// Family is one named metric: a kind, a help string, a label schema, and a
+// set of label-value series.
+type Family struct {
+	reg     *Registry
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histogram upper bounds, strictly increasing
+
+	mu     sync.Mutex
+	series map[string]any // *Counter, *Gauge or *Histogram, by joined label values
+}
+
+// Name returns the family's metric name.
+func (f *Family) Name() string { return f.name }
+
+// labelSep joins label values into series keys; it cannot appear in a
+// metric identifier and is escaped out of exposition output anyway.
+const labelSep = "\x1f"
+
+// register creates or fetches a family. A name re-registered with a
+// different kind, label schema or bucket layout is a programming error —
+// registration happens at package init, so it panics loudly there rather
+// than silently forking state.
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64) *Family {
+	mustValidName(name)
+	for _, l := range labels {
+		mustValidLabel(name, l)
+	}
+	if kind == KindHistogram {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %s registered with no buckets", name))
+		}
+		for i := 1; i < len(buckets); i++ {
+			if !(buckets[i] > buckets[i-1]) {
+				panic(fmt.Sprintf("obs: histogram %s buckets not strictly increasing: %v", name, buckets))
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &Family{
+		reg:     r,
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// with fetches or creates the series for one label-value tuple.
+func (f *Family) with(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	vals := append([]string(nil), values...)
+	var s any
+	switch f.kind {
+	case KindCounter:
+		s = &Counter{fam: f, vals: vals}
+	case KindGauge:
+		s = &Gauge{fam: f, vals: vals}
+	case KindHistogram:
+		s = &Histogram{fam: f, vals: vals, counts: make([]atomic.Int64, len(f.buckets)+1)}
+	}
+	f.series[key] = s
+	return s
+}
+
+// sorted returns the series in deterministic (label-value) order.
+func (f *Family) sorted() []any {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]any, len(keys))
+	for i, k := range keys {
+		out[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// Counter is a monotonically non-decreasing value. Updates are atomic and
+// allocation-free; values are float64 (Prometheus counters are floats, and
+// the engine accumulates busy-seconds into one).
+type Counter struct {
+	fam  *Family
+	vals []string
+	bits atomic.Uint64
+}
+
+// Counter registers (or fetches) a label-less counter family and returns
+// its single series.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, KindCounter, nil, nil).with(nil).(*Counter)
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *Family }
+
+// CounterVec registers (or fetches) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, KindCounter, labels, nil)}
+}
+
+// With resolves the series for one label-value tuple. Resolve once and keep
+// the handle; With itself takes the family lock.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).(*Counter) }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by d (negative d is ignored: counters are
+// monotonic by definition).
+func (c *Counter) Add(d float64) {
+	if c == nil || d <= 0 || c.fam.reg.off() {
+		return
+	}
+	addFloat(&c.bits, d)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an arbitrary float64 that can go up and down.
+type Gauge struct {
+	fam  *Family
+	vals []string
+	bits atomic.Uint64
+}
+
+// Gauge registers (or fetches) a label-less gauge family and returns its
+// single series.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, KindGauge, nil, nil).with(nil).(*Gauge)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *Family }
+
+// GaugeVec registers (or fetches) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, KindGauge, labels, nil)}
+}
+
+// With resolves the series for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values).(*Gauge) }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.fam.reg.off() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	if g == nil || g.fam.reg.off() {
+		return
+	}
+	addFloat(&g.bits, d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Observation is
+// allocation-free: a binary search over the bounds plus three atomic
+// updates.
+type Histogram struct {
+	fam     *Family
+	vals    []string
+	counts  []atomic.Int64 // one per bound, plus +Inf overflow at the end
+	sumBits atomic.Uint64
+	n       atomic.Int64
+}
+
+// Histogram registers (or fetches) a label-less histogram family with the
+// given bucket upper bounds and returns its single series.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, KindHistogram, nil, buckets).with(nil).(*Histogram)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *Family }
+
+// HistogramVec registers (or fetches) a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, KindHistogram, labels, buckets)}
+}
+
+// With resolves the series for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values).(*Histogram) }
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum without landing in any meaningful bucket).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) || h.fam.reg.off() {
+		return
+	}
+	// First bucket whose upper bound is >= v; equality lands in the lower
+	// bucket, matching Prometheus `le` semantics.
+	lo, hi := 0, len(h.fam.buckets)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.fam.buckets[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.n.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// cumulative returns the per-bound cumulative counts (ending with the +Inf
+// total). Concurrent observations may land between bucket loads; the skew
+// is bounded by in-flight observations and irrelevant for monitoring.
+func (h *Histogram) cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// ExpBuckets returns n strictly-increasing bounds starting at start,
+// multiplying by factor: the standard latency-histogram layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid ExpBuckets(%g, %g, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid LinearBuckets(%g, %g, %d)", start, width, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start += width
+	}
+	return out
+}
+
+// addFloat atomically adds d to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func mustValidName(name string) {
+	if !validIdent(name, true) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+func mustValidLabel(metric, label string) {
+	if !validIdent(label, false) || strings.HasPrefix(label, "__") {
+		panic(fmt.Sprintf("obs: metric %s has invalid label name %q", metric, label))
+	}
+}
+
+// validIdent checks Prometheus identifier syntax: [a-zA-Z_:][a-zA-Z0-9_:]*
+// for metric names (colons allowed), [a-zA-Z_][a-zA-Z0-9_]* for labels.
+func validIdent(s string, colons bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':' && colons:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("aw_test_events_total", "test counter")
+	if got := c.Value(); got != 0 {
+		t.Fatalf("fresh counter = %v, want 0", got)
+	}
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	c.Add(-7) // counters are monotonic: negative deltas are dropped
+	c.Add(0)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter after invalid adds = %v, want 3.5", got)
+	}
+	// Re-registering the same schema returns the same series.
+	if c2 := r.Counter("aw_test_events_total", "test counter"); c2 != c {
+		t.Fatal("re-registration forked the series")
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("aw_test_depth", "test gauge")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %v, want -3", got)
+	}
+}
+
+func TestHistogramSemantics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("aw_test_latency_seconds", "test histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	// le semantics: 0.5 and the exact 1 land in le=1; 1.5 in le=2; 3 in
+	// le=4; 100 overflows to +Inf.
+	want := []int64{2, 3, 4, 5}
+	got := h.cumulative()
+	if len(got) != len(want) {
+		t.Fatalf("cumulative has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVecSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("aw_test_outcomes_total", "test vec", "outcome")
+	ok1 := v.With("ok")
+	ok2 := v.With("ok")
+	errS := v.With("error")
+	if ok1 != ok2 {
+		t.Fatal("With(\"ok\") returned distinct series")
+	}
+	if ok1 == errS {
+		t.Fatal("distinct label values shared a series")
+	}
+	ok1.Inc()
+	if got := ok2.Value(); got != 1 {
+		t.Fatalf("aliased series = %v, want 1", got)
+	}
+	if got := errS.Value(); got != 0 {
+		t.Fatalf("other series = %v, want 0", got)
+	}
+}
+
+func TestSchemaMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aw_test_x_total", "v1")
+	cases := []func(){
+		func() { r.Gauge("aw_test_x_total", "as gauge") },
+		func() { r.CounterVec("aw_test_x_total", "with labels", "k") },
+		func() { r.Counter("bad name", "spaces") },
+		func() { r.CounterVec("aw_test_y_total", "bad label", "__reserved") },
+		func() { r.Histogram("aw_test_h", "no buckets", nil) },
+		func() { r.Histogram("aw_test_h2", "bad order", []float64{2, 1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDisabledRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("aw_test_off_total", "gated counter")
+	g := r.Gauge("aw_test_off", "gated gauge")
+	h := r.Histogram("aw_test_off_seconds", "gated histogram", []float64{1})
+	r.SetEnabled(false)
+	if r.Enabled() {
+		t.Fatal("registry still enabled")
+	}
+	c.Inc()
+	g.Set(9)
+	h.Observe(0.5)
+	if sp := r.StartSpan("x"); sp != nil {
+		t.Fatal("StartSpan on a disabled registry should return nil")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("disabled registry accepted updates")
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled registry dropped the update")
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var s *Span
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	s.WithWorker(3).End()
+}
+
+// TestConcurrencyExact hammers one counter, one gauge and one histogram from
+// many goroutines and asserts the totals are exact — the CAS add loop must
+// not lose updates under contention. Run under -race in CI.
+func TestConcurrencyExact(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("aw_test_conc_total", "contended counter")
+	g := r.Gauge("aw_test_conc", "contended gauge")
+	h := r.Histogram("aw_test_conc_seconds", "contended histogram",
+		ExpBuckets(0.001, 2, 8))
+	const (
+		goroutines = 16
+		perG       = 2000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Add(0.5)
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j%10) * 0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), float64(goroutines*perG)*0.5; got != want {
+		t.Errorf("counter = %v, want %v (lost updates)", got, want)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got, want := h.Count(), int64(goroutines*perG); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	cum := h.cumulative()
+	if got := cum[len(cum)-1]; got != int64(goroutines*perG) {
+		t.Errorf("+Inf cumulative = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	want = []float64{10, 15, 20}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, want)
+		}
+	}
+}

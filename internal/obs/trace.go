@@ -1,0 +1,92 @@
+package obs
+
+import "time"
+
+// SpanRecord is one completed stage timing. Stage names are hierarchical
+// ("tune/const_power/warm"); Worker is the engine replica index the work
+// ran on, or -1 when the span is not attributed to a worker.
+type SpanRecord struct {
+	Name          string  `json:"name"`
+	Worker        int     `json:"worker"`
+	StartUnixNano int64   `json:"start_unix_nano"`
+	DurationS     float64 `json:"duration_s"`
+}
+
+// Span is an in-flight stage timing. Obtain one from StartSpan, optionally
+// attribute it with WithWorker, and End it exactly once. A nil Span (from a
+// disabled registry) is safe to use: every method is a no-op.
+type Span struct {
+	reg    *Registry
+	name   string
+	worker int
+	start  time.Time
+	ended  bool
+}
+
+// stageSeconds lazily registers the histogram every ended span feeds, so
+// stage timings show up in /metrics without per-call-site plumbing.
+func (r *Registry) stageSeconds() *HistogramVec {
+	return r.HistogramVec("aw_stage_seconds",
+		"Wall-clock duration of pipeline stages and sub-stages.",
+		ExpBuckets(0.0001, 4, 12), "stage")
+}
+
+// StartSpan begins timing a stage. Returns nil when the registry is
+// disabled; nil spans no-op on End, so call sites need no guards.
+func (r *Registry) StartSpan(name string) *Span {
+	if r.off() {
+		return nil
+	}
+	return &Span{reg: r, name: name, worker: -1, start: time.Now()}
+}
+
+// StartSpan begins a stage timing on the default registry.
+func StartSpan(name string) *Span { return defaultRegistry.StartSpan(name) }
+
+// WithWorker attributes the span to an engine worker (replica index).
+func (s *Span) WithWorker(w int) *Span {
+	if s != nil {
+		s.worker = w
+	}
+	return s
+}
+
+// End completes the span: it appends the record to the registry's bounded
+// ring (oldest records are overwritten once DefaultSpanCapacity is
+// reached) and observes the duration into aw_stage_seconds{stage=name}.
+// Double-End is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	d := time.Since(s.start).Seconds()
+	rec := SpanRecord{
+		Name:          s.name,
+		Worker:        s.worker,
+		StartUnixNano: s.start.UnixNano(),
+		DurationS:     d,
+	}
+	r := s.reg
+	r.spanMu.Lock()
+	if len(r.spans) < r.spanCapacity {
+		r.spans = append(r.spans, rec)
+	} else {
+		r.spans[r.spanNext] = rec
+		r.spanNext = (r.spanNext + 1) % r.spanCapacity
+	}
+	r.spanTotal++
+	r.spanMu.Unlock()
+	r.stageSeconds().With(s.name).Observe(d)
+}
+
+// Spans returns the retained span records, oldest first, plus the total
+// number ever recorded (which exceeds len(records) once the ring wrapped).
+func (r *Registry) Spans() (records []SpanRecord, total int64) {
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	records = make([]SpanRecord, 0, len(r.spans))
+	records = append(records, r.spans[r.spanNext:]...)
+	records = append(records, r.spans[:r.spanNext]...)
+	return records, r.spanTotal
+}

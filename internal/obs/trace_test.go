@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("tune/const_power/warm").WithWorker(3)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // double-End is a no-op
+
+	recs, total := r.Spans()
+	if total != 1 || len(recs) != 1 {
+		t.Fatalf("got %d records (total %d), want 1", len(recs), total)
+	}
+	rec := recs[0]
+	if rec.Name != "tune/const_power/warm" {
+		t.Errorf("name = %q", rec.Name)
+	}
+	if rec.Worker != 3 {
+		t.Errorf("worker = %d, want 3", rec.Worker)
+	}
+	if rec.DurationS <= 0 {
+		t.Errorf("duration = %v, want > 0", rec.DurationS)
+	}
+	if rec.StartUnixNano == 0 {
+		t.Error("start timestamp missing")
+	}
+
+	// Ending a span feeds aw_stage_seconds{stage=...}.
+	h := r.stageSeconds().With("tune/const_power/warm")
+	if got := h.Count(); got != 1 {
+		t.Errorf("aw_stage_seconds count = %d, want 1", got)
+	}
+}
+
+func TestSpanDefaultsUnattributed(t *testing.T) {
+	r := NewRegistry()
+	r.StartSpan("eval/validate").End()
+	recs, _ := r.Spans()
+	if len(recs) != 1 || recs[0].Worker != -1 {
+		t.Fatalf("unattributed span worker = %+v, want -1", recs)
+	}
+}
+
+func TestSpanRingOverwritesOldest(t *testing.T) {
+	r := NewRegistry()
+	r.spanCapacity = 4
+	for i := 0; i < 6; i++ {
+		r.StartSpan("s").WithWorker(i).End()
+	}
+	recs, total := r.Spans()
+	if total != 6 {
+		t.Fatalf("total = %d, want 6", total)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(recs))
+	}
+	// Oldest-first: workers 2,3,4,5 survive.
+	for i, want := range []int{2, 3, 4, 5} {
+		if recs[i].Worker != want {
+			t.Fatalf("recs[%d].Worker = %d, want %d (order %v)", i, recs[i].Worker, want, recs)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package tune
 import (
 	"fmt"
 
+	"accelwattch/internal/obs"
 	"accelwattch/internal/qp"
 	"accelwattch/internal/stats"
 	"accelwattch/internal/ubench"
@@ -74,9 +75,14 @@ func (ex *Exec) EstimateConstPower(sweep FreqSweep) (*ConstPowerResult, error) {
 			})
 		}
 	}
-	if err := ex.Warm(tasks); err != nil {
+	sp := obs.StartSpan("tune/const_power/warm")
+	err := ex.Warm(tasks)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
+	sp = obs.StartSpan("tune/const_power/replay")
+	defer sp.End()
 	return tb.estimateConstPower(sweep, benches)
 }
 
@@ -106,7 +112,7 @@ func (tb *Testbench) estimateConstPower(sweep FreqSweep, benches []ubench.Bench)
 		// degraded sweep cannot produce an exactly-interpolating fit with
 		// a meaningless intercept.
 		if len(fs) < 4 {
-			tb.Quarantine(w.Name, fmt.Sprintf("only %d/%d DVFS points survived", len(fs), len(sweep.Points())))
+			tb.quarantine(w.Name, fmt.Sprintf("only %d/%d DVFS points survived", len(fs), len(sweep.Points())), qcDVFSHoles)
 			continue
 		}
 		fit, err := tb.fitCubic(fs, ps)

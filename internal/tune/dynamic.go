@@ -67,13 +67,13 @@ func (tb *Testbench) buildProblem(benches []ubench.Bench, v Variant, m *core.Mod
 				// The failed point is memoised, so every variant sees this
 				// identical outcome; record the drop (constant reason —
 				// whichever variant gets here first writes the same thing).
-				tb.Quarantine(b.Name, "measurement failed; dropped from tuning set")
+				tb.quarantine(b.Name, "measurement failed; dropped from tuning set", qcDropped)
 				continue
 			}
 			return nil, nil, nil, err
 		}
 		if !stats.AllFinite(mm.AvgPowerW) || mm.AvgPowerW <= 0 {
-			tb.Quarantine(b.Name, fmt.Sprintf("non-physical measured power %g W", mm.AvgPowerW))
+			tb.quarantine(b.Name, fmt.Sprintf("non-physical measured power %g W", mm.AvgPowerW), qcNonPhysical)
 			continue
 		}
 		// Fixed terms at x=1: evaluate the model with zero dynamic
@@ -94,7 +94,7 @@ func (tb *Testbench) buildProblem(benches []ubench.Bench, v Variant, m *core.Mod
 			rowOK = rowOK && stats.AllFinite(row[i])
 		}
 		if !rowOK {
-			tb.Quarantine(b.Name, "non-finite QP row")
+			tb.quarantine(b.Name, "non-finite QP row", qcNonFinite)
 			continue
 		}
 		rows = append(rows, row)
@@ -159,11 +159,14 @@ func (tb *Testbench) TuneDynamic(benches []ubench.Bench, v Variant, m *core.Mode
 			// the starting point itself. The Fermi start is the paper's
 			// physically-motivated prior, so the model stays usable —
 			// just untuned — and the failure is visible via Fallback.
-			tb.Quarantine(fmt.Sprintf("qp-%v-%v", v, sp), fmt.Sprintf("solver failed: %v", err))
+			tb.quarantine(fmt.Sprintf("qp-%v-%v", v, sp), fmt.Sprintf("solver failed: %v", err), qcQPSolver)
+			mQPSolves.With(v.String(), "fallback").Inc()
 			fit.Fallback = true
 			copy(fit.Scale[:], x0)
 			fit.Objective = prob.Objective(x0)
 		} else {
+			mQPSolves.With(v.String(), "ok").Inc()
+			mQPIterations.With(v.String()).Add(float64(res.Iterations))
 			fit.Objective = res.Objective
 			fit.Iterations = res.Iterations
 			copy(fit.Scale[:], res.X)

@@ -151,11 +151,22 @@ func (tb *Testbench) Quarantined() []string {
 
 // Quarantine records a workload as removed from the tuning flow.
 func (tb *Testbench) Quarantine(name, reason string) {
+	tb.quarantine(name, reason, qcManual)
+}
+
+// quarantine is Quarantine with a bounded reason class for the
+// aw_tune_quarantines_total counter; only first insertions count, so the
+// metric tracks distinct quarantined workloads/stages per class.
+func (tb *Testbench) quarantine(name, reason, class string) {
 	a := tb.arts
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, dup := a.quarantined[name]; !dup {
+	_, dup := a.quarantined[name]
+	if !dup {
 		a.quarantined[name] = reason
+	}
+	a.mu.Unlock()
+	if !dup {
+		mQuarantines.With(class).Inc()
 	}
 }
 
@@ -165,14 +176,20 @@ func (tb *Testbench) Quarantine(name, reason string) {
 // at quarantine is always exactly QuarantineAfter regardless of the order
 // replicas hit the points, keeping the reason string schedule-independent.
 func (tb *Testbench) noteFailure(name string, p MeterPolicy) {
+	mMeterFailures.Inc()
 	a := tb.arts
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.failCount[name]++
-	if a.failCount[name] >= p.QuarantineAfter {
-		if _, dup := a.quarantined[name]; !dup {
+	quarantined := a.failCount[name] >= p.QuarantineAfter
+	var dup bool
+	if quarantined {
+		if _, dup = a.quarantined[name]; !dup {
 			a.quarantined[name] = fmt.Sprintf("%d failed operating points", a.failCount[name])
 		}
+	}
+	a.mu.Unlock()
+	if quarantined && !dup {
+		mQuarantines.With(qcFailedPoints).Inc()
 	}
 }
 
@@ -183,9 +200,12 @@ func (tb *Testbench) runWithRetry(kt *trace.KernelTrace, p MeterPolicy) (*silico
 	backoff := p.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
-		if attempt > 0 && backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+		if attempt > 0 {
+			mMeterRetries.Inc()
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
 		}
 		m, err := tb.Meter.Run(kt)
 		if err == nil {
@@ -195,6 +215,7 @@ func (tb *Testbench) runWithRetry(kt *trace.KernelTrace, p MeterPolicy) (*silico
 				lastErr = fmt.Errorf("non-physical power reading %g W", m.AvgPowerW)
 				continue
 			}
+			mMeterReads.Inc()
 			return m, nil
 		}
 		if !faults.IsTransient(err) {
@@ -211,12 +232,16 @@ func (tb *Testbench) profileWithRetry(kt *trace.KernelTrace, p MeterPolicy) (*si
 	backoff := p.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
-		if attempt > 0 && backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+		if attempt > 0 {
+			mMeterRetries.Inc()
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
 		}
 		c, err := tb.Meter.Profile(kt)
 		if err == nil {
+			mMeterReads.Inc()
 			return c, nil
 		}
 		if !faults.IsTransient(err) {
@@ -282,6 +307,7 @@ func aggregateMeasurements(ms []*silicon.Measurement, p MeterPolicy) *silicon.Me
 				}
 			}
 			if len(kept) > 0 {
+				mSamplesRejected.Add(float64(len(pool) - len(kept)))
 				pool = kept
 			}
 		}

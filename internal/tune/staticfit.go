@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"accelwattch/internal/core"
+	"accelwattch/internal/obs"
 	"accelwattch/internal/stats"
 	"accelwattch/internal/ubench"
 )
@@ -103,9 +104,14 @@ func (ex *Exec) FitDivergenceModels() ([core.NumMixCategories]core.DivModel, []D
 		}
 	}
 	var models [core.NumMixCategories]core.DivModel
-	if err := ex.Warm(tasks); err != nil {
+	sp := obs.StartSpan("tune/divergence/warm")
+	err := ex.Warm(tasks)
+	sp.End()
+	if err != nil {
 		return models, nil, err
 	}
+	sp = obs.StartSpan("tune/divergence/replay")
+	defer sp.End()
 	return tb.fitDivergenceModels()
 }
 
@@ -121,7 +127,7 @@ func (tb *Testbench) fitDivergenceModels() ([core.NumMixCategories]core.DivModel
 				// The whole mix category degrades to the INT_FP model
 				// (the inheritance pass below), like an unmeasurable
 				// category would.
-				tb.Quarantine(fmt.Sprintf("div-%v", mix), fmt.Sprintf("y=1 static fit failed: %v", err))
+				tb.quarantine(fmt.Sprintf("div-%v", mix), fmt.Sprintf("y=1 static fit failed: %v", err), qcStaticFit)
 				continue
 			}
 			return models, nil, err
@@ -129,7 +135,7 @@ func (tb *Testbench) fitDivergenceModels() ([core.NumMixCategories]core.DivModel
 		full, err := tb.fitStaticAt(mix, 32)
 		if err != nil {
 			if IsMeasurementFailure(err) {
-				tb.Quarantine(fmt.Sprintf("div-%v", mix), fmt.Sprintf("y=32 static fit failed: %v", err))
+				tb.quarantine(fmt.Sprintf("div-%v", mix), fmt.Sprintf("y=32 static fit failed: %v", err), qcStaticFit)
 				continue
 			}
 			return models, nil, err
@@ -230,9 +236,14 @@ func (ex *Exec) FitIdleSM(constW float64) (*IdleSMResult, error) {
 			})
 		}
 	}
-	if err := ex.Warm(tasks); err != nil {
+	sp := obs.StartSpan("tune/idle_sm/warm")
+	err := ex.Warm(tasks)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
+	sp = obs.StartSpan("tune/idle_sm/replay")
+	defer sp.End()
 	return tb.fitIdleSM(constW)
 }
 
@@ -255,7 +266,7 @@ func (tb *Testbench) fitIdleSM(constW float64) (*IdleSMResult, error) {
 		mFull, err := tb.Measure(FromBench(body.full), 0)
 		if err != nil {
 			if IsMeasurementFailure(err) {
-				tb.Quarantine("idlesm-"+body.name, fmt.Sprintf("full-occupancy measurement failed: %v", err))
+				tb.quarantine("idlesm-"+body.name, fmt.Sprintf("full-occupancy measurement failed: %v", err), qcStaticFit)
 				continue
 			}
 			return nil, err

@@ -49,8 +49,8 @@ func (tb *Testbench) FitTemperature() (*TemperatureFit, error) {
 				// tuning run: temperature scaling is a refinement on
 				// top of the 65C calibration point, and Coeff=0
 				// degrades gracefully to "no temperature correction".
-				tb.Quarantine("temperature-ladder",
-					fmt.Sprintf("measurement at %.0fC failed: %v", tc, err))
+				tb.quarantine("temperature-ladder",
+					fmt.Sprintf("measurement at %.0fC failed: %v", tc, err), qcTemperature)
 				return &TemperatureFit{Coeff: 0, TemperaturesC: temps, PowerW: powers}, nil
 			}
 			return nil, err
@@ -63,9 +63,9 @@ func (tb *Testbench) FitTemperature() (*TemperatureFit, error) {
 	d12 := powers[2] - powers[1]
 	if d01 <= 0 || d12 <= 0 {
 		if pol.Robust {
-			tb.Quarantine("temperature-ladder",
+			tb.quarantine("temperature-ladder",
 				fmt.Sprintf("power did not grow with temperature (%.2f, %.2f, %.2f W)",
-					powers[0], powers[1], powers[2]))
+					powers[0], powers[1], powers[2]), qcTemperature)
 			return &TemperatureFit{Coeff: 0, TemperaturesC: temps, PowerW: powers}, nil
 		}
 		return nil, fmt.Errorf("tune: power did not grow with temperature (%.2f, %.2f, %.2f W)",
@@ -74,8 +74,8 @@ func (tb *Testbench) FitTemperature() (*TemperatureFit, error) {
 	coeff := math.Log(d12/d01) / step
 	if !stats.AllFinite(coeff) || coeff <= 0 || coeff > 0.1 {
 		if pol.Robust {
-			tb.Quarantine("temperature-ladder",
-				fmt.Sprintf("implausible temperature coefficient %.4f/C", coeff))
+			tb.quarantine("temperature-ladder",
+				fmt.Sprintf("implausible temperature coefficient %.4f/C", coeff), qcTemperature)
 			return &TemperatureFit{Coeff: 0, TemperaturesC: temps, PowerW: powers}, nil
 		}
 		return nil, fmt.Errorf("tune: implausible temperature coefficient %.4f/C", coeff)

@@ -6,6 +6,7 @@ import (
 
 	"accelwattch/internal/core"
 	"accelwattch/internal/engine"
+	"accelwattch/internal/obs"
 	"accelwattch/internal/qp"
 	"accelwattch/internal/ubench"
 )
@@ -81,20 +82,28 @@ func TuneContext(ctx context.Context, tb *Testbench, opts Options) (*Result, err
 func (ex *Exec) Tune(opts Options) (*Result, error) {
 	tb := ex.TB()
 	out := &Result{}
+	tuneSpan := obs.StartSpan("tune")
+	defer tuneSpan.End()
 
+	sp := obs.StartSpan("tune/const_power")
 	cp, err := ex.EstimateConstPower(opts.Sweep)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("tune: constant power: %w", err)
 	}
 	out.ConstPower = cp
 
+	sp = obs.StartSpan("tune/divergence")
 	divModels, divFits, err := ex.FitDivergenceModels()
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("tune: divergence models: %w", err)
 	}
 	out.DivFits = divFits
 
+	sp = obs.StartSpan("tune/idle_sm")
 	idle, err := ex.FitIdleSM(cp.ConstW)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("tune: idle SM: %w", err)
 	}
@@ -103,7 +112,9 @@ func (ex *Exec) Tune(opts Options) (*Result, error) {
 	// The temperature ladder reuses one kernel at three die temperatures —
 	// inherently serial (the meter state is the variable under test), so it
 	// runs on the primary replica.
+	sp = obs.StartSpan("tune/temperature")
 	temp, err := tb.FitTemperature()
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("tune: temperature factor: %w", err)
 	}
@@ -119,7 +130,9 @@ func (ex *Exec) Tune(opts Options) (*Result, error) {
 		TempCoeff:    temp.Coeff,
 	}
 
+	sp = obs.StartSpan("tune/ubench_suite")
 	benches, err := ubench.SuiteParallel(ex.ctx, tb.Arch, tb.Scale, ex.Workers())
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -140,16 +153,21 @@ func (ex *Exec) Tune(opts Options) (*Result, error) {
 			return err
 		})
 	}
-	if err := ex.Warm(tasks); err != nil {
+	sp = obs.StartSpan("tune/dynamic/warm")
+	err = ex.Warm(tasks)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 
+	sp = obs.StartSpan("tune/dynamic/fit")
 	type variantFit struct{ best, other *DynamicFit }
 	fits, err := engine.Map(ex.ctx, ex.pool, Variants(),
 		func(_ context.Context, r *Testbench, v Variant) (variantFit, error) {
 			best, other, err := r.TuneDynamic(benches, v, skeleton, opts.QP)
 			return variantFit{best, other}, err
 		})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,89 @@
+package accelwattch
+
+import (
+	"strings"
+	"testing"
+
+	"accelwattch/internal/obs"
+)
+
+// TestObsParityBitIdentical is the obs observe-only contract, asserted end
+// to end: a full tune + four-variant validation with the registry
+// collecting at workers=8 must produce exactly the same model, aggregates
+// and per-kernel results as one with collection disabled at workers=1.
+// The single cross comparison covers both axes at once — instrumentation
+// that could steer the pipeline (a branch on a metric value, a fallback
+// keyed to a counter) fails it, and so does any scheduling sensitivity the
+// instrumentation introduced. Parallel-vs-sequential parity with obs in
+// its default-on state is separately covered by the
+// TestParallelTuneBitIdentical* suite.
+func TestObsParityBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full tunes")
+	}
+	if !obs.Enabled() {
+		t.Fatal("the default registry must start enabled")
+	}
+	onPar, onParV := tuneAt(t, 8, nil)
+
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	offSeq, offSeqV := tuneAt(t, 1, nil)
+
+	expectIdentical(t, offSeq, onPar, offSeqV, onParV)
+}
+
+// TestMetricsCoverPipeline runs a tiny tune+validate and asserts the
+// exposition the exporter would serve covers every instrumented subsystem —
+// the acceptance criterion behind cmd/awexport.
+func TestMetricsCoverPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tune")
+	}
+	prof, err := NamedFaultProfile("chaos", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuneAt(t, 4, &prof)
+
+	var sb strings.Builder
+	if err := obs.Default().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"aw_engine_tasks_total",
+		"aw_engine_task_seconds",
+		"aw_engine_fanouts_total",
+		"aw_engine_worker_busy_seconds_total",
+		"aw_tune_meter_reads_total",
+		"aw_tune_qp_solves_total",
+		"aw_faults_reads_total",
+		"aw_faults_injected_total",
+		"aw_eval_kernels_total",
+		"aw_eval_abs_err_pct",
+		"aw_eval_mape_pct",
+		"aw_stage_seconds",
+	} {
+		if !strings.Contains(out, "\n"+name) && !strings.HasPrefix(out, name) {
+			t.Errorf("exposition is missing %s", name)
+		}
+	}
+	// Spans must carry the pipeline's stage hierarchy.
+	if !strings.Contains(out, `aw_stage_seconds_count{stage="tune/const_power"}`) {
+		t.Error("exposition is missing the tune/const_power stage series")
+	}
+	recs, total := obs.Default().Spans()
+	if total == 0 || len(recs) == 0 {
+		t.Error("pipeline run recorded no spans")
+	}
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		seen[r.Name] = true
+	}
+	for _, stage := range []string{"tune", "tune/const_power", "tune/dynamic/fit", "eval/validate", "engine/worker"} {
+		if !seen[stage] {
+			t.Errorf("no span recorded for stage %s", stage)
+		}
+	}
+}
