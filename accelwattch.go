@@ -32,6 +32,7 @@ import (
 	"accelwattch/internal/faults"
 	"accelwattch/internal/gpuwattch"
 	"accelwattch/internal/isa"
+	"accelwattch/internal/obs"
 	"accelwattch/internal/tune"
 	"accelwattch/internal/ubench"
 	"accelwattch/internal/workloads"
@@ -185,9 +186,15 @@ func newSession(ctx context.Context, arch *Arch, sc Scale, opts SessionOptions) 
 	if err != nil {
 		return nil, err
 	}
+	// The session root span covers construction and tuning; later
+	// evaluation stages still parent under it by ID, so an exported trace
+	// nests session -> stage -> workload even for post-tune work.
+	sessSpan := obs.StartSpan("session").WithDetail(arch.Name)
+	ex.WithSpan(sessSpan)
 	tuneOpts := tb.DefaultOptions()
 	tuneOpts.Workers = workers
 	tuned, err := ex.Tune(tuneOpts)
+	sessSpan.End()
 	if err != nil {
 		return nil, err
 	}

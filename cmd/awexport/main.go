@@ -2,13 +2,15 @@
 // the AccelWattch tuning flow (and optionally the validation suite) while
 // serving the process-wide obs registry as a Prometheus-style exporter —
 // /metrics in text exposition format, /healthz as a JSON liveness/readiness
-// probe — in the mould of the GPU power exporters (Kepler, DCGM) that
-// motivated the metric naming scheme.
+// probe, /debug/pprof/* as the Go profiling surface — in the mould of the
+// GPU power exporters (Kepler, DCGM) that motivated the metric naming
+// scheme.
 //
 // Typical use:
 //
 //	awexport -addr :9767 -arch volta -faults chaos
 //	curl localhost:9767/metrics | grep aw_tune
+//	go tool pprof localhost:9767/debug/pprof/profile?seconds=10
 //
 // With -interval the pipeline re-runs on a fresh session forever, so the
 // engine/tune/faults/eval series keep moving for a scraping Prometheus;
@@ -21,8 +23,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"accelwattch"
+	"accelwattch/internal/cli"
 	"accelwattch/internal/obs"
 )
 
@@ -41,9 +44,54 @@ type state struct {
 	archName string
 }
 
+func newState(archName string) *state {
+	st := &state{archName: archName}
+	st.lastErr.Store("")
+	return st
+}
+
+func (st *state) serveHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	resp := map[string]any{
+		"status": "ok",
+		"ready":  st.ready.Load(),
+		"arch":   st.archName,
+		"runs":   st.runs.Load(),
+	}
+	if e := st.lastErr.Load().(string); e != "" {
+		resp["last_error"] = e
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (st *state) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprintf(w, "awexport: AccelWattch telemetry for %s\n"+
+		"/metrics       Prometheus text exposition\n"+
+		"/healthz       JSON health probe\n"+
+		"/debug/pprof/  Go profiling endpoints\n", st.archName)
+}
+
+// newMux assembles the exporter's HTTP surface: metrics, health, the pprof
+// profiling endpoints, and the index. Factored out of main so tests can
+// drive the exact mux the exporter serves.
+func newMux(reg *obs.Registry, st *state) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", st.serveHealth)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", st.serveIndex)
+	return mux
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("awexport: ")
 	var (
 		addr      = flag.String("addr", ":9767", "HTTP listen address")
 		archName  = flag.String("arch", "volta", "architecture to tune (volta, pascal, turing)")
@@ -57,6 +105,7 @@ func main() {
 		once      = flag.Bool("once", false, "run the pipeline once, print /metrics output to stdout, and exit")
 		out       = flag.String("metrics-out", "", "also write the JSON telemetry snapshot to this file on exit (with -once)")
 	)
+	traceOut, ledgerOut := cli.Artifacts()
 	flag.Parse()
 
 	var arch *accelwattch.Arch
@@ -68,7 +117,8 @@ func main() {
 	case "turing":
 		arch = accelwattch.Turing()
 	default:
-		log.Fatalf("unknown architecture %q", *archName)
+		fmt.Fprintf(os.Stderr, "awexport: unknown architecture %q\n", *archName)
+		os.Exit(1)
 	}
 	sc := accelwattch.Quick
 	if *full {
@@ -76,12 +126,15 @@ func main() {
 	}
 	prof, err := accelwattch.NamedFaultProfile(*faultName, *faultSeed)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "awexport: %v\n", err)
+		os.Exit(1)
 	}
+	run := cli.Start("awexport", arch.Name+" faults="+*faultName, *traceOut, *ledgerOut)
+	logger := run.Log
 
-	st := &state{archName: arch.Name}
-	st.lastErr.Store("")
+	st := newState(arch.Name)
 	reg := obs.Default()
+	obs.RegisterRuntimeMetrics(reg)
 	ready := reg.GaugeVec("aw_export_ready",
 		"1 once the exporter's pipeline has completed at least one run.", "arch").With(arch.Name)
 	runsDone := reg.CounterVec("aw_export_pipeline_runs_total",
@@ -96,7 +149,7 @@ func main() {
 		if err != nil {
 			st.lastErr.Store(err.Error())
 			runsDone.With("error").Inc()
-			log.Printf("pipeline run failed: %v", err)
+			logger.Error("pipeline run failed", "err", err)
 			return
 		}
 		st.lastErr.Store("")
@@ -104,47 +157,30 @@ func main() {
 		st.runs.Add(1)
 		ready.Set(1)
 		runsDone.With("ok").Inc()
+		logger.Info("pipeline run complete", "runs", st.runs.Load())
 	}
 
 	if *once {
 		runOnce()
 		if err := reg.WritePrometheus(os.Stdout); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		if *out != "" {
 			if err := reg.WriteJSONFile(*out); err != nil {
-				log.Fatal(err)
+				run.Fatal(err)
 			}
 		}
-		if st.lastErr.Load().(string) != "" {
+		if e := st.lastErr.Load().(string); e != "" {
+			run.Fatalf("pipeline failed: %s", e)
+		}
+		if err := run.Close(); err != nil {
+			logger.Error("writing artifacts", "err", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		resp := map[string]any{
-			"status": "ok",
-			"ready":  st.ready.Load(),
-			"arch":   st.archName,
-			"runs":   st.runs.Load(),
-		}
-		if e := st.lastErr.Load().(string); e != "" {
-			resp["last_error"] = e
-		}
-		json.NewEncoder(w).Encode(resp)
-	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		fmt.Fprintf(w, "awexport: AccelWattch telemetry for %s\n/metrics  Prometheus text exposition\n/healthz  JSON health probe\n", st.archName)
-	})
-
+	mux := newMux(reg, st)
 	go func() {
 		for {
 			start := time.Now()
@@ -158,6 +194,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("serving %s telemetry on %s (workers=%d, faults=%s)", arch.Name, *addr, *workers, *faultName)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	logger.Info("serving telemetry",
+		"arch", arch.Name, "addr", *addr, "workers", *workers, "faults", *faultName)
+	err = http.ListenAndServe(*addr, mux)
+	run.Fatalf("server exited: %v", err)
 }

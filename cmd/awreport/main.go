@@ -1,0 +1,206 @@
+// Command awreport renders power-attribution reports: per-kernel tables of
+// which model components consumed the estimated watts, per variant. It
+// feeds on either a ledger artifact written by another command
+// (awtune/awvalidate/awexport -ledger-out) or a live run of the pipeline:
+//
+//	awvalidate -ledger-out ledger.jsonl && awreport -ledger ledger.jsonl
+//	awreport                # tune + validate a live Volta session
+//
+// Columns default to the coarse Figure 8/9 groups of the paper;
+// -components switches to all 25 raw model components. Every row's
+// components sum bit-identically to its estimated total — the attribution
+// invariant the eval tests enforce — and awreport re-checks it on the way
+// in, so a corrupted ledger is reported rather than rendered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+
+	"accelwattch"
+	"accelwattch/internal/cli"
+	"accelwattch/internal/core"
+	"accelwattch/internal/eval"
+	"accelwattch/internal/obs"
+)
+
+// row is one kernel's attribution line, variant-scoped.
+type row struct {
+	Kernel    string
+	MeasuredW float64
+	TotalW    float64
+	Breakdown core.Breakdown
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("awreport: ")
+	var (
+		ledgerPath = flag.String("ledger", "", "read breakdowns from this JSONL ledger instead of running the pipeline")
+		components = flag.Bool("components", false, "print all 25 raw components instead of the Figure 8/9 groups")
+		variant    = flag.String("variant", "", "only report this variant (SASS_SIM, PTX_SIM, HW, HYBRID)")
+		archName   = flag.String("arch", "volta", "architecture for live runs (volta, pascal, turing)")
+		full       = flag.Bool("full", false, "use the full-fidelity workload scale for live runs")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count for live runs")
+	)
+	traceOut, ledgerOut := cli.Artifacts()
+	flag.Parse()
+
+	var byVariant map[string][]row
+	var err error
+	if *ledgerPath != "" {
+		byVariant, err = fromLedger(*ledgerPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		byVariant, err = fromLiveRun(*archName, *full, *workers, *traceOut, *ledgerOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	variants := make([]string, 0, len(byVariant))
+	for v := range byVariant {
+		if *variant != "" && v != *variant {
+			continue
+		}
+		variants = append(variants, v)
+	}
+	if len(variants) == 0 {
+		log.Fatalf("no breakdown records%s", matchHint(*variant))
+	}
+	sort.Strings(variants)
+	for _, v := range variants {
+		printTable(v, byVariant[v], *components)
+	}
+}
+
+func matchHint(variant string) string {
+	if variant == "" {
+		return " in the ledger (was it written by a validation run?)"
+	}
+	return fmt.Sprintf(" for variant %q", variant)
+}
+
+// fromLedger reconstructs attribution rows from KindBreakdown events,
+// re-verifying that each event's components sum to its reported power
+// (tolerating only float-printing rounding from the JSON round trip).
+func fromLedger(path string) (map[string][]row, error) {
+	events, err := obs.ReadLedgerFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]row)
+	for i, ev := range events {
+		if ev.Kind != obs.KindBreakdown {
+			continue
+		}
+		bd, err := core.BreakdownFromMap(ev.Breakdown)
+		if err != nil {
+			return nil, fmt.Errorf("%s: event %d (%s): %w", path, i, ev.Workload, err)
+		}
+		if sum := bd.Total(); !closeEnough(sum, ev.PowerW) {
+			return nil, fmt.Errorf("%s: event %d (%s): components sum to %g W but the event reports %g W — corrupted ledger",
+				path, i, ev.Workload, sum, ev.PowerW)
+		}
+		out[ev.Variant] = append(out[ev.Variant], row{
+			Kernel: ev.Workload, MeasuredW: ev.MeasuredW, TotalW: ev.PowerW, Breakdown: bd,
+		})
+	}
+	return out, nil
+}
+
+// closeEnough compares a recomputed component sum against the recorded
+// total: bit-identical in-process, so the only slack allowed is the last
+// ulp-level rounding a JSON encode/decode of the summands can introduce.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// fromLiveRun tunes a session and converts its four-variant validation
+// results — attribution straight from the model, no ledger needed.
+func fromLiveRun(archName string, full bool, workers int, traceOut, ledgerOut string) (map[string][]row, error) {
+	var arch *accelwattch.Arch
+	switch archName {
+	case "volta":
+		arch = accelwattch.Volta()
+	case "pascal":
+		arch = accelwattch.Pascal()
+	case "turing":
+		arch = accelwattch.Turing()
+	default:
+		return nil, fmt.Errorf("unknown architecture %q", archName)
+	}
+	sc := accelwattch.Quick
+	if full {
+		sc = accelwattch.Full
+	}
+	run := cli.Start("awreport", arch.Name, traceOut, ledgerOut)
+	fmt.Fprintf(os.Stderr, "awreport: tuning %s and validating all variants...\n", arch.Name)
+	sess, err := accelwattch.NewSessionWithOptions(arch, sc, accelwattch.SessionOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	all, err := sess.ValidateAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]row)
+	for v, res := range all {
+		for _, k := range res.Kernels {
+			out[v.String()] = append(out[v.String()], row{
+				Kernel: k.Name, MeasuredW: k.MeasuredW, TotalW: k.EstimatedW, Breakdown: k.Breakdown,
+			})
+		}
+	}
+	if err := run.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func printTable(variant string, rows []row, perComponent bool) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Kernel < rows[j].Kernel })
+	fmt.Printf("== %s: per-kernel power attribution (W) ==\n", variant)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+
+	var cols []string
+	if perComponent {
+		for c := 0; c < core.NumComponents; c++ {
+			cols = append(cols, core.Component(c).String())
+		}
+	} else {
+		for g := eval.Group(0); g < eval.NumGroups; g++ {
+			cols = append(cols, g.String())
+		}
+	}
+	fmt.Fprint(w, "kernel\tmeas\test")
+	for _, c := range cols {
+		fmt.Fprint(w, "\t", c)
+	}
+	fmt.Fprintln(w, "\t")
+
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f", r.Kernel, r.MeasuredW, r.TotalW)
+		if perComponent {
+			for c := 0; c < core.NumComponents; c++ {
+				fmt.Fprintf(w, "\t%.2f", r.Breakdown.Watts[c])
+			}
+		} else {
+			g := eval.GroupBreakdown(r.Breakdown)
+			for i := eval.Group(0); i < eval.NumGroups; i++ {
+				fmt.Fprintf(w, "\t%.2f", g.Watts[i])
+			}
+		}
+		fmt.Fprintln(w, "\t")
+	}
+	w.Flush()
+	fmt.Println()
+}

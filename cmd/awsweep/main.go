@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"text/tabwriter"
 
+	"accelwattch/internal/cli"
 	"accelwattch/internal/config"
 	"accelwattch/internal/core"
 	"accelwattch/internal/obs"
@@ -31,6 +32,7 @@ func main() {
 		strict     = flag.Bool("strict", false, "exit non-zero on partial failure (any quarantined workload)")
 		metricsOut = flag.String("metrics-out", "", "write the JSON telemetry snapshot (metrics + stage spans) to this file")
 	)
+	traceOut, ledgerOut := cli.Artifacts()
 	flag.Parse()
 
 	arch, err := config.ByName(*archName)
@@ -41,13 +43,14 @@ func main() {
 	if *full {
 		sc = ubench.Full
 	}
+	obsRun := cli.Start("awsweep", arch.Name+" exp="+*exp, *traceOut, *ledgerOut)
 	tb, err := tune.NewTestbench(arch, sc)
 	if err != nil {
-		log.Fatal(err)
+		obsRun.Fatal(err)
 	}
 	ex, err := tune.NewExec(nil, tb, *workers)
 	if err != nil {
-		log.Fatal(err)
+		obsRun.Fatal(err)
 	}
 
 	run := func(name string, f func(*tune.Exec) error) {
@@ -55,7 +58,7 @@ func main() {
 			return
 		}
 		if err := f(ex); err != nil {
-			log.Fatalf("%s: %v", name, err)
+			obsRun.Fatalf("%s: %v", name, err)
 		}
 	}
 	run("dvfs", sweepDVFS)
@@ -65,9 +68,12 @@ func main() {
 
 	if *metricsOut != "" {
 		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
-			log.Fatal(err)
+			obsRun.Fatal(err)
 		}
 		fmt.Printf("wrote the telemetry snapshot to %s\n", *metricsOut)
+	}
+	if err := obsRun.Close(); err != nil {
+		log.Fatal(err)
 	}
 	if q := tb.Quarantined(); *strict && len(q) > 0 {
 		fmt.Println("== strict mode: quarantined workloads ==")

@@ -14,6 +14,7 @@ import (
 	"text/tabwriter"
 
 	"accelwattch"
+	"accelwattch/internal/cli"
 	"accelwattch/internal/core"
 	"accelwattch/internal/obs"
 	"accelwattch/internal/tune"
@@ -32,6 +33,7 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
 		metricsOut = flag.String("metrics-out", "", "write the JSON telemetry snapshot (metrics + stage spans) to this file")
 	)
+	traceOut, ledgerOut := cli.Artifacts()
 	flag.Parse()
 
 	var arch *accelwattch.Arch
@@ -54,6 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	run := cli.Start("awtune", arch.Name+" faults="+*faultName, *traceOut, *ledgerOut)
 
 	fmt.Printf("tuning AccelWattch for %s (%d SMs, %d nm, base %.0f MHz)...\n",
 		arch.Name, arch.NumSMs, arch.TechNodeNM, arch.BaseClockMHz)
@@ -63,7 +66,7 @@ func main() {
 	}
 	sess, err := accelwattch.NewSessionWithOptions(arch, sc, accelwattch.SessionOptions{Faults: &prof, Workers: *workers})
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	res := sess.Tuned()
 
@@ -119,14 +122,17 @@ func main() {
 
 	if *outPath != "" {
 		if err := m.Save(*outPath); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("\nsaved the tuned SASS SIM model to %s\n", *outPath)
 	}
 	if *metricsOut != "" {
 		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("wrote the telemetry snapshot to %s\n", *metricsOut)
+	}
+	if err := run.Close(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"text/tabwriter"
 
 	"accelwattch"
+	"accelwattch/internal/cli"
 	"accelwattch/internal/eval"
 	"accelwattch/internal/obs"
 	"accelwattch/internal/tune"
@@ -32,24 +33,26 @@ func main() {
 		strict     = flag.Bool("strict", false, "exit non-zero on partial failure (quarantined workloads or kernels without a defined error)")
 		metricsOut = flag.String("metrics-out", "", "write the JSON telemetry snapshot (metrics + stage spans) to this file")
 	)
+	traceOut, ledgerOut := cli.Artifacts()
 	flag.Parse()
 
 	sc := accelwattch.Quick
 	if *full {
 		sc = accelwattch.Full
 	}
+	run := cli.Start("awvalidate", "volta", *traceOut, *ledgerOut)
 	fmt.Println("tuning AccelWattch on the Volta testbench...")
 	sess, err := accelwattch.NewSessionWithOptions(accelwattch.Volta(), sc,
 		accelwattch.SessionOptions{Workers: *workers})
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 
 	// Figure 7: validation across variants.
 	fmt.Println("\n== Figure 7: Volta validation ==")
 	all, err := sess.ValidateAll()
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "variant\tMAPE\t95% CI\tmax err\tpearson r\tkernels")
@@ -85,11 +88,11 @@ func main() {
 		voltaSASS := all[accelwattch.SASSSIM]
 		pascal, err := sess.CaseStudy(accelwattch.Pascal())
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		turing, err := sess.CaseStudy(accelwattch.Turing())
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("Pascal TITAN X : SASS MAPE %.2f%%, PTX MAPE %.2f%% (paper: 11%%, 10.8%%)\n",
 			pascal.SASS.MAPE, pascal.PTX.MAPE)
@@ -113,7 +116,7 @@ func main() {
 		fmt.Println("\n== Figure 13: DeepBench case study ==")
 		results, mape, err := sess.DeepBench()
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		for _, r := range results {
 			fmt.Printf("  %-22s measured %.1f W, estimated %.1f W\n", r.Name, r.MeasuredW, r.EstimatedW)
@@ -125,7 +128,7 @@ func main() {
 		fmt.Println("\n== Section 7.3: GPUWattch baseline on Volta ==")
 		gw, err := sess.CompareGPUWattch()
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("GPUWattch MAPE: SASS %.0f%%, PTX %.0f%% (paper: 219%%, 225%%)\n", gw.SASSMAPE, gw.PTXMAPE)
 		fmt.Printf("average estimate %.0f W, max %.0f W (paper: 530 W, 926 W)\n", gw.AvgEstimatedW, gw.MaxEstimatedW)
@@ -135,9 +138,12 @@ func main() {
 
 	if *metricsOut != "" {
 		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("\nwrote the telemetry snapshot to %s\n", *metricsOut)
+	}
+	if err := run.Close(); err != nil {
+		log.Fatal(err)
 	}
 
 	if *strict {

@@ -96,6 +96,23 @@ func DynComponents() []Component {
 	return out
 }
 
+// componentsByName is the inverse of componentNames, for ledger and config
+// consumers that carry components by their stable string names.
+var componentsByName = func() map[string]Component {
+	m := make(map[string]Component, NumComponents)
+	for i := 0; i < NumComponents; i++ {
+		m[componentNames[i]] = Component(i)
+	}
+	return m
+}()
+
+// ComponentByName resolves a component's stable string name ("alu",
+// "dram_mc", "static", ...); ok is false for unknown names.
+func ComponentByName(name string) (Component, bool) {
+	c, ok := componentsByName[name]
+	return c, ok
+}
+
 // ExecUnitComponents are the components whose scaling factors are bounded
 // by the ordering constraints of Eq. (14).
 var (

@@ -371,3 +371,42 @@ func TestEstimateTraceDVFSTransitions(t *testing.T) {
 		t.Errorf("time-weighted average %v outside the window range", avg)
 	}
 }
+
+// The ledger wire form of a breakdown: Map keeps zero-watt components so
+// the map covers the full component vocabulary, and BreakdownFromMap
+// inverts it bit for bit. Unknown names must be rejected — that is how a
+// corrupted ledger is detected instead of silently misattributed.
+func TestBreakdownMapRoundTrip(t *testing.T) {
+	var b Breakdown
+	for i := 0; i < NumComponents; i++ {
+		b.Watts[i] = 0.1 * float64(i*i)
+	}
+	b.Watts[CompFPU] = 0 // a genuine zero must survive the round trip
+
+	m := b.Map()
+	if len(m) != NumComponents {
+		t.Fatalf("Map has %d entries, want %d (zero components must be kept)", len(m), NumComponents)
+	}
+	rt, err := BreakdownFromMap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != b {
+		t.Errorf("round trip altered the breakdown:\n  in  %v\n  out %v", b.Watts, rt.Watts)
+	}
+	if rt.Total() != b.Total() {
+		t.Errorf("totals diverged: %v vs %v", rt.Total(), b.Total())
+	}
+
+	// Missing components read as zero; unknown names are an error.
+	partial, err := BreakdownFromMap(map[string]float64{"alu": 3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Watts[CompALU] != 3.5 || partial.Total() != 3.5 {
+		t.Errorf("partial map misread: %v", partial.Watts)
+	}
+	if _, err := BreakdownFromMap(map[string]float64{"flux_capacitor": 1.21}); err == nil {
+		t.Error("unknown component name accepted")
+	}
+}

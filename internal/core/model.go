@@ -107,6 +107,32 @@ func (b *Breakdown) Dynamic() float64 {
 	return t
 }
 
+// Map returns the breakdown keyed by stable component names — the ledger
+// wire form of a per-kernel attribution record. Zero-watt components are
+// kept so the map always sums to Total exactly.
+func (b *Breakdown) Map() map[string]float64 {
+	out := make(map[string]float64, NumComponents)
+	for i := 0; i < NumComponents; i++ {
+		out[Component(i).String()] = b.Watts[i]
+	}
+	return out
+}
+
+// BreakdownFromMap reconstructs a breakdown from its Map form (a ledger
+// event's breakdown payload). Unknown component names are an error;
+// missing components read as zero watts.
+func BreakdownFromMap(m map[string]float64) (Breakdown, error) {
+	var b Breakdown
+	for name, w := range m {
+		c, ok := ComponentByName(name)
+		if !ok {
+			return b, fmt.Errorf("core: unknown component %q in breakdown", name)
+		}
+		b.Watts[c] = w
+	}
+	return b, nil
+}
+
 // Top returns the n largest components by wattage.
 func (b *Breakdown) Top(n int) []Component {
 	idx := make([]Component, NumComponents)

@@ -27,6 +27,15 @@ var (
 		[]float64{1, 2, 5, 10, 15, 20, 30, 50, 75, 100}, "variant")
 	mMAPE = obs.Default().GaugeVec("aw_eval_mape_pct",
 		"MAPE of the most recent validation run, by variant.", "variant")
+
+	// mComponentW is the power-attribution family: mean estimated watts per
+	// model component over the most recent validation run. Cardinality is
+	// bounded by construction at NumComponents (25) x NumVariants (4) = 100
+	// series; per-kernel attribution carries unbounded names and therefore
+	// goes to the ledger (KindBreakdown events), never to labels.
+	mComponentW = obs.Default().GaugeVec("aw_component_power_watts",
+		"Mean estimated component power over the most recent validation run, by component and variant.",
+		"component", "variant")
 )
 
 // KernelResult is one kernel's measured-versus-estimated comparison.
@@ -81,7 +90,7 @@ func Validate(tb *tune.Testbench, model *core.Model, v tune.Variant, suite []wor
 // the sequential comparison replays against the memoised artifacts, so the
 // result is identical at every worker count.
 func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []workloads.Kernel) (*ValidationResult, error) {
-	sp := obs.StartSpan("eval/validate")
+	sp := ex.StageSpan("eval/validate").WithDetail(v.String())
 	defer sp.End()
 	var tasks []func(*tune.Testbench) error
 	for i := range suite {
@@ -106,7 +115,9 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 	res := &ValidationResult{Variant: v}
 	kernelsDone := mKernels.With(v.String())
 	errHist := mAbsErrPct.With(v.String())
+	led := obs.ActiveLedger()
 	var meas, est []float64
+	var compSum [core.NumComponents]float64
 	for i := range suite {
 		k := &suite[i]
 		if !inSuite(k, v) {
@@ -129,11 +140,25 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 		res.Kernels = append(res.Kernels, kr)
 		meas = append(meas, kr.MeasuredW)
 		est = append(est, kr.EstimatedW)
+		for c := 0; c < core.NumComponents; c++ {
+			compSum[c] += bd.Watts[c]
+		}
+		if led != nil {
+			// The nil guard skips building the 25-entry map on
+			// ledger-less runs; EstimatedW is bd.Total(), so every
+			// breakdown event provably sums to its reported power.
+			led.Emit(obs.Event{Kind: obs.KindBreakdown, Stage: "eval/validate",
+				Workload: k.Name, Variant: v.String(),
+				PowerW: kr.EstimatedW, MeasuredW: kr.MeasuredW, Breakdown: bd.Map()})
+		}
 		kernelsDone.Inc()
 		errHist.Observe(math.Abs(kr.RelErrPct()))
 	}
 	if len(meas) == 0 {
 		return nil, fmt.Errorf("eval: empty suite for variant %v", v)
+	}
+	for c := 0; c < core.NumComponents; c++ {
+		mComponentW.With(core.Component(c).String(), v.String()).Set(compSum[c] / float64(len(meas)))
 	}
 	var err error
 	res.MAPE, res.CI95, err = stats.MAPEWithCI(meas, est)

@@ -1,0 +1,142 @@
+// Chrome trace-event export: renders the span ring as the JSON trace
+// format Perfetto (ui.perfetto.dev) and chrome://tracing load natively.
+// Each worker becomes one track (tid); spans on a track nest visually by
+// time containment, so the session → stage → workload hierarchy reads
+// directly off the timeline. Parent/child links and details travel in each
+// event's args.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one trace-event JSON object. Field order is fixed by the
+// struct, values are deterministic given the records, so the output is
+// golden-testable.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object form of the format ({"traceEvents":
+// [...]}), which unlike the bare-array form allows metadata.
+type chromeTrace struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+const chromePID = 1 // single-process pipeline: one trace process
+
+// chromeTID maps a span's worker attribution to a track: unattributed
+// spans (the main pipeline thread) to 0, worker w to w+1.
+func chromeTID(worker int) int {
+	if worker < 0 {
+		return 0
+	}
+	return worker + 1
+}
+
+// chromeTraceOf converts span records to trace events. Events are sorted
+// by (start, track, name, id) — deterministic for any input order — and
+// prefixed with process/thread-name metadata so Perfetto labels the
+// tracks. otherData may be nil.
+func chromeTraceOf(records []SpanRecord, otherData map[string]string) *chromeTrace {
+	recs := append([]SpanRecord(nil), records...)
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.StartUnixNano != b.StartUnixNano {
+			return a.StartUnixNano < b.StartUnixNano
+		}
+		if ta, tb := chromeTID(a.Worker), chromeTID(b.Worker); ta != tb {
+			return ta < tb
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.ID < b.ID
+	})
+
+	tids := map[int]bool{}
+	for _, r := range recs {
+		tids[chromeTID(r.Worker)] = true
+	}
+	order := make([]int, 0, len(tids))
+	for t := range tids {
+		order = append(order, t)
+	}
+	sort.Ints(order)
+
+	events := make([]chromeEvent, 0, len(recs)+len(order)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]string{"name": "accelwattch"},
+	})
+	for _, t := range order {
+		name := "pipeline"
+		if t > 0 {
+			name = "worker " + strconv.Itoa(t-1)
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: t,
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, r := range recs {
+		args := map[string]string{"id": strconv.FormatInt(r.ID, 10)}
+		if r.Parent != 0 {
+			args["parent"] = strconv.FormatInt(r.Parent, 10)
+		}
+		if r.Detail != "" {
+			args["detail"] = r.Detail
+		}
+		events = append(events, chromeEvent{
+			Name: r.Name,
+			Cat:  "stage",
+			Ph:   "X",
+			TS:   float64(r.StartUnixNano) / 1e3,
+			Dur:  r.DurationS * 1e6,
+			PID:  chromePID,
+			TID:  chromeTID(r.Worker),
+			Args: args,
+		})
+	}
+	return &chromeTrace{TraceEvents: events, OtherData: otherData}
+}
+
+// WriteChromeTrace renders records as indented trace-event JSON.
+func WriteChromeTrace(w io.Writer, records []SpanRecord, otherData map[string]string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTraceOf(records, otherData))
+}
+
+// WriteChromeTrace exports the registry's retained spans, annotating the
+// artifact with the all-time span total and the overwritten (dropped)
+// count so a wrapped ring is visible in the trace itself.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	recs, total := r.Spans()
+	other := map[string]string{
+		"spans_total":   strconv.FormatInt(total, 10),
+		"spans_dropped": strconv.FormatInt(total-int64(len(recs)), 10),
+	}
+	return WriteChromeTrace(w, recs, other)
+}
+
+// WriteChromeTraceFile writes the trace artifact atomically — the
+// implementation behind the CLIs' -trace-out flag.
+func (r *Registry) WriteChromeTraceFile(path string) error {
+	if err := WriteFileAtomic(path, r.WriteChromeTrace); err != nil {
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	return nil
+}

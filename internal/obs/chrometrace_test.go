@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixedSpans is a deterministic span set spanning both tracks, hierarchy
+// links, details, and an out-of-order input (the converter must sort).
+func fixedSpans() []SpanRecord {
+	return []SpanRecord{
+		{ID: 3, Parent: 2, Name: "tune/measure", Detail: "fp32_fma@1380MHz", Worker: 1, StartUnixNano: 2500, DurationS: 0.000001},
+		{ID: 1, Name: "session", Detail: "volta-gv100", Worker: -1, StartUnixNano: 1000, DurationS: 0.000005},
+		{ID: 2, Parent: 1, Name: "tune", Worker: -1, StartUnixNano: 2000, DurationS: 0.000003},
+	}
+}
+
+const goldenChromeTrace = `{
+ "traceEvents": [
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "accelwattch"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "pipeline"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 2,
+   "args": {
+    "name": "worker 1"
+   }
+  },
+  {
+   "name": "session",
+   "cat": "stage",
+   "ph": "X",
+   "ts": 1,
+   "dur": 5,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "detail": "volta-gv100",
+    "id": "1"
+   }
+  },
+  {
+   "name": "tune",
+   "cat": "stage",
+   "ph": "X",
+   "ts": 2,
+   "dur": 3,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "id": "2",
+    "parent": "1"
+   }
+  },
+  {
+   "name": "tune/measure",
+   "cat": "stage",
+   "ph": "X",
+   "ts": 2.5,
+   "dur": 1,
+   "pid": 1,
+   "tid": 2,
+   "args": {
+    "detail": "fp32_fma@1380MHz",
+    "id": "3",
+    "parent": "2"
+   }
+  }
+ ],
+ "otherData": {
+  "spans": "3"
+ }
+}
+`
+
+// TestChromeTraceGolden pins the emitted trace-event JSON byte for byte:
+// sorted events, metadata prefix, microsecond timestamps, hierarchy args.
+func TestChromeTraceGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, fixedSpans(), map[string]string{"spans": "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != goldenChromeTrace {
+		t.Errorf("trace mismatch:\n--- got ---\n%s\n--- want ---\n%s", sb.String(), goldenChromeTrace)
+	}
+}
+
+// TestChromeTraceDeterministic: two renders of a permuted input agree.
+func TestChromeTraceDeterministic(t *testing.T) {
+	spans := fixedSpans()
+	var a, b strings.Builder
+	if err := WriteChromeTrace(&a, spans, nil); err != nil {
+		t.Fatal(err)
+	}
+	spans[0], spans[2] = spans[2], spans[0]
+	if err := WriteChromeTrace(&b, spans, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("permuting the input records changed the rendered trace")
+	}
+}
+
+// TestRegistryChromeTrace exports real ring contents and validates the
+// JSON shape plus the drop accounting in otherData.
+func TestRegistryChromeTrace(t *testing.T) {
+	r := NewRegistry()
+	r.spanCapacity = 2
+	parent := r.StartSpan("session")
+	parent.Child("tune").End()
+	r.StartSpan("eval/validate").WithWorker(0).End()
+	parent.End() // overwrites the oldest: 3 ended spans, capacity 2
+
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if decoded.OtherData["spans_total"] != "3" || decoded.OtherData["spans_dropped"] != "1" {
+		t.Errorf("otherData = %v, want total 3 dropped 1", decoded.OtherData)
+	}
+	var spanEvents int
+	for _, ev := range decoded.TraceEvents {
+		if ev["ph"] == "X" {
+			spanEvents++
+		}
+	}
+	if spanEvents != 2 {
+		t.Errorf("trace has %d span events, want the 2 retained", spanEvents)
+	}
+}

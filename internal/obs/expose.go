@@ -7,7 +7,6 @@ import (
 	"io"
 	"math"
 	"net/http"
-	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,6 +21,7 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 // values, so the format is golden-testable. Families with no series yet
 // are skipped (a Vec nobody resolved has nothing to say).
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.collect()
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
@@ -197,6 +197,7 @@ func (f *jsonFloat) UnmarshalJSON(b []byte) error {
 
 // TakeSnapshot captures the registry's current state.
 func (r *Registry) TakeSnapshot() *Snapshot {
+	r.collect()
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
@@ -257,15 +258,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WriteJSONFile writes the snapshot artifact to path — the implementation
-// behind the CLIs' -metrics-out flag.
+// behind the CLIs' -metrics-out flag. The write is atomic (temp file +
+// rename): a crash mid-write never leaves truncated JSON on disk.
 func (r *Registry) WriteJSONFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := r.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, r.WriteJSON)
 }

@@ -1,0 +1,220 @@
+// The power-attribution ledger: a structured, append-only flight recorder
+// for pipeline events — measurements, quarantines, fit coefficients,
+// per-kernel power breakdowns — serialised as JSON Lines. Where the metric
+// registry answers "how much, in aggregate", the ledger answers "who
+// consumed which watts, when, in which stage": one Event per occurrence,
+// correlated across a run by a shared run ID, with unbounded-cardinality
+// context (workload names, operating points) that must never become a
+// metric label.
+//
+// Like the rest of obs, the ledger is strictly observe-only: no pipeline
+// code path reads an event back, so installing or removing a ledger cannot
+// change any output. Event *sets* are deterministic at every worker count —
+// emission happens inside singleflight artifact computations or sequential
+// replay, never per scheduling decision — while sequence numbers and
+// timestamps record the actual interleaving of a particular run.
+package obs
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event kinds. The vocabulary is fixed so ledger consumers can switch on
+// it; Detail/Coeffs carry the kind-specific payload.
+const (
+	KindRunStart   = "run_start"   // one per run: Detail = arch, Coeffs = config
+	KindRunEnd     = "run_end"     // one per run: Reason = outcome
+	KindMeasure    = "measure"     // one per operating point: Workload, ClockMHz, PowerW, Attempts
+	KindMeasureErr = "measure_err" // a point that failed every retry: Error
+	KindQuarantine = "quarantine"  // workload removed from the flow: Reason
+	KindFit        = "fit"         // a stage's fitted coefficients: Stage, Coeffs
+	KindBreakdown  = "breakdown"   // per-kernel attribution: Breakdown sums to PowerW
+)
+
+// Event is one structured ledger record. Zero-valued fields are omitted
+// from the JSONL encoding, so each kind serialises only its payload. The
+// encoding round-trips: decode(encode(e)) == e for any event built from
+// finite floats (JSON cannot carry NaN/Inf, and no emitter produces them).
+type Event struct {
+	// Seq orders events within one ledger; TimeUnixNano is the wall-clock
+	// stamp. Both are assigned by Emit and describe the particular run's
+	// interleaving — determinism tests normalise them away.
+	Seq          int64  `json:"seq"`
+	TimeUnixNano int64  `json:"t,omitempty"`
+	RunID        string `json:"run_id,omitempty"`
+
+	Kind     string `json:"kind"`
+	Stage    string `json:"stage,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Variant  string `json:"variant,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+
+	ClockMHz  float64 `json:"clock_mhz,omitempty"`
+	PowerW    float64 `json:"power_w,omitempty"`
+	MeasuredW float64 `json:"measured_w,omitempty"`
+	Attempts  int     `json:"attempts,omitempty"`
+
+	Reason string `json:"reason,omitempty"`
+	Error  string `json:"error,omitempty"`
+
+	// Coeffs carries fit coefficients ("const_w": 32.5); Breakdown carries
+	// per-component watts keyed by core.Component names and provably sums
+	// to PowerW (the attribution invariant).
+	Coeffs    map[string]float64 `json:"coeffs,omitempty"`
+	Breakdown map[string]float64 `json:"breakdown,omitempty"`
+}
+
+// Ledger is a bounded-memory flight recorder of Events. The zero value is
+// not usable; call NewLedger.
+type Ledger struct {
+	runID string
+
+	mu     sync.Mutex
+	events []Event
+	seq    int64
+}
+
+// NewLedger returns an empty ledger stamping runID onto every event.
+func NewLedger(runID string) *Ledger {
+	return &Ledger{runID: runID}
+}
+
+// RunID returns the ledger's run correlation ID.
+func (l *Ledger) RunID() string { return l.runID }
+
+// Emit appends an event, stamping Seq, RunID and the wall clock. Nil
+// ledgers swallow the event, so call sites need no guards.
+func (l *Ledger) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	ev.RunID = l.runID
+	if ev.TimeUnixNano == 0 {
+		ev.TimeUnixNano = time.Now().UnixNano()
+	}
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (l *Ledger) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Len returns the number of recorded events.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// WriteJSONL renders the ledger as JSON Lines, one event per line, in
+// emission order.
+func (l *Ledger) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range l.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the JSONL artifact atomically (temp file + rename), so
+// a crash mid-write never leaves a truncated ledger on disk.
+func (l *Ledger) WriteFile(path string) error {
+	return WriteFileAtomic(path, l.WriteJSONL)
+}
+
+// ReadLedger decodes a JSONL event stream (the WriteJSONL format). Blank
+// lines are skipped; a malformed line aborts with its line number.
+func ReadLedger(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: ledger line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadLedgerFile reads a ledger artifact from disk.
+func ReadLedgerFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadLedger(f)
+}
+
+// SetLedger installs (or, with nil, removes) the registry's flight
+// recorder. Instrumented code reaches it through ActiveLedger.
+func (r *Registry) SetLedger(l *Ledger) { r.ledger.Store(l) }
+
+// ActiveLedger returns the installed ledger, or nil when none is installed
+// or the registry is disabled — callers use the nil to skip building event
+// payloads entirely.
+func (r *Registry) ActiveLedger() *Ledger {
+	if r.off() {
+		return nil
+	}
+	return r.ledger.Load()
+}
+
+// SetLedger installs a flight recorder on the default registry.
+func SetLedger(l *Ledger) { defaultRegistry.SetLedger(l) }
+
+// ActiveLedger returns the default registry's ledger (nil when absent or
+// collection is disabled).
+func ActiveLedger() *Ledger { return defaultRegistry.ActiveLedger() }
+
+// Emit records an event on the default registry's ledger, if one is
+// installed and collection is enabled.
+func Emit(ev Event) { defaultRegistry.ActiveLedger().Emit(ev) }
+
+// NewRunID returns a 16-hex-character correlation ID for one pipeline run,
+// shared by the ledger, the trace export and slog lines.
+func NewRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the clock; uniqueness within one host is enough.
+		return fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewLogger returns a structured logger stamping every line with the run
+// ID, replacing the CLIs' ad-hoc fmt/log diagnostics so log lines
+// correlate with ledger events and trace spans.
+func NewLogger(w io.Writer, runID string) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, nil)).With("run_id", runID)
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzLedgerRoundTrip feeds arbitrary bytes through the ledger decoder.
+// The invariant: any stream ReadLedger accepts re-encodes to a stable
+// form — encode(decode(x)) == encode(decode(encode(decode(x)))) — so
+// ledger artifacts survive read-modify-write cycles byte for byte, the
+// same contract FuzzLoadModel enforces for model config files.
+func FuzzLedgerRoundTrip(f *testing.F) {
+	seed := func(evs ...Event) []byte {
+		var sb strings.Builder
+		l := NewLedger("fuzzseed00000000")
+		for _, ev := range evs {
+			l.Emit(ev)
+		}
+		if err := l.WriteJSONL(&sb); err != nil {
+			f.Fatal(err)
+		}
+		return []byte(sb.String())
+	}
+	f.Add(seed(Event{Kind: KindMeasure, Workload: "fp32_fma", ClockMHz: 1380, PowerW: 123.5, Attempts: 3}))
+	f.Add(seed(
+		Event{Kind: KindRunStart, Detail: "volta-gv100"},
+		Event{Kind: KindBreakdown, Stage: "eval/validate", Variant: "SASS_SIM",
+			Breakdown: map[string]float64{"alu": 1.5, "const": 32.5}},
+		Event{Kind: KindQuarantine, Workload: "w", Reason: "2 failed operating points"},
+	))
+	f.Add([]byte(`{"kind":"fit","coeffs":{"const_w":32.5}}`))
+	f.Add([]byte("{}\n\n{}"))
+	f.Add([]byte(`{"seq":-1,"t":-5,"kind":""}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"breakdown":{"x":1e309}}`)) // overflows float64 -> decode error
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadLedger(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; only accepted streams must round-trip
+		}
+		enc := func(events []Event) string {
+			var sb strings.Builder
+			e := json.NewEncoder(&sb)
+			for i := range events {
+				if err := e.Encode(events[i]); err != nil {
+					t.Fatalf("accepted event %d does not re-encode: %v", i, err)
+				}
+			}
+			return sb.String()
+		}
+		first := enc(evs)
+		evs2, err := ReadLedger(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("re-encoded ledger does not decode: %v\n%s", err, first)
+		}
+		if second := enc(evs2); first != second {
+			t.Fatalf("round trip unstable:\n--- first ---\n%s--- second ---\n%s", first, second)
+		}
+	})
+}

@@ -66,6 +66,36 @@ type Registry struct {
 	spanNext     int // ring write cursor once the buffer is full
 	spanTotal    int64
 	spanCapacity int
+	spanID       atomic.Int64
+
+	// ledger is the optional structured-event flight recorder (ledger.go);
+	// nil until SetLedger installs one, so Emit stays a single atomic load
+	// on uninstrumented runs.
+	ledger atomic.Pointer[Ledger]
+
+	// onCollect hooks run at the top of WritePrometheus/TakeSnapshot so
+	// scrape-time samplers (runtime.go) refresh their gauges lazily.
+	hookMu    sync.Mutex
+	onCollect []func()
+}
+
+// OnCollect registers a hook invoked before every exposition render or
+// snapshot. Hooks must be cheap and must only write metrics — they run on
+// the scrape path.
+func (r *Registry) OnCollect(f func()) {
+	r.hookMu.Lock()
+	r.onCollect = append(r.onCollect, f)
+	r.hookMu.Unlock()
+}
+
+// collect runs the registered scrape-time hooks.
+func (r *Registry) collect() {
+	r.hookMu.Lock()
+	hooks := append([]func(){}, r.onCollect...)
+	r.hookMu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 }
 
 // DefaultSpanCapacity bounds the per-registry span ring; once full, the

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntimeMetrics wires Go runtime/GC/goroutine gauges into the
+// registry, sampled lazily on every scrape or snapshot via an OnCollect
+// hook — the profiling companion to cmd/awexport's pprof endpoints.
+// Monotonic MemStats totals (GC cycles, pause time) are exposed as proper
+// counters by adding deltas between scrapes. Safe to call once per
+// registry; repeat calls would stack duplicate hooks, so callers guard
+// with their own once (awexport calls it exactly once at startup).
+func RegisterRuntimeMetrics(r *Registry) {
+	goroutines := r.Gauge("aw_go_goroutines",
+		"Goroutines at the last scrape.")
+	gomaxprocs := r.Gauge("aw_go_gomaxprocs",
+		"GOMAXPROCS at the last scrape.")
+	heapAlloc := r.Gauge("aw_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects at the last scrape.")
+	heapSys := r.Gauge("aw_go_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS at the last scrape.")
+	nextGC := r.Gauge("aw_go_next_gc_bytes",
+		"Heap size target of the next GC cycle.")
+	gcCycles := r.Counter("aw_go_gc_cycles_total",
+		"Completed GC cycles since process start.")
+	gcPause := r.Counter("aw_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.")
+
+	var (
+		mu            sync.Mutex
+		lastCycles    uint32
+		lastPauseNano uint64
+	)
+	r.OnCollect(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		gomaxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		nextGC.Set(float64(ms.NextGC))
+		mu.Lock()
+		gcCycles.Add(float64(ms.NumGC - lastCycles))
+		gcPause.Add(float64(ms.PauseTotalNs-lastPauseNano) / 1e9)
+		lastCycles, lastPauseNano = ms.NumGC, ms.PauseTotalNs
+		mu.Unlock()
+	})
+}

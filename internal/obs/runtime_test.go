@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRuntimeMetricsSampledOnScrape: the Go runtime gauges refresh via the
+// OnCollect hook, so they carry live values in every exposition without
+// any background sampler goroutine.
+func TestRuntimeMetricsSampledOnScrape(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, fam := range []string{
+		"aw_go_goroutines", "aw_go_gomaxprocs", "aw_go_heap_alloc_bytes",
+		"aw_go_heap_sys_bytes", "aw_go_next_gc_bytes",
+		"aw_go_gc_cycles_total", "aw_go_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, "\n"+fam+" ") && !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("exposition missing runtime family %s", fam)
+		}
+	}
+	// A live process always has at least this test's goroutine.
+	if strings.Contains(out, "aw_go_goroutines 0\n") {
+		t.Error("goroutine gauge was not sampled")
+	}
+	// Snapshots sample through the same hook.
+	snap := r.TakeSnapshot()
+	found := false
+	for _, m := range snap.Metrics {
+		if m.Name == "aw_go_heap_alloc_bytes" {
+			found = *m.Series[0].Value > 0
+		}
+	}
+	if !found {
+		t.Error("snapshot did not sample heap gauge")
+	}
+}
+
+// TestOnCollectHookRuns pins the hook plumbing itself.
+func TestOnCollectHookRuns(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.OnCollect(func() { calls++ })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	r.TakeSnapshot()
+	if calls != 2 {
+		t.Errorf("hook ran %d times, want 2 (one per render/snapshot)", calls)
+	}
+}

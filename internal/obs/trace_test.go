@@ -65,4 +65,70 @@ func TestSpanRingOverwritesOldest(t *testing.T) {
 			t.Fatalf("recs[%d].Worker = %d, want %d (order %v)", i, recs[i].Worker, want, recs)
 		}
 	}
+	// Every overwrite is counted instead of silently discarded.
+	if got := r.traceDropped().Value(); got != 2 {
+		t.Errorf("aw_trace_dropped_total = %v, want 2", got)
+	}
+}
+
+func TestSpanDropCounterStaysZeroWithinCapacity(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 10; i++ {
+		r.StartSpan("s").End()
+	}
+	if got := r.traceDropped().Value(); got != 0 {
+		t.Errorf("aw_trace_dropped_total = %v before the ring filled, want 0", got)
+	}
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	r := NewRegistry()
+	sess := r.StartSpan("session").WithDetail("volta-gv100")
+	stage := sess.Child("tune")
+	leaf := stage.Child("tune/measure").WithDetail("fp32_fma").WithWorker(2)
+	leaf.End()
+	stage.End()
+	sess.End()
+
+	recs, _ := r.Spans()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, rec := range recs {
+		byName[rec.Name] = rec
+	}
+	if byName["session"].Parent != 0 {
+		t.Errorf("session has parent %d, want 0", byName["session"].Parent)
+	}
+	if byName["tune"].Parent != byName["session"].ID {
+		t.Errorf("tune parent = %d, want session id %d", byName["tune"].Parent, byName["session"].ID)
+	}
+	if byName["tune/measure"].Parent != byName["tune"].ID {
+		t.Errorf("measure parent = %d, want tune id %d", byName["tune/measure"].Parent, byName["tune"].ID)
+	}
+	if byName["tune/measure"].Detail != "fp32_fma" || byName["tune/measure"].Worker != 2 {
+		t.Errorf("leaf attrs = %+v", byName["tune/measure"])
+	}
+	ids := map[int64]bool{}
+	for _, rec := range recs {
+		if rec.ID == 0 || ids[rec.ID] {
+			t.Errorf("span IDs not unique/non-zero: %+v", recs)
+		}
+		ids[rec.ID] = true
+	}
+}
+
+func TestSpanChildOfNilIsNil(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	sp := r.StartSpan("session")
+	if sp != nil {
+		t.Fatal("disabled registry must return nil spans")
+	}
+	child := sp.Child("tune") // must not panic
+	child.WithDetail("x").WithWorker(1).End()
+	if child != nil {
+		t.Error("child of nil span must be nil")
+	}
 }

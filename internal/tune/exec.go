@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"accelwattch/internal/engine"
+	"accelwattch/internal/obs"
 )
 
 // Exec is a testbench bound to an execution context: a worker pool of
@@ -15,17 +16,32 @@ import (
 type Exec struct {
 	ctx  context.Context
 	pool *engine.Pool[*Testbench]
+
+	// span, when set via WithSpan, is the parent (typically the session
+	// root) that stage spans opened through StageSpan nest under.
+	span *obs.Span
 }
 
 // NewExec builds an execution engine over tb with the given worker count
 // (values < 1 mean 1). A nil ctx means context.Background(). Workers beyond
 // the first get replicas of tb via Testbench.Replicate; call it after
-// UseMeter so replicas wrap the installed meter.
+// UseMeter so replicas wrap the installed meter. Each replica is stamped
+// with its pool index (tb itself is worker 0) so measurement spans land on
+// per-worker trace tracks.
 func NewExec(ctx context.Context, tb *Testbench, workers int) (*Exec, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	pool, err := engine.NewPool(tb, workers, tb.Replicate)
+	next := 0
+	pool, err := engine.NewPool(tb, workers, func() (*Testbench, error) {
+		r, err := tb.Replicate()
+		if err != nil {
+			return nil, err
+		}
+		next++
+		r.Worker = next
+		return r, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -40,6 +56,23 @@ func (tb *Testbench) Sequential() *Exec {
 
 // Ctx returns the engine's cancellation context.
 func (ex *Exec) Ctx() context.Context { return ex.ctx }
+
+// WithSpan parents all stage spans this engine opens under sp — callers
+// holding a session root span install it here so the exported trace nests
+// session → stage → workload. Returns ex for chaining; nil clears it.
+func (ex *Exec) WithSpan(sp *obs.Span) *Exec {
+	ex.span = sp
+	return ex
+}
+
+// StageSpan opens a pipeline-stage span, as a child of the engine's parent
+// span when one is installed and as a root span otherwise.
+func (ex *Exec) StageSpan(name string) *obs.Span {
+	if ex.span != nil {
+		return ex.span.Child(name)
+	}
+	return obs.StartSpan(name)
+}
 
 // TB returns the primary testbench (the one the engine was built from).
 func (ex *Exec) TB() *Testbench { return ex.pool.Primary() }

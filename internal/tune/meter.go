@@ -9,6 +9,7 @@ import (
 
 	"accelwattch/internal/config"
 	"accelwattch/internal/faults"
+	"accelwattch/internal/obs"
 	"accelwattch/internal/qp"
 	"accelwattch/internal/silicon"
 	"accelwattch/internal/stats"
@@ -167,6 +168,7 @@ func (tb *Testbench) quarantine(name, reason, class string) {
 	a.mu.Unlock()
 	if !dup {
 		mQuarantines.With(class).Inc()
+		obs.Emit(obs.Event{Kind: obs.KindQuarantine, Workload: name, Reason: reason, Detail: class})
 	}
 }
 
@@ -182,21 +184,24 @@ func (tb *Testbench) noteFailure(name string, p MeterPolicy) {
 	a.failCount[name]++
 	quarantined := a.failCount[name] >= p.QuarantineAfter
 	var dup bool
+	var reason string
 	if quarantined {
 		if _, dup = a.quarantined[name]; !dup {
-			a.quarantined[name] = fmt.Sprintf("%d failed operating points", a.failCount[name])
+			reason = fmt.Sprintf("%d failed operating points", a.failCount[name])
+			a.quarantined[name] = reason
 		}
 	}
 	a.mu.Unlock()
 	if quarantined && !dup {
 		mQuarantines.With(qcFailedPoints).Inc()
+		obs.Emit(obs.Event{Kind: obs.KindQuarantine, Workload: name, Reason: reason, Detail: qcFailedPoints})
 	}
 }
 
 // runWithRetry performs one measurement attempt with transient-error
-// retries and exponential backoff. Non-transient errors (bad traces, clock
-// out of range) surface immediately.
-func (tb *Testbench) runWithRetry(kt *trace.KernelTrace, p MeterPolicy) (*silicon.Measurement, error) {
+// retries and exponential backoff, reporting how many meter reads it spent.
+// Non-transient errors (bad traces, clock out of range) surface immediately.
+func (tb *Testbench) runWithRetry(kt *trace.KernelTrace, p MeterPolicy) (m *silicon.Measurement, attempts int, err error) {
 	backoff := p.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
@@ -207,6 +212,7 @@ func (tb *Testbench) runWithRetry(kt *trace.KernelTrace, p MeterPolicy) (*silico
 				backoff *= 2
 			}
 		}
+		attempts++
 		m, err := tb.Meter.Run(kt)
 		if err == nil {
 			if math.IsNaN(m.AvgPowerW) || math.IsInf(m.AvgPowerW, 0) || m.AvgPowerW <= 0 {
@@ -216,14 +222,14 @@ func (tb *Testbench) runWithRetry(kt *trace.KernelTrace, p MeterPolicy) (*silico
 				continue
 			}
 			mMeterReads.Inc()
-			return m, nil
+			return m, attempts, nil
 		}
 		if !faults.IsTransient(err) {
-			return nil, err
+			return nil, attempts, err
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("all %d attempts failed: %w", p.MaxRetries+1, lastErr)
+	return nil, attempts, fmt.Errorf("all %d attempts failed: %w", p.MaxRetries+1, lastErr)
 }
 
 // profileWithRetry reads hardware counters with the same transient-error
@@ -256,12 +262,15 @@ func (tb *Testbench) profileWithRetry(kt *trace.KernelTrace, p MeterPolicy) (*si
 // independent reads (each with its own retry budget), aggregated by the
 // median, with optional MAD rejection of outlier samples. With Repeats=1
 // and no rejection the single read is returned untouched, keeping the
-// clean-meter path bit-identical to the historical one.
-func (tb *Testbench) measurePoint(kt *trace.KernelTrace, p MeterPolicy) (*silicon.Measurement, error) {
+// clean-meter path bit-identical to the historical one. attempts totals the
+// meter reads spent across all repeats and retries — the ledger's
+// measurement-effort record.
+func (tb *Testbench) measurePoint(kt *trace.KernelTrace, p MeterPolicy) (m *silicon.Measurement, attempts int, err error) {
 	var good []*silicon.Measurement
 	var lastErr error
 	for r := 0; r < p.Repeats; r++ {
-		m, err := tb.runWithRetry(kt, p)
+		m, n, err := tb.runWithRetry(kt, p)
+		attempts += n
 		if err != nil {
 			lastErr = err
 			continue
@@ -269,12 +278,12 @@ func (tb *Testbench) measurePoint(kt *trace.KernelTrace, p MeterPolicy) (*silico
 		good = append(good, m)
 	}
 	if len(good) == 0 {
-		return nil, lastErr
+		return nil, attempts, lastErr
 	}
 	if len(good) == 1 && p.OutlierK <= 0 {
-		return good[0], nil
+		return good[0], attempts, nil
 	}
-	return aggregateMeasurements(good, p), nil
+	return aggregateMeasurements(good, p), attempts, nil
 }
 
 // aggregateMeasurements pools the samples of repeated reads, optionally

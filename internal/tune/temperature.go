@@ -41,7 +41,7 @@ func (tb *Testbench) FitTemperature() (*TemperatureFit, error) {
 	tb.Meter.ResetClock()
 	for i, tc := range temps {
 		tb.Meter.SetTemperature(tc)
-		m, err := tb.measurePoint(kt, pol)
+		m, _, err := tb.measurePoint(kt, pol)
 		if err != nil {
 			tb.Meter.SetTemperature(65)
 			if pol.Robust {

@@ -15,6 +15,7 @@ import (
 	"accelwattch/internal/engine"
 	"accelwattch/internal/faults"
 	"accelwattch/internal/isa"
+	"accelwattch/internal/obs"
 	"accelwattch/internal/silicon"
 	"accelwattch/internal/sim"
 	"accelwattch/internal/trace"
@@ -39,6 +40,12 @@ type Testbench struct {
 	// retries, repeats and robust aggregation on that path.
 	Meter  faults.Meter
 	Policy MeterPolicy
+
+	// Worker is this testbench's index in its execution-engine pool
+	// (0 for the primary and for stand-alone testbenches); it attributes
+	// measurement spans to Perfetto worker tracks and is observe-only —
+	// no measurement depends on it.
+	Worker int
 
 	arts *artifacts
 }
@@ -188,16 +195,22 @@ func (tb *Testbench) Measure(w Workload, clockMHz float64) (*silicon.Measurement
 			return nil, err
 		}
 		pol := tb.Policy.normalized()
+		sp := obs.StartSpan("tune/measure").WithWorker(tb.Worker).WithDetail(w.Name)
+		defer sp.End()
 		tb.Meter.SetTemperature(65)
 		if err := tb.Meter.SetClock(clockMHz); err != nil {
 			return nil, err
 		}
-		m, err := tb.measurePoint(kt, pol)
+		m, attempts, err := tb.measurePoint(kt, pol)
 		tb.Meter.ResetClock()
 		if err != nil {
+			obs.Emit(obs.Event{Kind: obs.KindMeasureErr, Stage: "tune/measure",
+				Workload: w.Name, ClockMHz: clockMHz, Attempts: attempts, Error: err.Error()})
 			tb.noteFailure(w.Name, pol)
 			return nil, fmt.Errorf("tune: measuring %s at %.0f MHz: %v: %w", w.Name, clockMHz, err, ErrMeasurement)
 		}
+		obs.Emit(obs.Event{Kind: obs.KindMeasure, Stage: "tune/measure",
+			Workload: w.Name, ClockMHz: clockMHz, PowerW: m.AvgPowerW, Attempts: attempts})
 		return m, nil
 	})
 }
@@ -211,6 +224,8 @@ func (tb *Testbench) Profile(w Workload) (*silicon.Counters, error) {
 			return nil, err
 		}
 		pol := tb.Policy.normalized()
+		sp := obs.StartSpan("tune/profile").WithWorker(tb.Worker).WithDetail(w.Name)
+		defer sp.End()
 		c, err := tb.profileWithRetry(kt, pol)
 		if err != nil {
 			tb.noteFailure(w.Name, pol)

@@ -82,43 +82,53 @@ func TuneContext(ctx context.Context, tb *Testbench, opts Options) (*Result, err
 func (ex *Exec) Tune(opts Options) (*Result, error) {
 	tb := ex.TB()
 	out := &Result{}
-	tuneSpan := obs.StartSpan("tune")
+	tuneSpan := ex.StageSpan("tune")
 	defer tuneSpan.End()
 
-	sp := obs.StartSpan("tune/const_power")
+	sp := tuneSpan.Child("tune/const_power")
 	cp, err := ex.EstimateConstPower(opts.Sweep)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("tune: constant power: %w", err)
 	}
 	out.ConstPower = cp
+	obs.Emit(obs.Event{Kind: obs.KindFit, Stage: "tune/const_power",
+		Coeffs: map[string]float64{"const_w": cp.ConstW, "legacy_const_w": cp.LegacyConstW}})
 
-	sp = obs.StartSpan("tune/divergence")
+	sp = tuneSpan.Child("tune/divergence")
 	divModels, divFits, err := ex.FitDivergenceModels()
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("tune: divergence models: %w", err)
 	}
 	out.DivFits = divFits
+	for _, f := range divFits {
+		obs.Emit(obs.Event{Kind: obs.KindFit, Stage: "tune/divergence", Detail: f.Mix.String(),
+			Coeffs: map[string]float64{"first_lane_w": f.Model.FirstLaneW, "add_lane_w": f.Model.AddLaneW}})
+	}
 
-	sp = obs.StartSpan("tune/idle_sm")
+	sp = tuneSpan.Child("tune/idle_sm")
 	idle, err := ex.FitIdleSM(cp.ConstW)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("tune: idle SM: %w", err)
 	}
 	out.IdleSM = idle
+	obs.Emit(obs.Event{Kind: obs.KindFit, Stage: "tune/idle_sm",
+		Coeffs: map[string]float64{"per_idle_sm_w": idle.PerIdleSMW}})
 
 	// The temperature ladder reuses one kernel at three die temperatures —
 	// inherently serial (the meter state is the variable under test), so it
 	// runs on the primary replica.
-	sp = obs.StartSpan("tune/temperature")
+	sp = tuneSpan.Child("tune/temperature")
 	temp, err := tb.FitTemperature()
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("tune: temperature factor: %w", err)
 	}
 	out.Temperature = temp
+	obs.Emit(obs.Event{Kind: obs.KindFit, Stage: "tune/temperature",
+		Coeffs: map[string]float64{"coeff_per_c": temp.Coeff}})
 
 	skeleton := &core.Model{
 		Arch:         tb.Arch,
@@ -130,7 +140,7 @@ func (ex *Exec) Tune(opts Options) (*Result, error) {
 		TempCoeff:    temp.Coeff,
 	}
 
-	sp = obs.StartSpan("tune/ubench_suite")
+	sp = tuneSpan.Child("tune/ubench_suite")
 	benches, err := ubench.SuiteParallel(ex.ctx, tb.Arch, tb.Scale, ex.Workers())
 	sp.End()
 	if err != nil {
@@ -153,14 +163,14 @@ func (ex *Exec) Tune(opts Options) (*Result, error) {
 			return err
 		})
 	}
-	sp = obs.StartSpan("tune/dynamic/warm")
+	sp = tuneSpan.Child("tune/dynamic/warm")
 	err = ex.Warm(tasks)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
-	sp = obs.StartSpan("tune/dynamic/fit")
+	sp = tuneSpan.Child("tune/dynamic/fit")
 	type variantFit struct{ best, other *DynamicFit }
 	fits, err := engine.Map(ex.ctx, ex.pool, Variants(),
 		func(_ context.Context, r *Testbench, v Variant) (variantFit, error) {
@@ -177,6 +187,13 @@ func (ex *Exec) Tune(opts Options) (*Result, error) {
 		out.Models[v] = &m
 		out.BestFits[v] = fits[i].best
 		out.OtherFits[v] = fits[i].other
+		obs.Emit(obs.Event{Kind: obs.KindFit, Stage: "tune/dynamic",
+			Variant: v.String(), Detail: fits[i].best.Start.String(),
+			Coeffs: map[string]float64{
+				"train_mape_pct": fits[i].best.TrainMAPE,
+				"objective":      fits[i].best.Objective,
+				"iterations":     float64(fits[i].best.Iterations),
+			}})
 	}
 	out.Quarantined = tb.Quarantined()
 	return out, nil

@@ -81,6 +81,13 @@ func expectIdentical(t *testing.T, seq, par *Session, seqV, parV map[Variant]*Va
 				t.Errorf("%v kernel %d: %s %v/%v W vs %s %v/%v W",
 					v, i, ks.Name, ks.MeasuredW, ks.EstimatedW, kp.Name, kp.MeasuredW, kp.EstimatedW)
 			}
+			// The attribution must match component for component, not just in
+			// total: a parallelism bug that shuffled watts between components
+			// while preserving the sum would still be a broken model.
+			if ks.Breakdown != kp.Breakdown {
+				t.Errorf("%v kernel %s: breakdowns differ:\n  seq %v\n  par %v",
+					v, ks.Name, ks.Breakdown.Watts, kp.Breakdown.Watts)
+			}
 		}
 	}
 }
