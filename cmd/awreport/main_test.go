@@ -1,0 +1,225 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+	"accelwattch/internal/obs"
+)
+
+// testBreakdown builds a breakdown whose components sum (in index order) to
+// a deterministic total, mirroring how the pipeline emits events.
+func testBreakdown(scale float64) core.Breakdown {
+	var bd core.Breakdown
+	for i := 0; i < core.NumComponents; i++ {
+		bd.Watts[i] = scale * float64(i+1)
+	}
+	return bd
+}
+
+// writeLedger emits the given events through a real Ledger and writes the
+// JSONL artifact, so the test ingests exactly the wire format the pipeline
+// produces.
+func writeLedger(t *testing.T, events ...obs.Event) string {
+	t.Helper()
+	led := obs.NewLedger("report-test")
+	for _, ev := range events {
+		led.Emit(ev)
+	}
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := led.WriteFile(path); err != nil {
+		t.Fatalf("writing ledger: %v", err)
+	}
+	return path
+}
+
+func breakdownEvent(kernel, variant string, bd core.Breakdown, measured float64) obs.Event {
+	return obs.Event{
+		Kind: obs.KindBreakdown, Stage: "eval/validate",
+		Workload: kernel, Variant: variant,
+		PowerW: bd.Total(), MeasuredW: measured, Breakdown: bd.Map(),
+	}
+}
+
+func TestFromLedger(t *testing.T) {
+	bd1, bd2 := testBreakdown(1), testBreakdown(2)
+	path := writeLedger(t,
+		obs.Event{Kind: obs.KindRunStart, Stage: "awvalidate"},
+		breakdownEvent("gemm", "SASS_SIM", bd1, 120),
+		breakdownEvent("stream", "SASS_SIM", bd2, 200),
+		breakdownEvent("gemm", "HW", bd1, 120),
+		obs.Event{Kind: obs.KindMeasure, Workload: "noise", PowerW: 55},
+		obs.Event{Kind: obs.KindRunEnd, Reason: "ok"},
+	)
+	got, err := fromLedger(path)
+	if err != nil {
+		t.Fatalf("fromLedger: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d variants, want 2 (SASS_SIM, HW)", len(got))
+	}
+	if len(got["SASS_SIM"]) != 2 || len(got["HW"]) != 1 {
+		t.Fatalf("row counts: SASS_SIM=%d HW=%d", len(got["SASS_SIM"]), len(got["HW"]))
+	}
+	r := got["SASS_SIM"][0]
+	if r.Kernel != "gemm" || r.MeasuredW != 120 {
+		t.Fatalf("first row = %+v", r)
+	}
+	if r.TotalW != bd1.Total() {
+		t.Fatalf("TotalW %v, want %v", r.TotalW, bd1.Total())
+	}
+	if r.Breakdown != bd1 {
+		t.Fatal("breakdown did not round-trip through the ledger")
+	}
+	// Non-breakdown events (run_start, measure, run_end) must be ignored,
+	// not misread as attribution rows.
+	total := 0
+	for _, rows := range got {
+		total += len(rows)
+	}
+	if total != 3 {
+		t.Fatalf("ingested %d rows, want 3", total)
+	}
+}
+
+func TestFromLedgerRejectsBrokenSumInvariant(t *testing.T) {
+	bd := testBreakdown(1)
+	ev := breakdownEvent("gemm", "SASS_SIM", bd, 120)
+	ev.PowerW = bd.Total() * 1.25 // components no longer sum to the total
+	path := writeLedger(t, ev)
+	_, err := fromLedger(path)
+	if err == nil || !strings.Contains(err.Error(), "corrupted ledger") {
+		t.Fatalf("fromLedger accepted a broken sum invariant: %v", err)
+	}
+}
+
+func TestFromLedgerRejectsUnknownComponent(t *testing.T) {
+	bd := testBreakdown(1)
+	ev := breakdownEvent("gemm", "SASS_SIM", bd, 120)
+	ev.Breakdown["flux_capacitor"] = 1.21
+	path := writeLedger(t, ev)
+	_, err := fromLedger(path)
+	if err == nil || !strings.Contains(err.Error(), "unknown component") {
+		t.Fatalf("fromLedger accepted an unknown component: %v", err)
+	}
+}
+
+func TestFromLedgerRejectsMalformedJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.jsonl")
+	content := `{"seq":1,"kind":"breakdown","workload":"ok","power_w":0}
+{"seq":2,"kind":"breakdown","workload":"broken"
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fromLedger(path); err == nil {
+		t.Fatal("fromLedger accepted malformed JSONL")
+	}
+	if _, err := fromLedger(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("fromLedger accepted a missing file")
+	}
+}
+
+func TestCloseEnough(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{100, 100, true},
+		{100, 100 + 1e-8, true}, // JSON round-trip rounding scale
+		{100, 100.001, false},   // real corruption
+		{0, 0, true},
+		{1e-300, 1e-300, true},
+		{100, -100, false},
+		{0, 1, false},
+	}
+	for _, tc := range cases {
+		if got := closeEnough(tc.a, tc.b); got != tc.want {
+			t.Errorf("closeEnough(%g, %g) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMatchHint(t *testing.T) {
+	if h := matchHint(""); !strings.Contains(h, "ledger") {
+		t.Errorf("empty-variant hint %q should mention the ledger", h)
+	}
+	if h := matchHint("HW"); !strings.Contains(h, "HW") {
+		t.Errorf("variant hint %q should name the variant", h)
+	}
+}
+
+func TestPrintTable(t *testing.T) {
+	// printTable writes to stdout; capture it to check shape for both the
+	// grouped and per-component layouts.
+	capture := func(fn func()) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		fn()
+		w.Close()
+		os.Stdout = old
+		buf := make([]byte, 1<<16)
+		n, _ := r.Read(buf)
+		return string(buf[:n])
+	}
+	rows := []row{
+		{Kernel: "zz_last", MeasuredW: 100, TotalW: 110, Breakdown: testBreakdown(1)},
+		{Kernel: "aa_first", MeasuredW: 50, TotalW: 55, Breakdown: testBreakdown(0.5)},
+	}
+	out := capture(func() { printTable("SASS_SIM", rows, false) })
+	if !strings.Contains(out, "SASS_SIM") || !strings.Contains(out, "aa_first") {
+		t.Fatalf("grouped table missing content:\n%s", out)
+	}
+	if strings.Index(out, "aa_first") > strings.Index(out, "zz_last") {
+		t.Fatal("rows not sorted by kernel name")
+	}
+	out = capture(func() { printTable("HW", rows, true) })
+	if !strings.Contains(out, core.CompDRAMMC.String()) {
+		t.Fatalf("per-component table missing component columns:\n%s", out)
+	}
+}
+
+// TestLedgerRowsMatchModelEstimate closes the loop: a breakdown emitted
+// from a real model estimate must ingest with the sum invariant intact.
+func TestLedgerRowsMatchModelEstimate(t *testing.T) {
+	m := &core.Model{
+		Arch:         config.Volta(),
+		BaseEnergyPJ: core.InitialEnergiesPJ(),
+		ConstW:       32.5,
+		IdleSMW:      0.1,
+		RefSMs:       80,
+	}
+	for i := range m.Scale {
+		m.Scale[i] = 0.1
+	}
+	for i := range m.Div {
+		m.Div[i] = core.DivModel{FirstLaneW: 30, AddLaneW: 0.7}
+	}
+	a := core.Activity{Cycles: 1e6, ActiveSMs: 80, AvgLanes: 32, Mix: core.MixIntFP}
+	a.Counts[core.CompALU] = 5e8
+	a.Counts[core.CompRF] = 2e9
+	bd, err := m.Estimate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeLedger(t, obs.Event{
+		Kind: obs.KindBreakdown, Workload: "real", Variant: "HW",
+		PowerW: bd.Total(), Breakdown: bd.Map(),
+	})
+	got, err := fromLedger(path)
+	if err != nil {
+		t.Fatalf("fromLedger rejected a genuine model breakdown: %v", err)
+	}
+	if got["HW"][0].TotalW != bd.Total() {
+		t.Fatal("total did not survive the ledger round trip")
+	}
+}

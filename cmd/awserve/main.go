@@ -1,0 +1,156 @@
+// Command awserve is the long-running power-estimation service: it tunes
+// (or loads) a model once at startup, then answers estimation requests over
+// HTTP until asked to drain.
+//
+//	awserve -addr :8080                 # tune Volta at Quick scale, serve
+//	awserve -model volta.json           # serve a saved model for all variants
+//	curl -d '{"variant":"SASS_SIM","cycles":1e6,...}' localhost:8080/estimate
+//
+// SIGINT/SIGTERM triggers a graceful drain: readiness flips to 503, new
+// estimation work is refused, accepted work is answered, in-flight HTTP
+// responses complete, and the ledger/trace artifacts are flushed with
+// run_end reason "sigterm".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"accelwattch"
+	"accelwattch/internal/cli"
+	"accelwattch/internal/core"
+	"accelwattch/internal/serve"
+	"accelwattch/internal/tune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("awserve: ")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		archName     = flag.String("arch", "volta", "architecture to tune at startup (volta, pascal, turing)")
+		full         = flag.Bool("full", false, "tune at the full-fidelity workload scale")
+		modelPath    = flag.String("model", "", "serve a saved model file (accelwattch-model-v1 JSON) for all variants instead of tuning")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "batch worker count (responses are identical at any setting)")
+		queue        = flag.Int("queue", serve.DefaultQueueSize, "estimation queue bound; a full queue answers 429")
+		batch        = flag.Int("batch", serve.DefaultMaxBatch, "max jobs coalesced per engine dispatch")
+		batchWindow  = flag.Duration("batch-window", 0, "how long the batcher may wait to fill a batch (0 = greedy coalescing)")
+		cacheSize    = flag.Int("cache", 4096, "response LRU capacity in entries (0 disables caching)")
+		deadline     = flag.Duration("deadline", serve.DefaultDeadline, "per-request deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for accepted work and in-flight responses")
+		ledgerCap    = flag.Int("ledger-cap", 65536, "attribution-ledger retention in events (0 = unbounded; unsafe for long runs)")
+	)
+	traceOut, ledgerOut := cli.Artifacts()
+	flag.Parse()
+
+	run := cli.StartCapped("awserve", *archName, *traceOut, *ledgerOut, *ledgerCap)
+	models, source, err := buildModels(*modelPath, *archName, *full, *workers)
+	if err != nil {
+		run.Fatal(err)
+	}
+	run.Log.Info("models ready", "source", source)
+
+	srv, err := serve.New(serve.Config{
+		Models:      models,
+		Workers:     *workers,
+		QueueSize:   *queue,
+		MaxBatch:    *batch,
+		BatchWindow: *batchWindow,
+		CacheSize:   *cacheSize,
+		Deadline:    *deadline,
+	})
+	if err != nil {
+		run.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Mux()}
+	errc := make(chan error, 1)
+	go func() {
+		run.Log.Info("listening", "addr", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		run.Log.Info("signal received; draining")
+	case err := <-errc:
+		run.Fatal(err)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		run.Log.Error("drain incomplete", "err", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		run.Log.Error("http shutdown", "err", err)
+	}
+	srv.Close()
+	if err := run.CloseReason("sigterm"); err != nil {
+		run.Log.Error("writing artifacts", "err", err)
+		os.Exit(1)
+	}
+}
+
+// resolveArch maps a -arch flag value onto a stock architecture.
+func resolveArch(name string) (*accelwattch.Arch, error) {
+	switch name {
+	case "volta":
+		return accelwattch.Volta(), nil
+	case "pascal":
+		return accelwattch.Pascal(), nil
+	case "turing":
+		return accelwattch.Turing(), nil
+	default:
+		return nil, fmt.Errorf("unknown architecture %q (want volta, pascal, or turing)", name)
+	}
+}
+
+// buildModels produces the variant->model table the service serves: either
+// one saved model file answering for every variant, or a freshly tuned
+// session's per-variant models. The returned string describes the source
+// for the startup log.
+func buildModels(modelPath, archName string, full bool, workers int) (map[tune.Variant]*core.Model, string, error) {
+	if modelPath != "" {
+		m, err := core.LoadModel(modelPath)
+		if err != nil {
+			return nil, "", err
+		}
+		models := make(map[tune.Variant]*core.Model, tune.NumVariants)
+		for _, v := range tune.Variants() {
+			models[v] = m
+		}
+		return models, "file:" + modelPath, nil
+	}
+	arch, err := resolveArch(archName)
+	if err != nil {
+		return nil, "", err
+	}
+	sc := accelwattch.Quick
+	scName := "quick"
+	if full {
+		sc = accelwattch.Full
+		scName = "full"
+	}
+	sess, err := accelwattch.NewSessionWithOptions(arch, sc,
+		accelwattch.SessionOptions{Workers: workers})
+	if err != nil {
+		return nil, "", err
+	}
+	models := make(map[tune.Variant]*core.Model, tune.NumVariants)
+	for _, v := range tune.Variants() {
+		models[v] = sess.Model(v)
+	}
+	return models, "tuned:" + archName + "/" + scName, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+	"accelwattch/internal/tune"
+)
+
+func TestResolveArch(t *testing.T) {
+	for _, name := range []string{"volta", "pascal", "turing"} {
+		arch, err := resolveArch(name)
+		if err != nil || arch == nil {
+			t.Fatalf("resolveArch(%q): %v", name, err)
+		}
+	}
+	if _, err := resolveArch("ampere"); err == nil {
+		t.Fatal("resolveArch accepted an unknown architecture")
+	}
+}
+
+func TestBuildModelsFromFile(t *testing.T) {
+	m := &core.Model{
+		Arch:         config.Volta(),
+		BaseEnergyPJ: core.InitialEnergiesPJ(),
+		ConstW:       32.5,
+		IdleSMW:      0.1,
+		RefSMs:       80,
+	}
+	for i := range m.Scale {
+		m.Scale[i] = 0.1
+	}
+	for i := range m.Div {
+		m.Div[i] = core.DivModel{FirstLaneW: 30, AddLaneW: 0.7}
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatalf("saving model: %v", err)
+	}
+
+	models, source, err := buildModels(path, "volta", false, 1)
+	if err != nil {
+		t.Fatalf("buildModels: %v", err)
+	}
+	if !strings.HasPrefix(source, "file:") {
+		t.Fatalf("source = %q, want file: prefix", source)
+	}
+	if len(models) != int(tune.NumVariants) {
+		t.Fatalf("got %d variants, want %d", len(models), int(tune.NumVariants))
+	}
+	for _, v := range tune.Variants() {
+		got := models[v]
+		if got == nil {
+			t.Fatalf("variant %v missing", v)
+		}
+		if got.ConstW != m.ConstW || got.RefSMs != m.RefSMs {
+			t.Fatalf("variant %v model does not match the saved one", v)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("loaded model invalid: %v", err)
+		}
+	}
+}
+
+func TestBuildModelsErrors(t *testing.T) {
+	if _, _, err := buildModels(filepath.Join(t.TempDir(), "nope.json"), "volta", false, 1); err == nil {
+		t.Fatal("buildModels accepted a missing model file")
+	}
+	if _, _, err := buildModels("", "ampere", false, 1); err == nil {
+		t.Fatal("buildModels accepted an unknown architecture")
+	}
+}

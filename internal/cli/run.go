@@ -47,8 +47,19 @@ type Run struct {
 // and emits the run_start event. tool names the command; detail carries its
 // headline configuration (architecture, fault profile).
 func Start(tool, detail, traceOut, ledgerOut string) *Run {
+	return start(tool, detail, traceOut, ledgerOut, 0)
+}
+
+// StartCapped is Start with a bounded ring-buffer ledger — the form for
+// long-running services, whose event stream would otherwise grow without
+// limit. ledgerCap < 1 falls back to an unbounded ledger.
+func StartCapped(tool, detail, traceOut, ledgerOut string, ledgerCap int) *Run {
+	return start(tool, detail, traceOut, ledgerOut, ledgerCap)
+}
+
+func start(tool, detail, traceOut, ledgerOut string, ledgerCap int) *Run {
 	id := obs.NewRunID()
-	led := obs.NewLedger(id)
+	led := obs.NewLedgerCap(id, ledgerCap)
 	obs.SetLedger(led)
 	r := &Run{
 		ID:        id,
@@ -78,8 +89,13 @@ func (r *Run) Fatal(err error) { r.Fatalf("%v", err) }
 // Close emits the run_end event and writes the -trace-out and -ledger-out
 // artifacts, each atomically (temp file + rename). It returns the first
 // write error; the events and files remain usable either way.
-func (r *Run) Close() error {
-	r.Led.Emit(obs.Event{Kind: obs.KindRunEnd, Reason: "ok"})
+func (r *Run) Close() error { return r.CloseReason("ok") }
+
+// CloseReason is Close with an explicit run_end reason — a drained service
+// records "sigterm" instead of "ok", so the ledger distinguishes a batch
+// run that finished from a server that was asked to stop.
+func (r *Run) CloseReason(reason string) error {
+	r.Led.Emit(obs.Event{Kind: obs.KindRunEnd, Reason: reason})
 	return r.write()
 }
 

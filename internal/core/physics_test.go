@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"accelwattch/internal/config"
+)
+
+// Physics-invariant (metamorphic) tests: properties the paper's equations
+// guarantee for ANY admissible parameters, not just the tuned ones. Each
+// test perturbs inputs along one axis and asserts the direction or shape
+// the physics dictates.
+
+// divGrid is a y-grid covering the integers and awkward fractional lane
+// occupancies.
+func divGrid() []float64 {
+	var ys []float64
+	for y := 1.0; y <= 32.0; y += 0.25 {
+		ys = append(ys, y)
+	}
+	return ys
+}
+
+func TestPhysicsDivLinearMonotone(t *testing.T) {
+	// Eq. (4): with any positive per-lane increment, static power is
+	// strictly increasing in active lanes — no sawtooth.
+	for _, dm := range []DivModel{
+		{FirstLaneW: 30, AddLaneW: 0.7},
+		{FirstLaneW: 5, AddLaneW: 0.01},
+		{FirstLaneW: 120, AddLaneW: 3.5},
+	} {
+		prev := math.Inf(-1)
+		for _, y := range divGrid() {
+			p := dm.ChipStaticW(y)
+			if p <= prev {
+				t.Fatalf("linear model %+v not strictly increasing at y=%g: %g <= %g", dm, y, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPhysicsFirstLanePremium(t *testing.T) {
+	// Section 4.3: the first active lane powers up SM-wide structures, so
+	// it must cost strictly more than every subsequent lane. In model
+	// terms: the y=1 power exceeds each later one-lane increment.
+	dm := DivModel{FirstLaneW: 30, AddLaneW: 0.7}
+	first := dm.ChipStaticW(1)
+	for y := 2.0; y <= 32.0; y++ {
+		inc := dm.ChipStaticW(y) - dm.ChipStaticW(y-1)
+		if inc <= 0 {
+			t.Fatalf("lane %g adds non-positive power %g", y, inc)
+		}
+		if first <= inc {
+			t.Fatalf("first lane (%g W) does not exceed lane %g's increment (%g W)", first, y, inc)
+		}
+	}
+	// Same premium under the half-warp form, skipping the y=17 gating dip.
+	hw := DivModel{FirstLaneW: 30, AddLaneW: 0.7, HalfWarp: true}
+	first = hw.ChipStaticW(1)
+	for y := 2.0; y <= 32.0; y++ {
+		if y == 17 {
+			continue
+		}
+		inc := hw.ChipStaticW(y) - hw.ChipStaticW(y-1)
+		if first <= inc {
+			t.Fatalf("half-warp: first lane (%g W) does not exceed lane %g's increment (%g W)", first, y, inc)
+		}
+	}
+}
+
+func TestPhysicsHalfWarpSawtooth(t *testing.T) {
+	// Eq. (5): power peaks exactly at y=16 and y=32 (a tie), drops when
+	// the second half-warp activates at y=17, and rises strictly on
+	// [1,16] and [17,32].
+	dm := DivModel{FirstLaneW: 30, AddLaneW: 0.7, HalfWarp: true}
+	p16, p17, p32 := dm.ChipStaticW(16), dm.ChipStaticW(17), dm.ChipStaticW(32)
+	if p16 != p32 {
+		t.Fatalf("sawtooth peaks differ: y=16 gives %g, y=32 gives %g", p16, p32)
+	}
+	if !(p17 < p16) {
+		t.Fatalf("no dip at y=17: %g >= %g", p17, p16)
+	}
+	for y := 2.0; y <= 16.0; y++ {
+		if !(dm.ChipStaticW(y) > dm.ChipStaticW(y-1)) {
+			t.Fatalf("not rising on the first half-warp at y=%g", y)
+		}
+	}
+	for y := 18.0; y <= 32.0; y++ {
+		if !(dm.ChipStaticW(y) > dm.ChipStaticW(y-1)) {
+			t.Fatalf("not rising on the second half-warp at y=%g", y)
+		}
+	}
+	// The peak value is the model's maximum over the whole grid.
+	for _, y := range divGrid() {
+		if dm.ChipStaticW(y) > p16 {
+			t.Fatalf("y=%g exceeds the y=16/32 peak", y)
+		}
+	}
+	if dm.MaxW() != p16 {
+		t.Fatalf("MaxW %g != peak %g", dm.MaxW(), p16)
+	}
+}
+
+func TestPhysicsFitDivModelEndpoints(t *testing.T) {
+	// Both model forms must reproduce the two measured endpoints exactly
+	// (Section 4.4 calibrates the increment to make this hold).
+	for _, halfWarp := range []bool{false, true} {
+		dm := FitDivModel(31.5, 52.25, halfWarp)
+		if got := dm.ChipStaticW(1); math.Abs(got-31.5) > 1e-12 {
+			t.Fatalf("halfWarp=%v: y=1 endpoint %g, want 31.5", halfWarp, got)
+		}
+		if got := dm.ChipStaticW(32); math.Abs(got-52.25) > 1e-12 {
+			t.Fatalf("halfWarp=%v: y=32 endpoint %g, want 52.25", halfWarp, got)
+		}
+	}
+}
+
+// physModel is a minimal valid model for estimate-level invariants.
+func physModel() *Model {
+	m := &Model{
+		Arch:         config.Volta(),
+		BaseEnergyPJ: InitialEnergiesPJ(),
+		ConstW:       32.5,
+		IdleSMW:      0.1,
+		RefSMs:       80,
+	}
+	for i := range m.Scale {
+		m.Scale[i] = 0.1
+	}
+	for i := range m.Div {
+		m.Div[i] = DivModel{FirstLaneW: 30, AddLaneW: 0.7}
+	}
+	return m
+}
+
+func TestPhysicsEstimateMonotoneInClock(t *testing.T) {
+	// Eq. (2)/(3): at fixed activity, total power is strictly increasing
+	// in core clock — dynamic power scales with f·V(f)² and V(f) is
+	// non-decreasing.
+	m := physModel()
+	a := Activity{Cycles: 1e6, ActiveSMs: 80, AvgLanes: 32, Mix: MixIntFP}
+	a.Counts[CompALU] = 5e8
+	a.Counts[CompRF] = 2e9
+	prev := math.Inf(-1)
+	for mhz := m.Arch.MinClockMHz; mhz <= m.Arch.MaxClockMHz; mhz += 30 {
+		a.ClockMHz = mhz
+		p, err := m.EstimatePower(a)
+		if err != nil {
+			t.Fatalf("estimate at %g MHz: %v", mhz, err)
+		}
+		if p <= prev {
+			t.Fatalf("power not increasing in clock: %g W at %g MHz after %g W", p, mhz, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPhysicsConstantPowerFloor(t *testing.T) {
+	// The y-intercept analogue at model level: an idle activity window
+	// (no counters, no active SMs) consumes exactly the positive constant
+	// power plus all-idle static — never zero, never negative.
+	m := physModel()
+	a := Activity{Cycles: 1e6}
+	bd, err := m.Estimate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Watts[CompConst] != m.ConstW {
+		t.Fatalf("constant component %g, want %g", bd.Watts[CompConst], m.ConstW)
+	}
+	if bd.Total() != m.ConstW {
+		t.Fatalf("idle-window total %g, want the constant floor %g", bd.Total(), m.ConstW)
+	}
+	if !(m.ConstW > 0) {
+		t.Fatal("constant power must be strictly positive (Section 4.2)")
+	}
+	// Any activity on top can only add power.
+	a.ActiveSMs = 1
+	a.AvgLanes = 1
+	withSM, err := m.EstimatePower(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(withSM > m.ConstW) {
+		t.Fatalf("activating one SM did not raise power above the floor: %g", withSM)
+	}
+}

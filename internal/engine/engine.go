@@ -174,19 +174,25 @@ func Map[R, T, V any](ctx context.Context, p *Pool[R], items []T, fn func(ctx co
 	return out, nil
 }
 
-// MapN is Map for replica-less fan-out: fn receives only the item index.
-// Results are in index order with the same error semantics as Map.
-func MapN[V any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (V, error)) ([]V, error) {
+// Slots returns a replica-less pool of the given width: `workers`
+// interchangeable empty slots. It is the reusable form of MapN's implicit
+// pool — long-lived callers that fan out repeatedly (the serving layer's
+// request batcher) build it once instead of allocating a pool per batch.
+func Slots(workers int) *Pool[struct{}] {
 	if workers < 1 {
 		workers = 1
 	}
+	return &Pool[struct{}]{replicas: make([]struct{}, workers)}
+}
+
+// MapN is Map for replica-less fan-out: fn receives only the item index.
+// Results are in index order with the same error semantics as Map.
+func MapN[V any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (V, error)) ([]V, error) {
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	slots := make([]struct{}, workers)
-	pool := &Pool[struct{}]{replicas: slots}
-	return Map(ctx, pool, idx, func(ctx context.Context, _ struct{}, i int) (V, error) {
+	return Map(ctx, Slots(workers), idx, func(ctx context.Context, _ struct{}, i int) (V, error) {
 		return fn(ctx, i)
 	})
 }

@@ -56,6 +56,21 @@ func (k *KernelResult) RelErrPct() float64 {
 	return 100 * (k.EstimatedW - k.MeasuredW) / k.MeasuredW
 }
 
+// EstimateOne evaluates a model over one activity vector and packages the
+// outcome as a KernelResult: EstimatedW is the breakdown total, so the
+// attribution invariant (components sum bit-identically to the reported
+// power) holds by construction. This is the single-shot estimation path —
+// the validation loop below and the serving layer (internal/serve) both go
+// through it, which is what makes a served estimate provably the same
+// computation awvalidate performs.
+func EstimateOne(model *core.Model, name string, measuredW float64, a core.Activity) (KernelResult, error) {
+	bd, err := model.Estimate(a)
+	if err != nil {
+		return KernelResult{}, fmt.Errorf("eval: %s: %w", name, err)
+	}
+	return KernelResult{Name: name, MeasuredW: measuredW, EstimatedW: bd.Total(), Breakdown: bd}, nil
+}
+
 // ValidationResult aggregates one variant's run over a suite.
 type ValidationResult struct {
 	Variant tune.Variant
@@ -132,11 +147,11 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 		if err != nil {
 			return nil, err
 		}
-		bd, err := model.Estimate(a)
+		kr, err := EstimateOne(model, k.Name, m.AvgPowerW, a)
 		if err != nil {
-			return nil, fmt.Errorf("eval: %s: %w", k.Name, err)
+			return nil, err
 		}
-		kr := KernelResult{Name: k.Name, MeasuredW: m.AvgPowerW, EstimatedW: bd.Total(), Breakdown: bd}
+		bd := kr.Breakdown
 		res.Kernels = append(res.Kernels, kr)
 		meas = append(meas, kr.MeasuredW)
 		est = append(est, kr.EstimatedW)

@@ -73,26 +73,59 @@ type Event struct {
 	Breakdown map[string]float64 `json:"breakdown,omitempty"`
 }
 
-// Ledger is a bounded-memory flight recorder of Events. The zero value is
-// not usable; call NewLedger.
+// Ledger is a flight recorder of Events. Batch runs use the unbounded form
+// (NewLedger): every event is kept and flushed to the JSONL artifact at
+// exit. Long-running services use the capped form (NewLedgerCap), a ring
+// buffer that retains the most recent events and counts what it sheds —
+// bounded memory for an unbounded request stream. The zero value is not
+// usable; call a constructor.
 type Ledger struct {
 	runID string
 
-	mu     sync.Mutex
-	events []Event
-	seq    int64
+	mu      sync.Mutex
+	events  []Event
+	seq     int64
+	cap     int   // 0 = unbounded
+	head    int   // oldest event's index when the ring has wrapped
+	dropped int64 // events shed by the ring
 }
 
-// NewLedger returns an empty ledger stamping runID onto every event.
+// NewLedger returns an empty unbounded ledger stamping runID onto every
+// event.
 func NewLedger(runID string) *Ledger {
 	return &Ledger{runID: runID}
+}
+
+// NewLedgerCap returns a ledger that retains at most capacity events,
+// shedding the oldest first. capacity < 1 yields an unbounded ledger.
+func NewLedgerCap(runID string, capacity int) *Ledger {
+	if capacity < 1 {
+		capacity = 0
+	}
+	return &Ledger{runID: runID, cap: capacity}
 }
 
 // RunID returns the ledger's run correlation ID.
 func (l *Ledger) RunID() string { return l.runID }
 
+// Cap returns the retention bound (0 = unbounded).
+func (l *Ledger) Cap() int { return l.cap }
+
+// Dropped returns how many events the ring has shed. Always 0 for an
+// unbounded ledger.
+func (l *Ledger) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
 // Emit appends an event, stamping Seq, RunID and the wall clock. Nil
-// ledgers swallow the event, so call sites need no guards.
+// ledgers swallow the event, so call sites need no guards. A capped ledger
+// at capacity overwrites its oldest event; Seq keeps counting, so gaps in
+// a dumped ledger's sequence reveal exactly what was shed.
 func (l *Ledger) Emit(ev Event) {
 	if l == nil {
 		return
@@ -104,15 +137,24 @@ func (l *Ledger) Emit(ev Event) {
 	if ev.TimeUnixNano == 0 {
 		ev.TimeUnixNano = time.Now().UnixNano()
 	}
-	l.events = append(l.events, ev)
+	if l.cap > 0 && len(l.events) == l.cap {
+		l.events[l.head] = ev
+		l.head = (l.head + 1) % l.cap
+		l.dropped++
+	} else {
+		l.events = append(l.events, ev)
+	}
 	l.mu.Unlock()
 }
 
-// Events returns a copy of the recorded events in emission order.
+// Events returns a copy of the retained events in emission order.
 func (l *Ledger) Events() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Event(nil), l.events...)
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.head:]...)
+	out = append(out, l.events[:l.head]...)
+	return out
 }
 
 // Len returns the number of recorded events.

@@ -139,3 +139,43 @@ func TestNewLogger(t *testing.T) {
 		t.Errorf("log line missing correlation attrs: %q", out)
 	}
 }
+
+func TestLedgerCapRing(t *testing.T) {
+	l := NewLedgerCap("capped", 3)
+	if l.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", l.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		l.Emit(Event{Kind: KindMeasure, ClockMHz: float64(i)})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (ring at capacity)", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", l.Dropped())
+	}
+	evs := l.Events()
+	// The most recent three events survive, in emission order, with their
+	// original sequence numbers (so the shed prefix is visible as a gap).
+	for i, ev := range evs {
+		wantSeq := int64(i + 3)
+		if ev.Seq != wantSeq || ev.ClockMHz != float64(i+2) {
+			t.Fatalf("event %d = {Seq:%d ClockMHz:%g}, want {Seq:%d ClockMHz:%d}",
+				i, ev.Seq, ev.ClockMHz, wantSeq, i+2)
+		}
+	}
+	// Below capacity the ring behaves exactly like the unbounded ledger.
+	small := NewLedgerCap("small", 8)
+	small.Emit(Event{Kind: KindMeasure})
+	if small.Len() != 1 || small.Dropped() != 0 {
+		t.Fatalf("under-capacity ring: Len=%d Dropped=%d", small.Len(), small.Dropped())
+	}
+	// capacity < 1 falls back to unbounded.
+	if NewLedgerCap("x", 0).Cap() != 0 {
+		t.Fatal("capacity 0 should mean unbounded")
+	}
+	var nilLedger *Ledger
+	if nilLedger.Dropped() != 0 {
+		t.Fatal("nil ledger Dropped should be 0")
+	}
+}

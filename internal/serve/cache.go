@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// result is the unit of caching and singleflight sharing: the marshalled
+// response body (the exact bytes every requester receives, which is what
+// makes cached and freshly-computed replies bit-identical) plus the
+// attribution payload the ledger wants per served estimate. Failed
+// computations are never cached — by construction they cannot occur after
+// request validation, so a result in the cache is always a success.
+type result struct {
+	body   []byte
+	powerW float64
+	// breakdown is nil for sweeps (only estimates carry attribution).
+	breakdown map[string]float64
+}
+
+// lruCache is a size-bounded LRU of canonical-key -> result. The full
+// canonical string is the key, so two distinct computations can never
+// alias. A zero or negative capacity disables the cache entirely (Get
+// always misses, Put drops).
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+// Get returns the cached result for key, refreshing its recency.
+func (c *lruCache) Get(key string) (result, bool) {
+	if c == nil {
+		return result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// Put inserts or refreshes a result, evicting the least recently used
+// entry beyond capacity.
+func (c *lruCache) Put(key string, res result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+		mCacheEvents.With("eviction").Inc()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup deduplicates concurrent identical computations: the first
+// requester of a key becomes the leader and enqueues the work; every
+// concurrent requester of the same key waits on the same flight and shares
+// the leader's result. Unlike engine.Store, entries are transient — a
+// flight is removed as soon as it lands, because the LRU above is the
+// long-term memory.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{} // closed when res is final
+	res  result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the in-progress flight for key, or creates one and reports
+// leader=true. The leader must call land exactly once.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// land publishes the leader's result to every waiter and retires the
+// flight.
+func (g *flightGroup) land(key string, f *flight, res result, err error) {
+	f.res, f.err = res, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"accelwattch/internal/core"
+)
+
+// Cache keys are the canonical text form of a request: every field that can
+// influence the response body, in a fixed order, with floats rendered in
+// exact hexadecimal ('x') form so two requests collide if and only if they
+// are the same computation. The full canonical string — not a hash of it —
+// is the key, so a collision serving the wrong cached body is impossible by
+// construction. Fields that cannot influence the body (the ledger label
+// Name) are excluded; zero counts are dropped, making {"alu": 0} and an
+// absent "alu" the same key, exactly as they are the same estimate.
+
+// canonFloat renders a float64 exactly and canonically.
+func canonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+// CacheKey returns the canonical cache key of a validated estimate request.
+// Call only after DecodeEstimateRequest (or validate): unknown names have
+// already been rejected, so the key is total on the valid-request domain.
+func (r *EstimateRequest) CacheKey() string {
+	var sb strings.Builder
+	sb.Grow(192)
+	sb.WriteString("est|v=")
+	sb.WriteString(r.Variant)
+	sb.WriteString("|mix=")
+	sb.WriteString(r.Mix)
+	for _, f := range []struct {
+		tag string
+		v   float64
+	}{
+		{"cy", r.Cycles}, {"f", r.ClockMHz}, {"V", r.Voltage},
+		{"sm", r.ActiveSMs}, {"y", r.AvgLanes}, {"T", r.TemperatureC},
+	} {
+		sb.WriteByte('|')
+		sb.WriteString(f.tag)
+		sb.WriteByte('=')
+		sb.WriteString(canonFloat(f.v))
+	}
+	// Counts in component-index order (deterministic regardless of the map
+	// iteration order), zero entries omitted. Unknown names cannot reach a
+	// validated request; if one does (direct construction), it is keyed
+	// verbatim under its own name so it can never alias a known component.
+	sb.WriteString("|c:")
+	for c := 0; c < core.NumDynComponents; c++ {
+		name := core.Component(c).String()
+		if v, ok := r.Counts[name]; ok && v != 0 {
+			sb.WriteString(name)
+			sb.WriteByte('=')
+			sb.WriteString(canonFloat(v))
+			sb.WriteByte(',')
+		}
+	}
+	var unknown []string
+	for name, v := range r.Counts {
+		if c, ok := core.ComponentByName(name); (!ok || int(c) >= core.NumDynComponents) && v != 0 {
+			unknown = append(unknown, name)
+		}
+	}
+	sort.Strings(unknown)
+	for _, name := range unknown {
+		sb.WriteString("?" + name)
+		sb.WriteByte('=')
+		sb.WriteString(canonFloat(r.Counts[name]))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// CacheKey returns the canonical cache key of a validated sweep request:
+// the estimate key of its activity plus the ladder bounds.
+func (r *SweepRequest) CacheKey() string {
+	var sb strings.Builder
+	sb.WriteString("swp|")
+	sb.WriteString(r.EstimateRequest.CacheKey())
+	sb.WriteString("|lo=")
+	sb.WriteString(canonFloat(r.MinMHz))
+	sb.WriteString("|hi=")
+	sb.WriteString(canonFloat(r.MaxMHz))
+	sb.WriteString("|st=")
+	sb.WriteString(canonFloat(r.StepMHz))
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzEstimateRequest drives the wire decoder with arbitrary bytes. For any
+// input the decoder must not panic; for accepted inputs the request must be
+// fully resolved (Activity succeeds), its cache key must be stable, and a
+// re-encoded copy must decode to the same computation (same cache key).
+func FuzzEstimateRequest(f *testing.F) {
+	f.Add([]byte(`{"variant":"SASS_SIM","cycles":1}`))
+	f.Add([]byte(`{"name":"k","variant":"HW","cycles":1e6,"clock_mhz":1200,"voltage":1.0,"active_sms":80,"avg_lanes":32,"mix":"INT_FP","temperature_c":65,"counts":{"alu":5e8,"regfile":2e9}}`))
+	f.Add([]byte(`{"variant":"PTX_SIM","cycles":2.5,"counts":{"dram_mc":1}}`))
+	f.Add([]byte(`{"variant":"HYBRID","cycles":1,"counts":{"static":3}}`))
+	f.Add([]byte(`{"variant":"HW","cycles":1}{"trailing":true}`))
+	f.Add([]byte(`{"variant":"HW","cycles":-1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeEstimateRequest(data)
+		if err != nil {
+			return
+		}
+		a, err := req.Activity()
+		if err != nil {
+			t.Fatalf("accepted request has unresolvable activity: %v", err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("accepted request fails activity validation: %v", err)
+		}
+		k1, k2 := req.CacheKey(), req.CacheKey()
+		if k1 != k2 {
+			t.Fatalf("cache key unstable: %q vs %q", k1, k2)
+		}
+		// Round trip: re-encode and re-decode must key identically.
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encoding accepted request: %v", err)
+		}
+		req2, err := DecodeEstimateRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded request rejected: %v\nbody: %s", err, enc)
+		}
+		if req2.CacheKey() != k1 {
+			t.Fatalf("round trip changed the cache key:\n was %q\n now %q", k1, req2.CacheKey())
+		}
+	})
+}
+
+// FuzzCacheKey drives the canonicalizer with arbitrary field values
+// (bypassing the wire decoder, so non-finite and unknown-name inputs are in
+// scope). The key must be deterministic, prefix-unambiguous between
+// estimate and sweep forms, and must separate requests that differ in any
+// computation-relevant field.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("SASS_SIM", "INT_FP", 1e6, 1200.0, 1.0, 80.0, 32.0, 65.0, "alu", 5e8)
+	f.Add("HW", "", 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, "dram_mc", 1.0)
+	f.Add("PTX_SIM", "LIGHT", 2.5, 800.0, 0.9, 40.0, 16.0, 30.0, "unknown_counter", 3.0)
+	f.Add("HYBRID", "INT", math.MaxFloat64, 5e-324, 1e308, 1.5, 17.0, -40.0, "static", 2.0)
+	f.Fuzz(func(t *testing.T, variant, mix string, cycles, clock, volt, sms, lanes, temp float64, cname string, cval float64) {
+		req := &EstimateRequest{
+			Variant: variant, Mix: mix, Cycles: cycles, ClockMHz: clock,
+			Voltage: volt, ActiveSMs: sms, AvgLanes: lanes, TemperatureC: temp,
+			Counts: map[string]float64{cname: cval},
+		}
+		k1 := req.CacheKey()
+		if k1 != req.CacheKey() {
+			t.Fatal("cache key unstable")
+		}
+		// Cloning the request (fresh map) must key identically.
+		clone := *req
+		clone.Counts = map[string]float64{cname: cval}
+		if clone.CacheKey() != k1 {
+			t.Fatal("clone keyed differently")
+		}
+		// The ledger label must never influence the key.
+		clone.Name = "other"
+		if clone.CacheKey() != k1 {
+			t.Fatal("Name leaked into the key")
+		}
+		// Perturbing each finite numeric field must change the key (floats
+		// are rendered exactly, so any ULP difference must separate).
+		perturb := []struct {
+			name string
+			mut  func(*EstimateRequest)
+			old  float64
+		}{
+			{"cycles", func(r *EstimateRequest) { r.Cycles = bump(r.Cycles) }, cycles},
+			{"clock", func(r *EstimateRequest) { r.ClockMHz = bump(r.ClockMHz) }, clock},
+			{"voltage", func(r *EstimateRequest) { r.Voltage = bump(r.Voltage) }, volt},
+			{"sms", func(r *EstimateRequest) { r.ActiveSMs = bump(r.ActiveSMs) }, sms},
+			{"lanes", func(r *EstimateRequest) { r.AvgLanes = bump(r.AvgLanes) }, lanes},
+			{"temp", func(r *EstimateRequest) { r.TemperatureC = bump(r.TemperatureC) }, temp},
+		}
+		for _, p := range perturb {
+			if math.IsNaN(p.old) || bump(p.old) == p.old {
+				continue // NaN keys are never produced by validated requests
+			}
+			m := *req
+			m.Counts = req.Counts
+			p.mut(&m)
+			if m.CacheKey() == k1 {
+				t.Fatalf("perturbing %s did not change the key", p.name)
+			}
+		}
+		// A sweep over the same activity must never collide with the
+		// estimate key.
+		sw := &SweepRequest{EstimateRequest: *req, MinMHz: 1, MaxMHz: 2, StepMHz: 1}
+		if sw.CacheKey() == k1 {
+			t.Fatal("sweep key collided with estimate key")
+		}
+	})
+}
+
+// bump returns the next float after v (toward +Inf), i.e. the smallest
+// possible perturbation.
+func bump(v float64) float64 {
+	return math.Nextafter(v, math.Inf(1))
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"accelwattch/internal/obs"
+	"accelwattch/internal/tune"
+)
+
+// maxBodyBytes bounds request bodies; anything larger answers 413 before
+// the decoder sees it.
+const maxBodyBytes = 1 << 20
+
+// statusRecorder captures the status code a handler writes so the request
+// counter can label by outcome.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-route request counter and latency
+// histogram.
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		mRequests.With(route, fmt.Sprintf("%d", rec.code)).Inc()
+		mLatency.With(route).Observe(time.Since(start).Seconds())
+	}
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// readBody reads a bounded request body, distinguishing oversize (413)
+// from transport errors (400).
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes))
+		} else {
+			httpError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// writeResult sends a computed response body (already-marshalled JSON).
+func writeResult(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// failServe maps the serving sentinels onto HTTP statuses: backpressure is
+// 429 + Retry-After, drain is 503, a blown deadline is 504.
+func failServe(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBackpressure):
+		mRejected.With("backpressure").Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "estimation queue full; retry")
+	case errors.Is(err, errDraining):
+		mRejected.With("draining").Inc()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		httpError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// handleEstimate answers POST /estimate.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.Draining() {
+		mRejected.With("draining").Inc()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeEstimateRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if m := s.Model(mustVariant(req.Variant)); m == nil {
+		httpError(w, http.StatusBadRequest, "variant "+req.Variant+" not served")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline)
+	defer cancel()
+	res, err := s.answer(ctx, req.CacheKey(), func() (result, error) {
+		return s.computeEstimate(req)
+	})
+	if err != nil {
+		failServe(w, err)
+		return
+	}
+	emitEstimate(req, res)
+	writeResult(w, res.body)
+}
+
+// handleSweep answers POST /sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.Draining() {
+		mRejected.With("draining").Inc()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeSweepRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if m := s.Model(mustVariant(req.Variant)); m == nil {
+		httpError(w, http.StatusBadRequest, "variant "+req.Variant+" not served")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline)
+	defer cancel()
+	res, err := s.answer(ctx, req.CacheKey(), func() (result, error) {
+		return s.computeSweep(req)
+	})
+	if err != nil {
+		failServe(w, err)
+		return
+	}
+	writeResult(w, res.body)
+}
+
+// mustVariant parses a variant name that decode already validated; the
+// sentinel -1 only appears if a caller bypassed validation.
+func mustVariant(name string) tune.Variant {
+	v, err := ParseVariant(name)
+	if err != nil {
+		return tune.Variant(-1)
+	}
+	return v
+}
+
+// handleHealthz reports liveness plus a configuration snapshot.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	variants := make([]string, 0, tune.NumVariants)
+	for _, v := range tune.Variants() {
+		if s.models[v] != nil {
+			variants = append(variants, v.String())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"draining": s.Draining(),
+		"workers":  s.workers,
+		"variants": variants,
+		"cached":   s.cache.Len(),
+	})
+}
+
+// handleReadyz is the load-balancer gate: ready until drain begins.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleIndex documents the routes at /.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		httpError(w, http.StatusNotFound, "no such route")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, `awserve: AccelWattch power-estimation service
+POST /estimate  kernel counters + variant -> power breakdown
+POST /sweep     activity + frequency ladder -> DVFS curve
+GET  /metrics   Prometheus exposition
+GET  /healthz   liveness + config snapshot
+GET  /readyz    readiness (503 while draining)
+`)
+}
+
+// Mux returns the service's HTTP routes, instrumented, with /metrics
+// served from the shared obs registry.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", instrument("estimate", s.handleEstimate))
+	mux.HandleFunc("/sweep", instrument("sweep", s.handleSweep))
+	mux.Handle("/metrics", obs.Default().Handler())
+	mux.HandleFunc("/healthz", instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", instrument("readyz", s.handleReadyz))
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}

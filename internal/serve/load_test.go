@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServeLoadSmoke fires 96 concurrent clients with mixed estimate/sweep
+// traffic and asserts zero 5xx responses and a clean drain — the in-process
+// version of CI's load-smoke job.
+func TestServeLoadSmoke(t *testing.T) {
+	s, err := New(Config{Models: testModels(), Workers: 8, CacheSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Mux())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	const clients = 96
+	const perClient = 4
+	var server5xx, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				route, body := "/estimate", estBody(c%24)
+				if (c+r)%3 == 0 {
+					route, body = "/sweep", sweepBody(c%8)
+				}
+				resp, err := http.Post(ts.URL+route, "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode >= 500:
+					server5xx.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+				case resp.StatusCode != http.StatusOK:
+					t.Errorf("client %d: unexpected status %d", c, resp.StatusCode)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := server5xx.Load(); n != 0 {
+		t.Fatalf("%d responses were 5xx under load", n)
+	}
+	if n := rejected.Load(); n > 0 {
+		t.Logf("backpressure rejected %d requests (allowed)", n)
+	}
+
+	// Clean shutdown: drain must finish promptly once load stops.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain after load: %v", err)
+	}
+	s.Close()
+}
+
+// BenchmarkServeMixedLoad is the load client CI's load-smoke job runs: ≥64
+// concurrent clients of mixed estimate/sweep traffic. Any 5xx fails it.
+func BenchmarkServeMixedLoad(b *testing.B) {
+	s, err := New(Config{Models: testModels(), Workers: 8, CacheSize: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Mux())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 128}}
+
+	// GOMAXPROCS x SetParallelism goroutines; 16x oversubscription clears
+	// 64 concurrent clients on any runner with >=4 procs.
+	b.SetParallelism(16)
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(seq.Add(1))
+			route, body := "/estimate", estBody(i%32)
+			if i%3 == 0 {
+				route, body = "/sweep", sweepBody(i%8)
+			}
+			resp, err := client.Post(ts.URL+route, "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+}

@@ -1,0 +1,30 @@
+package serve
+
+import "accelwattch/internal/obs"
+
+// Serving telemetry, following the obs naming scheme with subsystem
+// "serve". Label cardinality is bounded by construction: route is one of
+// the fixed handler names, code one of the handful of statuses the service
+// emits, and cache/reject reasons are closed vocabularies. Request bodies
+// and kernel names never become labels — per-kernel context goes to the
+// ledger.
+var (
+	mRequests = obs.Default().CounterVec("aw_serve_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	mLatency = obs.Default().HistogramVec("aw_serve_request_seconds",
+		"End-to-end request latency in seconds, by route.",
+		obs.ExpBuckets(1e-5, 4, 12), "route")
+	mCacheEvents = obs.Default().CounterVec("aw_serve_cache_events_total",
+		"Response-cache events (hit, miss, eviction, bypass).", "result")
+	mQueueDepth = obs.Default().Gauge("aw_serve_queue_depth",
+		"Estimation jobs currently queued for the batcher.")
+	mBatchSize = obs.Default().Histogram("aw_serve_batch_size",
+		"Jobs coalesced per engine dispatch.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	mRejected = obs.Default().CounterVec("aw_serve_rejected_total",
+		"Requests rejected before computation, by reason (backpressure, draining, deadline).", "reason")
+	mDraining = obs.Default().Gauge("aw_serve_draining",
+		"1 while the server is draining and refusing new estimation work.")
+	mEstimates = obs.Default().CounterVec("aw_serve_estimates_total",
+		"Estimates served (cache hits included), by variant.", "variant")
+)

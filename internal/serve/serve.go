@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"accelwattch/internal/core"
+	"accelwattch/internal/engine"
+	"accelwattch/internal/eval"
+	"accelwattch/internal/obs"
+	"accelwattch/internal/tune"
+)
+
+// Config sizes the service. The zero value of each field selects the
+// documented default; Models is the only mandatory field.
+type Config struct {
+	// Models maps each served variant to its tuned model. Variants absent
+	// from the map answer 400. At least one variant is required.
+	Models map[tune.Variant]*core.Model
+
+	// Workers is the engine pool width batches fan out across. Values < 1
+	// mean 1. Responses are bit-identical at every setting.
+	Workers int
+
+	// QueueSize bounds the batcher's job queue; a full queue answers 429
+	// with Retry-After instead of building unbounded backlog. Default 256.
+	QueueSize int
+
+	// MaxBatch caps how many queued jobs one engine dispatch coalesces.
+	// Default 32.
+	MaxBatch int
+
+	// BatchWindow, when positive, lets the dispatcher wait up to this long
+	// to fill a batch after the first job arrives. Zero (the default)
+	// coalesces greedily: whatever is already queued goes out together,
+	// and an idle service adds no latency.
+	BatchWindow time.Duration
+
+	// CacheSize is the response LRU capacity in entries. Zero or negative
+	// disables caching entirely.
+	CacheSize int
+
+	// Deadline bounds each request end to end; a request that cannot be
+	// answered in time gets 504. Default 5s.
+	Deadline time.Duration
+}
+
+// Defaults for the zero Config fields.
+const (
+	DefaultQueueSize = 256
+	DefaultMaxBatch  = 32
+	DefaultDeadline  = 5 * time.Second
+)
+
+// Sentinel errors mapped to HTTP statuses by the handlers.
+var (
+	errBackpressure = errors.New("serve: queue full")
+	errDraining     = errors.New("serve: draining")
+)
+
+// Server is the power-estimation service: models loaded once, requests
+// validated, coalesced into batches across an engine worker pool, answered
+// from an LRU + singleflight response cache, and drained gracefully on
+// shutdown. It implements http.Handler via Mux.
+type Server struct {
+	models      [tune.NumVariants]*core.Model
+	workers     int
+	deadline    time.Duration
+	batchWindow time.Duration
+	maxBatch    int
+
+	cache   *lruCache
+	flights *flightGroup
+
+	jobs  chan *job
+	slots *engine.Pool[struct{}]
+
+	mu       sync.RWMutex // guards draining against enqueue
+	draining bool
+	pending  sync.WaitGroup // accepted-but-unanswered jobs
+	done     chan struct{}  // dispatcher exited
+
+	closeOnce sync.Once
+
+	// testHookCompute, when non-nil, runs at the head of every job
+	// execution. Tests use it to hold jobs in flight and drive the
+	// backpressure, deadline, drain, and singleflight paths
+	// deterministically. Always nil in production.
+	testHookCompute func()
+}
+
+// job is one computation travelling through the batcher. The flight fans
+// its landing out to every requester waiting on the same canonical key.
+type job struct {
+	key     string
+	compute func() (result, error)
+	flight  *flight
+}
+
+// New builds and starts a server (its dispatcher goroutine runs until
+// Close).
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		workers:     cfg.Workers,
+		deadline:    cfg.Deadline,
+		batchWindow: cfg.BatchWindow,
+		maxBatch:    cfg.MaxBatch,
+		flights:     newFlightGroup(),
+		done:        make(chan struct{}),
+	}
+	any := false
+	for v, m := range cfg.Models {
+		if v < 0 || v >= tune.NumVariants {
+			return nil, fmt.Errorf("serve: unknown variant %v in config", v)
+		}
+		if m == nil {
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: model for %v: %w", v, err)
+		}
+		s.models[v] = m
+		any = true
+	}
+	if !any {
+		return nil, fmt.Errorf("serve: no models configured")
+	}
+	if s.workers < 1 {
+		s.workers = 1
+	}
+	if s.maxBatch < 1 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	if s.deadline <= 0 {
+		s.deadline = DefaultDeadline
+	}
+	queue := cfg.QueueSize
+	if queue < 1 {
+		queue = DefaultQueueSize
+	}
+	s.jobs = make(chan *job, queue)
+	s.slots = engine.Slots(s.workers)
+	s.cache = newLRUCache(cfg.CacheSize)
+	mDraining.Set(0)
+	go s.dispatch()
+	return s, nil
+}
+
+// Workers returns the engine pool width.
+func (s *Server) Workers() int { return s.workers }
+
+// Model returns the served model for a variant (nil when not configured).
+func (s *Server) Model(v tune.Variant) *core.Model {
+	if v < 0 || v >= tune.NumVariants {
+		return nil
+	}
+	return s.models[v]
+}
+
+// enqueue hands a job to the batcher, honouring drain and backpressure.
+func (s *Server) enqueue(j *job) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return errDraining
+	}
+	s.pending.Add(1)
+	select {
+	case s.jobs <- j:
+		mQueueDepth.Add(1)
+		return nil
+	default:
+		s.pending.Done()
+		return errBackpressure
+	}
+}
+
+// dispatch is the batcher loop: take one job, coalesce whatever else is
+// queued (bounded by MaxBatch, optionally waiting BatchWindow), and fan the
+// batch across the engine pool. Each job's computation is pure, so batch
+// composition and worker count cannot influence any response.
+func (s *Server) dispatch() {
+	defer close(s.done)
+	for {
+		j, ok := <-s.jobs
+		if !ok {
+			return
+		}
+		mQueueDepth.Add(-1)
+		batch := []*job{j}
+		var window <-chan time.Time
+		if s.batchWindow > 0 {
+			window = time.After(s.batchWindow)
+		}
+	collect:
+		for len(batch) < s.maxBatch {
+			if window != nil {
+				select {
+				case j2, ok2 := <-s.jobs:
+					if !ok2 {
+						break collect
+					}
+					mQueueDepth.Add(-1)
+					batch = append(batch, j2)
+				case <-window:
+					break collect
+				}
+			} else {
+				select {
+				case j2, ok2 := <-s.jobs:
+					if !ok2 {
+						break collect
+					}
+					mQueueDepth.Add(-1)
+					batch = append(batch, j2)
+				default:
+					break collect
+				}
+			}
+		}
+		mBatchSize.Observe(float64(len(batch)))
+		// fn never returns an error: each job lands its own result (or
+		// failure) on its flight, so one bad job cannot abort a batch.
+		_, _ = engine.Map(context.Background(), s.slots, batch,
+			func(_ context.Context, _ struct{}, j *job) (struct{}, error) {
+				s.runJob(j)
+				return struct{}{}, nil
+			})
+	}
+}
+
+// runJob computes a job, populates the cache, and lands the flight.
+func (s *Server) runJob(j *job) {
+	if s.testHookCompute != nil {
+		s.testHookCompute()
+	}
+	res, err := j.compute()
+	if err == nil {
+		s.cache.Put(j.key, res)
+	}
+	s.flights.land(j.key, j.flight, res, err)
+	s.pending.Done()
+}
+
+// Drain flips the server into draining mode — /estimate and /sweep answer
+// 503, /readyz reports not-ready — and waits until every already-accepted
+// job has been answered, or ctx expires. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		mDraining.Set(1)
+	}
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.pending.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the server has begun draining.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Close drains completely and stops the dispatcher. The server must not be
+// used after Close.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		_ = s.Drain(context.Background())
+		close(s.jobs)
+		<-s.done
+	})
+}
+
+// answer resolves one validated request through cache, singleflight, and
+// the batcher, honouring ctx for the caller's wait. The returned result is
+// shared — callers must not mutate it.
+func (s *Server) answer(ctx context.Context, key string, compute func() (result, error)) (result, error) {
+	if res, ok := s.cache.Get(key); ok {
+		mCacheEvents.With("hit").Inc()
+		return res, nil
+	}
+	if s.cache == nil {
+		mCacheEvents.With("bypass").Inc()
+	} else {
+		mCacheEvents.With("miss").Inc()
+	}
+	f, leader := s.flights.join(key)
+	if leader {
+		if err := s.enqueue(&job{key: key, compute: compute, flight: f}); err != nil {
+			s.flights.land(key, f, result{}, err)
+			return result{}, err
+		}
+	}
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		mRejected.With("deadline").Inc()
+		return result{}, ctx.Err()
+	}
+}
+
+// computeEstimate is the pure estimate computation: the single-shot eval
+// path, marshalled once. req must be validated.
+func (s *Server) computeEstimate(req *EstimateRequest) (result, error) {
+	v, err := ParseVariant(req.Variant)
+	if err != nil {
+		return result{}, err
+	}
+	m := s.models[v]
+	if m == nil {
+		return result{}, fmt.Errorf("serve: variant %s not served", req.Variant)
+	}
+	return estimateResult(m, req)
+}
+
+func (s *Server) computeSweep(req *SweepRequest) (result, error) {
+	v, err := ParseVariant(req.Variant)
+	if err != nil {
+		return result{}, err
+	}
+	m := s.models[v]
+	if m == nil {
+		return result{}, fmt.Errorf("serve: variant %s not served", req.Variant)
+	}
+	return sweepResult(m, req)
+}
+
+// estimateResult evaluates one request against a model and marshals the
+// response. Every serving path — batched, cached, or the single-shot
+// reference below — flows through this one function.
+func estimateResult(m *core.Model, req *EstimateRequest) (result, error) {
+	a, err := req.Activity()
+	if err != nil {
+		return result{}, err
+	}
+	kr, err := eval.EstimateOne(m, req.Name, 0, a)
+	if err != nil {
+		return result{}, err
+	}
+	resp := EstimateResponse{Variant: req.Variant, PowerW: kr.EstimatedW, Breakdown: kr.Breakdown.Map()}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		return result{}, err
+	}
+	return result{body: body, powerW: kr.EstimatedW, breakdown: resp.Breakdown}, nil
+}
+
+// sweepResult evaluates the activity across the frequency ladder.
+func sweepResult(m *core.Model, req *SweepRequest) (result, error) {
+	a, err := req.Activity()
+	if err != nil {
+		return result{}, err
+	}
+	ladder := req.Ladder()
+	resp := SweepResponse{Variant: req.Variant, Points: make([]SweepPoint, 0, len(ladder))}
+	for _, mhz := range ladder {
+		pa := a
+		pa.ClockMHz = mhz
+		kr, err := eval.EstimateOne(m, req.Name, 0, pa)
+		if err != nil {
+			return result{}, err
+		}
+		resp.Points = append(resp.Points, SweepPoint{ClockMHz: mhz, PowerW: kr.EstimatedW})
+	}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		return result{}, err
+	}
+	return result{body: body}, nil
+}
+
+// EstimateOnce is the single-shot reference path: decode, validate, and
+// evaluate one estimate body with no server, queue, batcher, or cache in
+// the way. The serving determinism suite asserts that what the HTTP
+// service returns under concurrency is bit-identical to these bytes.
+func EstimateOnce(m *core.Model, body []byte) ([]byte, error) {
+	req, err := DecodeEstimateRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	res, err := estimateResult(m, req)
+	if err != nil {
+		return nil, err
+	}
+	return res.body, nil
+}
+
+// SweepOnce is EstimateOnce for /sweep bodies.
+func SweepOnce(m *core.Model, body []byte) ([]byte, error) {
+	req, err := DecodeSweepRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sweepResult(m, req)
+	if err != nil {
+		return nil, err
+	}
+	return res.body, nil
+}
+
+// emitEstimate records one served estimate in the attribution ledger: one
+// KindBreakdown event per answered /estimate request (cache hits included),
+// run-ID correlated like every other ledger event. Sweeps carry no
+// attribution payload and emit nothing.
+func emitEstimate(req *EstimateRequest, res result) {
+	mEstimates.With(req.Variant).Inc()
+	if led := obs.ActiveLedger(); led != nil && res.breakdown != nil {
+		led.Emit(obs.Event{
+			Kind: obs.KindBreakdown, Stage: "serve/estimate",
+			Workload: req.Name, Variant: req.Variant,
+			PowerW: res.powerW, Breakdown: res.breakdown,
+		})
+	}
+}

@@ -1,0 +1,162 @@
+package tune
+
+import (
+	"math"
+	"testing"
+
+	"accelwattch/internal/core"
+	"accelwattch/internal/ubench"
+)
+
+// Physics-invariant tests over the TUNED pipeline outputs: where
+// core/physics_test.go checks the closed forms, these check that the
+// tuning flow's fits actually land in the physically admissible region —
+// on measured (synthetic-silicon) data, not hand-picked parameters.
+
+func TestPhysicsDVFSFitShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tuning flow")
+	}
+	_, res := sharedTuned(t)
+	cp := res.ConstPower
+	// Section 4.2: the whole methodology rests on the Eq. (3) fits having
+	// a positive y-intercept (that intercept IS the constant power).
+	if !(cp.ConstW > 0) {
+		t.Fatalf("estimated constant power %g W is not positive", cp.ConstW)
+	}
+	for _, c := range cp.Curves {
+		if !(c.Fit.Const > 0) {
+			t.Errorf("%s: Eq.(3) y-intercept %g W is not positive", c.Name, c.Fit.Const)
+		}
+		// P(f) = Beta f^3 + Tau f + Const must be monotone increasing
+		// over the card's DVFS range: more frequency never costs less
+		// power.
+		lo, hi := c.FreqGHz[0], c.FreqGHz[len(c.FreqGHz)-1]
+		prev := math.Inf(-1)
+		for i := 0; i <= 64; i++ {
+			f := lo + (hi-lo)*float64(i)/64
+			p := c.Fit.Eval(f)
+			if p <= prev {
+				t.Errorf("%s: fitted curve not increasing at %g GHz", c.Name, f)
+				break
+			}
+			prev = p
+		}
+		// The static term Tau*f must be non-negative across the range:
+		// leakage cannot be negative.
+		if c.Fit.StaticAt(lo) < 0 {
+			t.Errorf("%s: negative static power %g W at %g GHz", c.Name, c.Fit.StaticAt(lo), lo)
+		}
+	}
+}
+
+func TestPhysicsFirstLanePremiumTuned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tuning flow")
+	}
+	_, res := sharedTuned(t)
+	if len(res.DivFits) == 0 {
+		t.Fatal("no divergence fits")
+	}
+	for _, df := range res.DivFits {
+		// Section 4.3: the first lane activates SM-wide structures, so
+		// its static power strictly exceeds every additional lane's.
+		if !(df.Model.FirstLaneW > 0) {
+			t.Errorf("%v: first-lane static %g W not positive", df.Mix, df.Model.FirstLaneW)
+		}
+		if !(df.Model.FirstLaneW > df.Model.AddLaneW) {
+			t.Errorf("%v: first lane (%g W) does not exceed an additional lane (%g W)",
+				df.Mix, df.Model.FirstLaneW, df.Model.AddLaneW)
+		}
+		// The measured endpoints must agree: one lane costs less static
+		// power than thirty-two.
+		if !(df.Static32LanesW >= df.StaticFirstLaneW) {
+			t.Errorf("%v: 32-lane static %g W below 1-lane static %g W",
+				df.Mix, df.Static32LanesW, df.StaticFirstLaneW)
+		}
+	}
+}
+
+func TestPhysicsSawtoothTuned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tuning flow")
+	}
+	_, res := sharedTuned(t)
+	sawtoothSeen := false
+	for _, df := range res.DivFits {
+		dm := df.Model
+		if dm.HalfWarp {
+			sawtoothSeen = true
+			// Eq. (5): peaks exactly at y=16 and y=32, dip at y=17.
+			if dm.ChipStaticW(16) != dm.ChipStaticW(32) {
+				t.Errorf("%v: half-warp peaks differ (%g vs %g)",
+					df.Mix, dm.ChipStaticW(16), dm.ChipStaticW(32))
+			}
+			if dm.AddLaneW > 0 && !(dm.ChipStaticW(17) < dm.ChipStaticW(16)) {
+				t.Errorf("%v: no power drop when the second half-warp activates", df.Mix)
+			}
+		} else if dm.AddLaneW > 0 {
+			// Eq. (4): the linear model must be strictly monotone in y.
+			for y := 2.0; y <= 32.0; y++ {
+				if !(dm.ChipStaticW(y) > dm.ChipStaticW(y-1)) {
+					t.Errorf("%v: linear model not increasing at y=%g", df.Mix, y)
+					break
+				}
+			}
+		}
+	}
+	if !sawtoothSeen {
+		t.Error("no mix category selected the half-warp model (the GV100 target gates by half-warps)")
+	}
+}
+
+func TestPhysicsFirstSMPremiumMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement sweep")
+	}
+	tb, _ := sharedTuned(t)
+	// Section 4.3, SM axis, straight from gating measurements: activating
+	// the first SM (over the idle chip) must cost strictly more than the
+	// average cost of each subsequent SM.
+	idle := tb.Device.MeasureIdle().AvgPowerW
+	n := tb.Arch.NumSMs
+	m1, err := tb.Measure(FromBench(ubench.GatingBench(tb.Arch, tb.Scale, 1, 32)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := tb.Measure(FromBench(ubench.GatingBench(tb.Arch, tb.Scale, n, 32)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSM := m1.AvgPowerW - idle
+	perLaterSM := (mn.AvgPowerW - m1.AvgPowerW) / float64(n-1)
+	if !(firstSM > 0) {
+		t.Fatalf("first SM adds non-positive power %g W", firstSM)
+	}
+	if !(firstSM > perLaterSM) {
+		t.Fatalf("first SM (%g W) does not exceed each subsequent SM (%g W)", firstSM, perLaterSM)
+	}
+}
+
+func TestPhysicsIdleSMTuned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tuning flow")
+	}
+	_, res := sharedTuned(t)
+	idle := res.IdleSM
+	// Eq. (8): an idle SM leaks a positive, finite amount — and less than
+	// an active one (the whole point of power gating idle SMs).
+	if !(idle.PerIdleSMW > 0) || math.IsInf(idle.PerIdleSMW, 0) {
+		t.Fatalf("per-idle-SM power %g W not positive and finite", idle.PerIdleSMW)
+	}
+	for _, m := range res.Models {
+		if m == nil {
+			continue
+		}
+		activePerSM := m.Div[core.MixIntFP].ChipStaticW(32) / float64(m.RefSMs)
+		if !(idle.PerIdleSMW < activePerSM) {
+			t.Fatalf("idle SM (%g W) not below an active SM (%g W)", idle.PerIdleSMW, activePerSM)
+		}
+		break
+	}
+}
