@@ -72,8 +72,15 @@ func writeResult(w http.ResponseWriter, body []byte) {
 	_, _ = w.Write(body)
 }
 
+// statusClientClosedRequest is the nginx-convention status for a client
+// that disconnected before the response was ready. The client never sees
+// it; it exists so aborts are distinguishable from server-side timeouts in
+// the request counter and don't inflate the 5xx rate.
+const statusClientClosedRequest = 499
+
 // failServe maps the serving sentinels onto HTTP statuses: backpressure is
-// 429 + Retry-After, drain is 503, a blown deadline is 504.
+// 429 + Retry-After, drain is 503, a blown deadline is 504, and a client
+// that went away mid-request is 499.
 func failServe(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errBackpressure):
@@ -83,8 +90,10 @@ func failServe(w http.ResponseWriter, err error) {
 	case errors.Is(err, errDraining):
 		mRejected.With("draining").Inc()
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		httpError(w, statusClientClosedRequest, "client closed request")
 	default:
 		httpError(w, http.StatusBadRequest, err.Error())
 	}

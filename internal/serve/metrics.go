@@ -22,7 +22,7 @@ var (
 		"Jobs coalesced per engine dispatch.",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 	mRejected = obs.Default().CounterVec("aw_serve_rejected_total",
-		"Requests rejected before computation, by reason (backpressure, draining, deadline).", "reason")
+		"Requests rejected before computation, by reason (backpressure, draining, deadline, canceled).", "reason")
 	mDraining = obs.Default().Gauge("aw_serve_draining",
 		"1 while the server is draining and refusing new estimation work.")
 	mEstimates = obs.Default().CounterVec("aw_serve_estimates_total",

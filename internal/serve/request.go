@@ -182,8 +182,15 @@ func (r *SweepRequest) validateLadder() error {
 	if !(r.MinMHz > 0) || r.MaxMHz < r.MinMHz {
 		return fmt.Errorf("serve: sweep range [%g, %g] MHz is empty or non-positive", r.MinMHz, r.MaxMHz)
 	}
+	// A step below one ULP of an endpoint collapses adjacent rungs into
+	// duplicates (min+step rounds back to min), so the ladder is degenerate
+	// even when the point count below is within bounds.
+	if r.MinMHz+r.StepMHz == r.MinMHz || r.MaxMHz+r.StepMHz == r.MaxMHz {
+		return fmt.Errorf("serve: step %g MHz is below the float resolution of the range [%g, %g] MHz",
+			r.StepMHz, r.MinMHz, r.MaxMHz)
+	}
 	if n := (r.MaxMHz - r.MinMHz) / r.StepMHz; n > maxSweepPoints {
-		return fmt.Errorf("serve: sweep would evaluate %d points, limit is %d", int(n)+1, maxSweepPoints)
+		return fmt.Errorf("serve: sweep would evaluate %.0f points, limit is %d", math.Floor(n)+1, maxSweepPoints)
 	}
 	return nil
 }

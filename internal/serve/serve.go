@@ -144,8 +144,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.jobs = make(chan *job, queue)
 	s.slots = engine.Slots(s.workers)
+	// Note: mDraining is deliberately not reset here. The serve metrics are
+	// process-global, and a freshly constructed Server must not clear the
+	// draining indicator of another instance in the same process.
 	s.cache = newLRUCache(cfg.CacheSize)
-	mDraining.Set(0)
 	go s.dispatch()
 	return s, nil
 }
@@ -310,7 +312,11 @@ func (s *Server) answer(ctx context.Context, key string, compute func() (result,
 	case <-f.done:
 		return f.res, f.err
 	case <-ctx.Done():
-		mRejected.With("deadline").Inc()
+		if errors.Is(ctx.Err(), context.Canceled) {
+			mRejected.With("canceled").Inc()
+		} else {
+			mRejected.With("deadline").Inc()
+		}
 		return result{}, ctx.Err()
 	}
 }

@@ -152,6 +152,12 @@ func TestDecodeSweepRequest(t *testing.T) {
 		{"inverted range", `{"variant":"HW","cycles":1,"min_mhz":900,"max_mhz":800,"step_mhz":10}`, false},
 		{"too many points", `{"variant":"HW","cycles":1,"min_mhz":1,"max_mhz":100000,"step_mhz":0.5}`, false},
 		{"single point", `{"variant":"HW","cycles":1,"min_mhz":800,"max_mhz":800,"step_mhz":10}`, true},
+		// Steps below one ULP of the endpoints round away (min+step == min):
+		// under float accumulation such a ladder would loop forever, so the
+		// validator must reject it even when the nominal point count is tiny.
+		{"sub-ULP step, min==max", `{"variant":"HW","cycles":1,"min_mhz":2000,"max_mhz":2000,"step_mhz":1e-13}`, false},
+		{"sub-ULP step, tiny range", `{"variant":"HW","cycles":1,"min_mhz":2000,"max_mhz":2000.0000000000005,"step_mhz":1e-13}`, false},
+		{"denormal step", `{"variant":"HW","cycles":1,"min_mhz":1,"max_mhz":2,"step_mhz":5e-324}`, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

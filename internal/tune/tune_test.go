@@ -259,3 +259,41 @@ func TestTemperatureCoefficient(t *testing.T) {
 		}
 	}
 }
+
+func TestFreqSweepPoints(t *testing.T) {
+	cases := []struct {
+		name  string
+		sweep FreqSweep
+		want  []float64
+	}{
+		{"figure-2 ladder", FreqSweep{MinMHz: 800, MaxMHz: 1400, StepMHz: 100},
+			[]float64{800, 900, 1000, 1100, 1200, 1300, 1400}},
+		{"single point", FreqSweep{MinMHz: 1000, MaxMHz: 1000, StepMHz: 200},
+			[]float64{1000}},
+		{"step larger than range", FreqSweep{MinMHz: 500, MaxMHz: 600, StepMHz: 200},
+			[]float64{500}},
+		{"zero step", FreqSweep{MinMHz: 500, MaxMHz: 600, StepMHz: 0}, nil},
+		{"negative step", FreqSweep{MinMHz: 500, MaxMHz: 600, StepMHz: -100}, nil},
+		{"inverted range", FreqSweep{MinMHz: 600, MaxMHz: 500, StepMHz: 100}, nil},
+		{"NaN bound", FreqSweep{MinMHz: math.NaN(), MaxMHz: 600, StepMHz: 100}, nil},
+		// A step below one ULP of the endpoints used to make the
+		// accumulating loop spin forever (f+step rounds back to f); by-index
+		// generation must terminate with the nominal point count instead.
+		{"sub-ULP step, min==max", FreqSweep{MinMHz: 2000, MaxMHz: 2000, StepMHz: 1e-13},
+			[]float64{2000}},
+		{"denormal step, huge count", FreqSweep{MinMHz: 1, MaxMHz: 2, StepMHz: 5e-324}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.sweep.Points()
+			if len(got) != len(tc.want) {
+				t.Fatalf("Points() = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Points()[%d] = %g, want %g", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
