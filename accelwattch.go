@@ -130,6 +130,14 @@ type SessionOptions struct {
 	// bit-identical at every worker count — parallelism only changes
 	// wall-clock time.
 	Workers int
+
+	// Shards, when non-nil, backs the engine's measurement slots with a
+	// fleet of remote worker replicas (typically a *shard.Dispatcher over
+	// cmd/awworker processes). Placement never changes a result: every
+	// reading is a pure function of its operating point, and any remote
+	// failure — timeouts, open circuits, crashed workers — falls back to
+	// in-process measurement, bit-identically.
+	Shards tune.RemoteCaller
 }
 
 // NamedFaultProfile returns a canned fault profile by name ("noisy",
@@ -148,17 +156,14 @@ func NewSessionWithOptions(arch *Arch, sc Scale, opts SessionOptions) (*Session,
 	return newSession(context.Background(), arch, sc, opts)
 }
 
-func newSession(ctx context.Context, arch *Arch, sc Scale, opts SessionOptions) (*Session, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	workers := opts.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+// NewWorkerTestbench builds the measurement testbench exactly as a session
+// would — same fault-injector wrapping, same policy selection — without
+// running the tuning pipeline. cmd/awworker uses it so a worker started with
+// the same flags as a coordinator computes the same measurement fingerprint
+// (see tune.Testbench.Fingerprint) and therefore the same bytes; a worker
+// built differently refuses tasks instead of answering plausibly and
+// wrongly. Shards and Workers in opts are ignored here.
+func NewWorkerTestbench(arch *Arch, sc Scale, opts SessionOptions) (*tune.Testbench, error) {
 	tb, err := tune.NewTestbench(arch, sc)
 	if err != nil {
 		return nil, err
@@ -179,6 +184,30 @@ func newSession(ctx context.Context, arch *Arch, sc Scale, opts SessionOptions) 
 		tb.UseMeter(fm, pol)
 	} else if opts.Meter != nil {
 		tb.UseMeter(tb.Device, *opts.Meter)
+	}
+	return tb, nil
+}
+
+func newSession(ctx context.Context, arch *Arch, sc Scale, opts SessionOptions) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tb, err := NewWorkerTestbench(arch, sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Shards != nil {
+		// Installed before the engine pool is built so every replica
+		// inherits the dispatcher; scoped to ctx so cancelling the session
+		// aborts in-flight remote placements as "canceled".
+		tb.UseShards(ctx, opts.Shards)
 	}
 	// The engine is built after UseMeter so replicas wrap the installed
 	// meter (fault state is shared across replicas; see internal/faults).

@@ -49,25 +49,40 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for accepted work and in-flight responses")
 		ledgerCap    = flag.Int("ledger-cap", 65536, "attribution-ledger retention in events (0 = unbounded; unsafe for long runs)")
 	)
+	shards := cli.ShardFlags()
 	traceOut, ledgerOut := cli.Artifacts()
 	flag.Parse()
 
 	run := cli.StartCapped("awserve", *archName, *traceOut, *ledgerOut, *ledgerCap)
-	models, source, err := buildModels(*modelPath, *archName, *full, *workers)
-	if err != nil {
-		run.Fatal(err)
-	}
-	run.Log.Info("models ready", "source", source)
-
-	srv, err := serve.New(serve.Config{
-		Models:      models,
+	cfg := serve.Config{
 		Workers:     *workers,
 		QueueSize:   *queue,
 		MaxBatch:    *batch,
 		BatchWindow: *batchWindow,
 		CacheSize:   *cacheSize,
 		Deadline:    *deadline,
-	})
+	}
+	// remote stays a nil interface when shards are off — a typed-nil
+	// dispatcher would defeat the opts.Shards != nil gate downstream.
+	var remote tune.RemoteCaller
+	if shards.Enabled() {
+		d, err := shards.Dispatcher(nil)
+		if err != nil {
+			run.Fatal(err)
+		}
+		defer d.Close()
+		remote = d
+		cfg.Tasks = d
+		run.Log.Info("offloading to worker shards", "addrs", shards.Addrs, "net_faults", shards.NetProfile)
+	}
+	models, source, err := buildModels(*modelPath, *archName, *full, *workers, remote)
+	if err != nil {
+		run.Fatal(err)
+	}
+	run.Log.Info("models ready", "source", source)
+
+	cfg.Models = models
+	srv, err := serve.New(cfg)
 	if err != nil {
 		run.Fatal(err)
 	}
@@ -121,7 +136,7 @@ func resolveArch(name string) (*accelwattch.Arch, error) {
 // one saved model file answering for every variant, or a freshly tuned
 // session's per-variant models. The returned string describes the source
 // for the startup log.
-func buildModels(modelPath, archName string, full bool, workers int) (map[tune.Variant]*core.Model, string, error) {
+func buildModels(modelPath, archName string, full bool, workers int, shards tune.RemoteCaller) (map[tune.Variant]*core.Model, string, error) {
 	if modelPath != "" {
 		m, err := core.LoadModel(modelPath)
 		if err != nil {
@@ -144,7 +159,7 @@ func buildModels(modelPath, archName string, full bool, workers int) (map[tune.V
 		scName = "full"
 	}
 	sess, err := accelwattch.NewSessionWithOptions(arch, sc,
-		accelwattch.SessionOptions{Workers: workers})
+		accelwattch.SessionOptions{Workers: workers, Shards: shards})
 	if err != nil {
 		return nil, "", err
 	}

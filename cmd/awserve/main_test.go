@@ -41,7 +41,7 @@ func TestBuildModelsFromFile(t *testing.T) {
 		t.Fatalf("saving model: %v", err)
 	}
 
-	models, source, err := buildModels(path, "volta", false, 1)
+	models, source, err := buildModels(path, "volta", false, 1, nil)
 	if err != nil {
 		t.Fatalf("buildModels: %v", err)
 	}
@@ -66,10 +66,10 @@ func TestBuildModelsFromFile(t *testing.T) {
 }
 
 func TestBuildModelsErrors(t *testing.T) {
-	if _, _, err := buildModels(filepath.Join(t.TempDir(), "nope.json"), "volta", false, 1); err == nil {
+	if _, _, err := buildModels(filepath.Join(t.TempDir(), "nope.json"), "volta", false, 1, nil); err == nil {
 		t.Fatal("buildModels accepted a missing model file")
 	}
-	if _, _, err := buildModels("", "ampere", false, 1); err == nil {
+	if _, _, err := buildModels("", "ampere", false, 1, nil); err == nil {
 		t.Fatal("buildModels accepted an unknown architecture")
 	}
 }

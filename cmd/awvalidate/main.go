@@ -33,6 +33,7 @@ func main() {
 		strict     = flag.Bool("strict", false, "exit non-zero on partial failure (quarantined workloads or kernels without a defined error)")
 		metricsOut = flag.String("metrics-out", "", "write the JSON telemetry snapshot (metrics + stage spans) to this file")
 	)
+	shards := cli.ShardFlags()
 	traceOut, ledgerOut := cli.Artifacts()
 	flag.Parse()
 
@@ -42,8 +43,18 @@ func main() {
 	}
 	run := cli.Start("awvalidate", "volta", *traceOut, *ledgerOut)
 	fmt.Println("tuning AccelWattch on the Volta testbench...")
-	sess, err := accelwattch.NewSessionWithOptions(accelwattch.Volta(), sc,
-		accelwattch.SessionOptions{Workers: *workers})
+	opts := accelwattch.SessionOptions{Workers: *workers}
+	if shards.Enabled() {
+		d, err := shards.Dispatcher(nil)
+		if err != nil {
+			run.Fatal(err)
+		}
+		defer d.Close()
+		opts.Shards = d
+		fmt.Printf("offloading measurements to worker shards %s (net faults %q)\n",
+			shards.Addrs, shards.NetProfile)
+	}
+	sess, err := accelwattch.NewSessionWithOptions(accelwattch.Volta(), sc, opts)
 	if err != nil {
 		run.Fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"sync"
 
 	"accelwattch/internal/obs"
 )
@@ -57,10 +58,15 @@ func StartCapped(tool, detail, traceOut, ledgerOut string, ledgerCap int) *Run {
 	return start(tool, detail, traceOut, ledgerOut, ledgerCap)
 }
 
+// ledgerMetricsOnce guards the aw_ledger_dropped_total registration: the
+// OnCollect hook survives ledger swaps, so one per process is exactly right.
+var ledgerMetricsOnce sync.Once
+
 func start(tool, detail, traceOut, ledgerOut string, ledgerCap int) *Run {
 	id := obs.NewRunID()
 	led := obs.NewLedgerCap(id, ledgerCap)
 	obs.SetLedger(led)
+	ledgerMetricsOnce.Do(func() { obs.RegisterLedgerMetrics(obs.Default()) })
 	r := &Run{
 		ID:        id,
 		Led:       led,

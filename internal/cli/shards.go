@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"time"
+
+	"accelwattch/internal/faults"
+	"accelwattch/internal/shard"
+)
+
+// ShardConfig carries the distributed-engine flags shared by the aw*
+// commands: the worker fleet, the per-call robustness knobs, and the
+// network-fault profile the chaos suite injects between them.
+type ShardConfig struct {
+	Addrs          string
+	CallTimeout    time.Duration
+	Retries        int
+	HedgeDelay     time.Duration
+	HealthInterval time.Duration
+	NetProfile     string
+	NetSeed        int64
+}
+
+// ShardFlags registers the distributed-engine flags on the default flag
+// set. Call before flag.Parse.
+func ShardFlags() *ShardConfig {
+	c := &ShardConfig{}
+	flag.StringVar(&c.Addrs, "shards", "",
+		"comma-separated awworker addresses (host:port) to offload engine tasks to; empty runs everything in process")
+	flag.DurationVar(&c.CallTimeout, "shard-timeout", 10*time.Second,
+		"per-call timeout for one remote task attempt")
+	flag.IntVar(&c.Retries, "shard-retries", shard.DefaultRetry.MaxAttempts,
+		"attempts per remote call before failing over to the next worker")
+	flag.DurationVar(&c.HedgeDelay, "shard-hedge", 0,
+		"launch a hedge call on another worker if the primary has not answered within this delay (0 disables hedging)")
+	flag.DurationVar(&c.HealthInterval, "shard-health", 2*time.Second,
+		"background health-probe interval for worker quarantine/readmission (0 disables)")
+	flag.StringVar(&c.NetProfile, "faults-net", "off",
+		"inject deterministic network faults on the shard transport ("+strings.Join(faults.NetNames(), ", ")+")")
+	flag.Int64Var(&c.NetSeed, "faults-net-seed", 1,
+		"seed for the network fault injector")
+	return c
+}
+
+// Enabled reports whether any worker shards were requested.
+func (c *ShardConfig) Enabled() bool { return strings.TrimSpace(c.Addrs) != "" }
+
+// Dispatcher builds the guarded shard dispatcher over the configured fleet,
+// wrapping each worker's transport in the network-fault profile when one is
+// active. local is the dispatcher-level in-process fallback mux (nil when
+// the caller handles fallback itself, as the tuning testbench does). The
+// caller owns Close.
+func (c *ShardConfig) Dispatcher(local *shard.Mux) (*shard.Dispatcher, error) {
+	prof, err := faults.NamedNet(c.NetProfile, c.NetSeed)
+	if err != nil {
+		return nil, err
+	}
+	var backends []shard.Backend
+	for _, addr := range strings.Split(c.Addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		backends = append(backends, shard.WithNetFaults(shard.NewHTTPBackend(addr), prof))
+	}
+	retry := shard.DefaultRetry
+	if c.Retries > 0 {
+		retry.MaxAttempts = c.Retries
+	}
+	return shard.NewDispatcher(local, backends, shard.Options{
+		CallTimeout:    c.CallTimeout,
+		Retry:          retry,
+		HedgeDelay:     c.HedgeDelay,
+		HealthInterval: c.HealthInterval,
+		Seed:           c.NetSeed,
+	}), nil
+}

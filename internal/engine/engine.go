@@ -19,6 +19,15 @@
 // The rest of the contract lives with the callers: all cross-replica state
 // (memoised measurements, fault-injection RNG, quarantine counters) must be
 // keyed by operating point, not by call order.
+//
+// Replicas may also be remote-backed: a replica whose resource offloads its
+// work to a worker shard over internal/shard (see tune.Testbench.UseShards)
+// is indistinguishable from an in-process one, because the purity contract
+// above makes placement invisible — a task computed on another machine, or
+// recomputed locally after that machine fails mid-call, yields the same
+// bytes. The engine therefore needs no networking awareness at all; fault
+// tolerance (retries, circuit breaking, failover, local fallback) lives
+// entirely inside the resource the replica wraps.
 package engine
 
 import (
@@ -69,6 +78,10 @@ func (p *Pool[R]) Workers() int { return len(p.replicas) }
 
 // Primary returns replica 0.
 func (p *Pool[R]) Primary() R { return p.replicas[0] }
+
+// Replica returns replica i (0 is the primary). It panics when i is out of
+// range, matching slice semantics; use Workers to size loops.
+func (p *Pool[R]) Replica(i int) R { return p.replicas[i] }
 
 // Map runs fn over items on the pool's replicas and returns the results in
 // input order. A single-replica pool runs inline with no goroutines. On

@@ -1,0 +1,178 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// NetProfile is the network analogue of Profile: a deterministic, seedable
+// composition of the failure modes a distributed worker fleet actually
+// exhibits — dropped connections, latency spikes, truncated responses, and
+// outright worker crashes. The shard transport wraps each remote backend
+// with one (see shard.WithNetFaults), so the dispatcher's retry, breaker,
+// hedging, and failover machinery can be exercised and regression-tested
+// under reproducible network chaos.
+//
+// Determinism mirrors the meter profile: every draw derives from the seed
+// plus a hash of (backend name, task key, per-key attempt number), so a
+// given call in a given run sees the same fault regardless of scheduling,
+// worker count, or the interleaving of other tasks. The faults only ever
+// perturb the *transport* — whether and when a call completes — never the
+// task's payload semantics, so the engine's bit-identical-results contract
+// is exercised, not violated: a dropped call is retried, hedged, or failed
+// over, and whichever replica finally answers computes the same bytes.
+type NetProfile struct {
+	// Seed drives every draw. Two transports with equal profiles inject
+	// identical fault sequences for identical call histories.
+	Seed int64
+
+	// DropRate is the probability a call is severed before reaching the
+	// worker — a connection reset. The caller sees a transport error.
+	DropRate float64
+
+	// SpikeRate is the probability a call is delayed by SpikeLatency
+	// before being forwarded — a congestion or GC spike on the path.
+	SpikeRate    float64
+	SpikeLatency time.Duration
+
+	// PartialRate is the probability a call's response is truncated in
+	// flight: the worker computes and answers, but the caller receives a
+	// corrupt partial body and must treat the call as failed.
+	PartialRate float64
+
+	// CrashAfter, when positive, crashes the worker after that many calls
+	// have been admitted through this transport: every later call fails
+	// like a connection refused. It models a mid-run worker death; the
+	// dispatcher must fail the shard over without aborting the run.
+	CrashAfter int64
+}
+
+// Enabled reports whether the profile injects any network fault at all.
+func (p NetProfile) Enabled() bool {
+	return p.DropRate > 0 || p.SpikeRate > 0 || p.PartialRate > 0 || p.CrashAfter > 0
+}
+
+// Validate rejects rates outside [0, 1] and negative knobs.
+func (p NetProfile) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropRate", p.DropRate},
+		{"SpikeRate", p.SpikeRate},
+		{"PartialRate", p.PartialRate},
+	} {
+		if r.v != r.v || r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: net %s %g outside [0, 1]", r.name, r.v)
+		}
+	}
+	if p.SpikeLatency < 0 {
+		return fmt.Errorf("faults: net SpikeLatency %v is negative", p.SpikeLatency)
+	}
+	if p.CrashAfter < 0 {
+		return fmt.Errorf("faults: net CrashAfter %d is negative", p.CrashAfter)
+	}
+	return nil
+}
+
+// NetFault is one injected transport fault.
+type NetFault int
+
+const (
+	NetNone    NetFault = iota
+	NetDrop             // sever the call before it reaches the worker
+	NetSpike            // delay the call by SpikeLatency, then forward it
+	NetPartial          // forward the call, truncate the response
+	NetCrash            // the worker is dead; fail like connection refused
+)
+
+func (f NetFault) String() string {
+	switch f {
+	case NetNone:
+		return "none"
+	case NetDrop:
+		return "drop"
+	case NetSpike:
+		return "spike"
+	case NetPartial:
+		return "partial"
+	case NetCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("NetFault(%d)", int(f))
+}
+
+// ErrNetFault marks transport failures manufactured by a NetProfile, so
+// tests can tell injected chaos from real transport errors.
+var ErrNetFault = errors.New("faults: injected network fault")
+
+// NetError is one injected transport failure.
+type NetError struct {
+	Backend string
+	Kind    NetFault
+}
+
+func (e *NetError) Error() string {
+	return fmt.Sprintf("faults: injected %s on %s", e.Kind, e.Backend)
+}
+
+func (e *NetError) Unwrap() error { return ErrNetFault }
+
+// Draw decides the fault for one call: the attempt-th call of task key
+// through backend. callSeq is the backend's admitted-call ordinal (for the
+// crash clock); the rest of the draw depends only on (seed, backend, key,
+// attempt), so retries of the same call see fresh, reproducible draws.
+func (p NetProfile) Draw(backend, key string, attempt, callSeq int64) NetFault {
+	if p.CrashAfter > 0 && callSeq > p.CrashAfter {
+		return NetCrash
+	}
+	if !p.Enabled() {
+		return NetNone
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "net|%s|%s|%d", backend, key, attempt)
+	rng := rand.New(rand.NewSource(p.Seed ^ int64(h.Sum64())))
+	if rng.Float64() < p.DropRate {
+		return NetDrop
+	}
+	if rng.Float64() < p.PartialRate {
+		return NetPartial
+	}
+	if rng.Float64() < p.SpikeRate {
+		return NetSpike
+	}
+	return NetNone
+}
+
+// NamedNet returns a predefined network-fault profile by name, for CLI
+// flags and the chaos suite. Recognised names: "off" (or "clean", ""),
+// "lossy", "slow", "truncating", "crashy", and "chaos" (drops, spikes and
+// partial responses at once).
+func NamedNet(name string, seed int64) (NetProfile, error) {
+	switch name {
+	case "", "off", "clean":
+		return NetProfile{Seed: seed}, nil
+	case "lossy":
+		return NetProfile{Seed: seed, DropRate: 0.15}, nil
+	case "slow":
+		return NetProfile{Seed: seed, SpikeRate: 0.10, SpikeLatency: 25 * time.Millisecond}, nil
+	case "truncating":
+		return NetProfile{Seed: seed, PartialRate: 0.10}, nil
+	case "crashy":
+		return NetProfile{Seed: seed, DropRate: 0.05, CrashAfter: 40}, nil
+	case "chaos":
+		return NetProfile{
+			Seed: seed, DropRate: 0.08, SpikeRate: 0.05,
+			SpikeLatency: 2 * time.Millisecond, PartialRate: 0.05,
+		}, nil
+	}
+	return NetProfile{}, fmt.Errorf("faults: unknown net profile %q (have %v)", name, NetNames())
+}
+
+// NetNames lists the predefined network profile names accepted by NamedNet.
+func NetNames() []string {
+	return []string{"off", "lossy", "slow", "truncating", "crashy", "chaos"}
+}

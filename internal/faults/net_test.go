@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNetProfileEnabled(t *testing.T) {
+	if (NetProfile{Seed: 5}).Enabled() {
+		t.Fatal("seed-only profile reported enabled")
+	}
+	for _, p := range []NetProfile{
+		{DropRate: 0.1},
+		{SpikeRate: 0.1},
+		{PartialRate: 0.1},
+		{CrashAfter: 3},
+	} {
+		if !p.Enabled() {
+			t.Fatalf("%+v reported disabled", p)
+		}
+	}
+}
+
+func TestNetProfileValidate(t *testing.T) {
+	good := NetProfile{Seed: 1, DropRate: 0.5, SpikeRate: 0.1, SpikeLatency: time.Millisecond, PartialRate: 0.2, CrashAfter: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	for _, bad := range []NetProfile{
+		{DropRate: -0.1},
+		{DropRate: 1.5},
+		{SpikeRate: 2},
+		{PartialRate: -1},
+		{SpikeLatency: -time.Second},
+		{CrashAfter: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%+v passed validation", bad)
+		}
+	}
+}
+
+// TestNetDrawDeterminism: the draw is a pure function of (seed, backend,
+// key, attempt) — scheduling, call order, and other tasks cannot change it.
+func TestNetDrawDeterminism(t *testing.T) {
+	p := NetProfile{Seed: 42, DropRate: 0.3, SpikeRate: 0.2, PartialRate: 0.2}
+	for i := 0; i < 50; i++ {
+		backend := fmt.Sprintf("w%d", i%3)
+		key := fmt.Sprintf("task-%d", i)
+		first := p.Draw(backend, key, int64(i%4), int64(i))
+		for rep := 0; rep < 3; rep++ {
+			if got := p.Draw(backend, key, int64(i%4), int64(i)); got != first {
+				t.Fatalf("Draw(%s,%s) unstable: %v then %v", backend, key, first, got)
+			}
+		}
+	}
+	// Different seeds must decorrelate: at these rates, 200 draws under two
+	// seeds agreeing everywhere would be astronomically unlikely.
+	q := p
+	q.Seed = 43
+	same := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("task-%d", i)
+		if p.Draw("w", key, 0, int64(i)) == q.Draw("w", key, 0, int64(i)) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("seed does not influence draws")
+	}
+}
+
+func TestNetDrawCrashClockOverrides(t *testing.T) {
+	p := NetProfile{Seed: 1, CrashAfter: 5}
+	if got := p.Draw("w", "k", 0, 5); got != NetNone {
+		t.Fatalf("call at the clock = %v, want none", got)
+	}
+	if got := p.Draw("w", "k", 0, 6); got != NetCrash {
+		t.Fatalf("call past the clock = %v, want crash", got)
+	}
+	// The crash clock wins over every probabilistic draw.
+	p.DropRate = 1
+	if got := p.Draw("w", "k", 0, 100); got != NetCrash {
+		t.Fatalf("crash clock lost to drop: %v", got)
+	}
+}
+
+func TestNetDrawApproximatesRates(t *testing.T) {
+	p := NetProfile{Seed: 7, DropRate: 0.25}
+	drops := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if p.Draw("w", fmt.Sprintf("k%d", i), 0, int64(i)) == NetDrop {
+			drops++
+		}
+	}
+	// Deterministic for a fixed seed, so the bounds cannot flake; they just
+	// assert the hash stream is not degenerate.
+	if frac := float64(drops) / n; frac < 0.18 || frac > 0.32 {
+		t.Fatalf("drop fraction %.3f far from configured 0.25", frac)
+	}
+}
+
+func TestNetErrorWrapsErrNetFault(t *testing.T) {
+	err := fmt.Errorf("call failed: %w", &NetError{Backend: "w1", Kind: NetDrop})
+	if !errors.Is(err, ErrNetFault) {
+		t.Fatal("NetError does not unwrap to ErrNetFault")
+	}
+	var ne *NetError
+	if !errors.As(err, &ne) || ne.Kind != NetDrop {
+		t.Fatalf("errors.As failed: %v", err)
+	}
+	if got := ne.Error(); got != "faults: injected drop on w1" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestNetFaultStrings(t *testing.T) {
+	for f, want := range map[NetFault]string{
+		NetNone: "none", NetDrop: "drop", NetSpike: "spike",
+		NetPartial: "partial", NetCrash: "crash", NetFault(99): "NetFault(99)",
+	} {
+		if got := f.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(f), got, want)
+		}
+	}
+}
+
+func TestNamedNetProfiles(t *testing.T) {
+	for _, name := range NetNames() {
+		p, err := NamedNet(name, 11)
+		if err != nil {
+			t.Fatalf("NamedNet(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("named profile %q invalid: %v", name, err)
+		}
+		if p.Seed != 11 {
+			t.Fatalf("named profile %q dropped the seed", name)
+		}
+		if name != "off" && !p.Enabled() {
+			t.Fatalf("named profile %q is disabled", name)
+		}
+	}
+	for _, alias := range []string{"", "off", "clean"} {
+		p, err := NamedNet(alias, 1)
+		if err != nil || p.Enabled() {
+			t.Fatalf("NamedNet(%q) = %+v, %v — want a disabled profile", alias, p, err)
+		}
+	}
+	if _, err := NamedNet("tsunami", 1); err == nil {
+		t.Fatal("NamedNet accepted an unknown profile name")
+	}
+}

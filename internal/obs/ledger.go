@@ -218,6 +218,37 @@ func ReadLedgerFile(path string) ([]Event, error) {
 	return ReadLedger(f)
 }
 
+// RegisterLedgerMetrics exposes the active ledger's ring-shed count as the
+// aw_ledger_dropped_total counter, sampled lazily on every scrape or
+// snapshot via an OnCollect hook (the runtime-metrics idiom). The hook
+// follows whichever ledger is installed at scrape time and re-bases its
+// delta tracking when the ledger is swapped (a new run) — the exposed total
+// only ever accumulates, as a counter must, even though each ledger's own
+// Dropped() restarts from zero. Safe to call once per registry; repeat
+// calls would stack duplicate hooks and double-count, so callers guard
+// with their own once (internal/cli does).
+func RegisterLedgerMetrics(r *Registry) {
+	dropped := r.Counter("aw_ledger_dropped_total",
+		"Ledger events shed by the capped ring buffer (0 under an unbounded ledger).")
+	var (
+		mu   sync.Mutex
+		last *Ledger
+		seen int64
+	)
+	r.OnCollect(func() {
+		l := r.ledger.Load()
+		mu.Lock()
+		defer mu.Unlock()
+		if l != last {
+			last, seen = l, 0
+		}
+		if d := l.Dropped(); d > seen {
+			dropped.Add(float64(d - seen))
+			seen = d
+		}
+	})
+}
+
 // SetLedger installs (or, with nil, removes) the registry's flight
 // recorder. Instrumented code reaches it through ActiveLedger.
 func (r *Registry) SetLedger(l *Ledger) { r.ledger.Store(l) }

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// droppedTotal scrapes the registry and returns aw_ledger_dropped_total.
+func droppedTotal(t *testing.T, r *Registry) float64 {
+	t.Helper()
+	snap := r.TakeSnapshot()
+	for _, m := range snap.Metrics {
+		if m.Name == "aw_ledger_dropped_total" {
+			return *m.Series[0].Value
+		}
+	}
+	t.Fatal("aw_ledger_dropped_total missing from snapshot")
+	return 0
+}
+
+// TestLedgerDroppedMetric: the capped ring's shed count surfaces as a
+// counter, sampled lazily on scrape, and keeps accumulating across ledger
+// swaps even though each ledger's own Dropped() restarts from zero.
+func TestLedgerDroppedMetric(t *testing.T) {
+	r := NewRegistry()
+	RegisterLedgerMetrics(r)
+
+	led := NewLedgerCap("run-1", 4)
+	r.SetLedger(led)
+	for i := 0; i < 10; i++ {
+		led.Emit(Event{Kind: KindMeasure})
+	}
+	if got := droppedTotal(t, r); got != 6 {
+		t.Fatalf("dropped total = %v after 10 emits into cap 4, want 6", got)
+	}
+	// Re-scraping without new drops must not double-count.
+	if got := droppedTotal(t, r); got != 6 {
+		t.Fatalf("dropped total moved to %v on an idle re-scrape", got)
+	}
+
+	// A new run installs a fresh ledger: the counter re-bases and keeps
+	// accumulating — a counter must never go backwards.
+	led2 := NewLedgerCap("run-2", 2)
+	r.SetLedger(led2)
+	for i := 0; i < 3; i++ {
+		led2.Emit(Event{Kind: KindMeasure})
+	}
+	if got := droppedTotal(t, r); got != 7 {
+		t.Fatalf("dropped total = %v after swap + 1 more shed, want 7", got)
+	}
+
+	// The exposition carries the family too.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "aw_ledger_dropped_total 7") {
+		t.Fatalf("exposition missing the dropped counter:\n%s", sb.String())
+	}
+}
+
+// TestLedgerDroppedMetricUnboundedLedger: an unbounded ledger never sheds,
+// so the counter stays at zero — and a nil ledger must not panic the hook.
+func TestLedgerDroppedMetricUnboundedLedger(t *testing.T) {
+	r := NewRegistry()
+	RegisterLedgerMetrics(r)
+	if got := droppedTotal(t, r); got != 0 {
+		t.Fatalf("dropped total = %v with no ledger installed, want 0", got)
+	}
+	led := NewLedger("run")
+	r.SetLedger(led)
+	for i := 0; i < 100; i++ {
+		led.Emit(Event{Kind: KindMeasure})
+	}
+	if got := droppedTotal(t, r); got != 0 {
+		t.Fatalf("dropped total = %v under an unbounded ledger, want 0", got)
+	}
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"accelwattch/internal/shard"
+)
+
+// startServeWorker serves the serving-task mux over httptest, as an
+// awworker process started with -model would.
+func startServeWorker(t *testing.T) (*shard.Worker, *httptest.Server) {
+	t.Helper()
+	mux, err := TaskMux(testModels())
+	if err != nil {
+		t.Fatalf("TaskMux: %v", err)
+	}
+	w, err := shard.NewWorker(shard.WorkerConfig{Mux: mux})
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+	return w, ts
+}
+
+func serveShardOpts() shard.Options {
+	return shard.Options{
+		CallTimeout:      5 * time.Second,
+		Retry:            shard.Retry{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour, // a tripped worker stays out for the test
+		Seed:             3,
+	}
+}
+
+// TestServeDistributedBitIdentity: responses served through a remote worker
+// fleet must match the single-shot reference bytes exactly — placement is
+// invisible to clients.
+func TestServeDistributedBitIdentity(t *testing.T) {
+	worker, wts := startServeWorker(t)
+	d := shard.NewDispatcher(nil, []shard.Backend{shard.NewHTTPBackend(wts.URL)}, serveShardOpts())
+	t.Cleanup(d.Close)
+	_, ts := newTestServer(t, Config{Workers: 4, Tasks: d})
+
+	m := testModel()
+	for i := 0; i < 8; i++ {
+		body := estBody(i)
+		want, err := EstimateOnce(m, body)
+		if err != nil {
+			t.Fatalf("reference estimate %d: %v", i, err)
+		}
+		code, got := post(t, ts, "/estimate", body)
+		if code != http.StatusOK {
+			t.Fatalf("estimate %d: status %d: %s", i, code, got)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("estimate %d diverged behind the fleet:\n  want %s\n  got  %s", i, want, got)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		body := sweepBody(i)
+		want, err := SweepOnce(m, body)
+		if err != nil {
+			t.Fatalf("reference sweep %d: %v", i, err)
+		}
+		code, got := post(t, ts, "/sweep", body)
+		if code != http.StatusOK || string(got) != string(want) {
+			t.Fatalf("sweep %d: status %d, diverged=%v", i, code, string(got) != string(want))
+		}
+	}
+	if worker.Served() == 0 {
+		t.Fatal("the remote worker never served a task — the fleet was not exercised")
+	}
+}
+
+// TestServeDegradedLocalFallback: killing the whole fleet mid-service must
+// not change a single response byte — the dispatcher degrades to the local
+// in-process path, and /readyz + /healthz report the degradation.
+func TestServeDegradedLocalFallback(t *testing.T) {
+	_, wts := startServeWorker(t)
+	d := shard.NewDispatcher(nil, []shard.Backend{shard.NewHTTPBackend(wts.URL)}, serveShardOpts())
+	t.Cleanup(d.Close)
+	_, ts := newTestServer(t, Config{Workers: 2, Tasks: d})
+
+	m := testModel()
+	body := estBody(1)
+	want, err := EstimateOnce(m, body)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if code, got := post(t, ts, "/estimate", body); code != http.StatusOK || string(got) != string(want) {
+		t.Fatalf("pre-crash estimate: status %d", code)
+	}
+
+	// The whole fleet dies. The next (uncached — different body) request
+	// trips the breaker and answers from the local fallback, bit-identically.
+	wts.CloseClientConnections()
+	wts.Close()
+	body2 := estBody(2)
+	want2, err := EstimateOnce(m, body2)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	code, got := post(t, ts, "/estimate", body2)
+	if code != http.StatusOK {
+		t.Fatalf("post-crash estimate: status %d: %s", code, got)
+	}
+	if string(got) != string(want2) {
+		t.Fatalf("post-crash estimate diverged:\n  want %s\n  got  %s", want2, got)
+	}
+	if !d.Degraded() {
+		t.Fatal("dispatcher not degraded after the fleet died")
+	}
+
+	// Readiness stays OK — the service still answers — but says degraded.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	rb := make([]byte, 256)
+	n, _ := resp.Body.Read(rb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(rb[:n]), "degraded") {
+		t.Fatalf("readyz = %d %q, want 200 with degraded detail", resp.StatusCode, rb[:n])
+	}
+
+	// /healthz carries the per-worker breaker snapshot.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var snap struct {
+		Degraded bool                `json:"degraded"`
+		Shards   []shard.WorkerState `json:"shards"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	if !snap.Degraded || len(snap.Shards) != 1 || snap.Shards[0].Breaker != "open" {
+		t.Fatalf("healthz shard snapshot = %+v, want degraded with an open breaker", snap)
+	}
+}
+
+// TestServeCloseIdempotentUnderRace is the shutdown regression: concurrent
+// Close calls racing a SIGTERM-style Drain while a job is in flight must
+// all return cleanly, the held request must be answered, and the server
+// must refuse new work afterwards.
+func TestServeCloseIdempotentUnderRace(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxBatch: 1})
+	g := newGate()
+	s.testHookCompute = g.hook
+
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		code, _ := post(t, ts, "/estimate", estBody(1))
+		if code != http.StatusOK {
+			t.Errorf("held request finished with %d, want 200", code)
+		}
+	}()
+	<-g.entered // the job is in flight, held at the gate
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			s.Close()
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		_ = s.Drain(context.Background())
+	}()
+	close(start)
+	time.Sleep(10 * time.Millisecond) // let the closers reach the drain wait
+	close(g.release)
+
+	closed := make(chan struct{})
+	go func() { wg.Wait(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close/Drain race did not settle")
+	}
+	<-reqDone
+
+	// The drained server refuses new work instead of panicking on the
+	// closed job channel.
+	if code, _ := post(t, ts, "/estimate", estBody(2)); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-Close estimate = %d, want 503", code)
+	}
+	s.Close() // still idempotent after the race
+}
+
+// TestServeCloseCancelsStuckRemoteRetry: Close must cancel in-flight remote
+// placements so a dead fleet's retry budget cannot hold the drain hostage —
+// the held job falls back to local compute and the request still answers
+// bit-identically.
+func TestServeCloseCancelsStuckRemoteRetry(t *testing.T) {
+	wts := httptest.NewServer(http.NotFoundHandler())
+	wts.Close() // every connection refuses: pure transport failure
+	opts := serveShardOpts()
+	// A retry budget that would take minutes — only cancellation gets
+	// through it in test time.
+	opts.Retry = shard.Retry{MaxAttempts: 10000, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	opts.BreakerThreshold = 1 << 30 // keep the breaker out: the retry loop must be live when Close fires
+	d := shard.NewDispatcher(nil, []shard.Backend{shard.NewHTTPBackend(wts.URL)}, opts)
+	t.Cleanup(d.Close)
+	s, ts := newTestServer(t, Config{Workers: 1, Tasks: d})
+
+	m := testModel()
+	body := estBody(3)
+	want, err := EstimateOnce(m, body)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	reqDone := make(chan struct{})
+	var code int
+	var got []byte
+	go func() {
+		defer close(reqDone)
+		code, got = post(t, ts, "/estimate", body)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the job enter the remote retry loop
+
+	start := time.Now()
+	s.Close()
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("Close took %v — the remote retry loop held the drain hostage", elapsed)
+	}
+	<-reqDone
+	if code != http.StatusOK || string(got) != string(want) {
+		t.Fatalf("request during Close = %d, diverged=%v", code, string(got) != string(want))
+	}
+}

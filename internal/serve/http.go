@@ -192,24 +192,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			variants = append(variants, v.String())
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	snapshot := map[string]any{
 		"status":   "ok",
 		"draining": s.Draining(),
 		"workers":  s.workers,
 		"variants": variants,
 		"cached":   s.cache.Len(),
-	})
+	}
+	if s.tasks != nil {
+		snapshot["shards"] = s.tasks.States()
+		snapshot["degraded"] = s.tasks.Degraded()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(snapshot)
 }
 
-// handleReadyz is the load-balancer gate: ready until drain begins.
+// handleReadyz is the load-balancer gate: ready until drain begins. A
+// fully-degraded shard fleet does NOT flip readiness — every computation
+// still answers, bit-identically, from the local fallback — but the detail
+// line says so, so operators and probes can see the degradation.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.tasks != nil && s.tasks.Degraded() {
+		_, _ = io.WriteString(w, "ok (degraded: all remote shards unavailable, serving from local fallback)\n")
+		return
+	}
 	_, _ = io.WriteString(w, "ok\n")
 }
 

@@ -47,6 +47,14 @@ type Config struct {
 	// Deadline bounds each request end to end; a request that cannot be
 	// answered in time gets 504. Default 5s.
 	Deadline time.Duration
+
+	// Tasks, when non-nil, offloads estimate and sweep computations to a
+	// fleet of remote worker shards (typically a *shard.Dispatcher over
+	// awworker processes). Remote placement is an accelerator, never an
+	// authority: any placement failure falls back to the in-process
+	// computation, which produces bit-identical bytes, so a degraded or
+	// dead fleet slows the service without changing a single response.
+	Tasks TaskDispatcher
 }
 
 // Defaults for the zero Config fields.
@@ -78,6 +86,16 @@ type Server struct {
 
 	jobs  chan *job
 	slots *engine.Pool[struct{}]
+
+	// tasks is the optional shard fleet; modelFPs pins what each variant's
+	// model must hash to on a worker for its answers to be trusted.
+	// baseCtx scopes remote placements to the server's lifetime: Close
+	// cancels it so a stuck remote retry can never hold a drain hostage —
+	// the in-flight jobs fall back to local compute and finish.
+	tasks      TaskDispatcher
+	modelFPs   [tune.NumVariants]string
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
 
 	mu       sync.RWMutex // guards draining against enqueue
 	draining bool
@@ -111,7 +129,9 @@ func New(cfg Config) (*Server, error) {
 		maxBatch:    cfg.MaxBatch,
 		flights:     newFlightGroup(),
 		done:        make(chan struct{}),
+		tasks:       cfg.Tasks,
 	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	any := false
 	for v, m := range cfg.Models {
 		if v < 0 || v >= tune.NumVariants {
@@ -124,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: model for %v: %w", v, err)
 		}
 		s.models[v] = m
+		s.modelFPs[v] = modelFingerprint(m)
 		any = true
 	}
 	if !any {
@@ -278,10 +299,20 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
-// Close drains completely and stops the dispatcher. The server must not be
-// used after Close.
+// Close drains completely and stops the dispatcher. Idempotent — repeat
+// calls (including concurrent ones, and calls racing an in-flight SIGTERM
+// Drain) block until the first finishes and then return. The server must
+// not accept new work after Close.
+//
+// Close first cancels the shard placement context: an in-flight remote
+// task stuck in its retry/backoff loop aborts immediately as "canceled"
+// (no further attempts fire — see the Guard cancellation contract), its
+// job falls back to the in-process computation, and the drain completes in
+// bounded time. Without that, a dead worker fleet could hold Close hostage
+// for the full retry budget of every pending job.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		s.cancelBase()
 		_ = s.Drain(context.Background())
 		close(s.jobs)
 		<-s.done
@@ -322,7 +353,9 @@ func (s *Server) answer(ctx context.Context, key string, compute func() (result,
 }
 
 // computeEstimate is the pure estimate computation: the single-shot eval
-// path, marshalled once. req must be validated.
+// path, marshalled once. req must be validated. With a shard fleet
+// configured the computation places remotely first; the bytes are the same
+// either way, so placement is invisible to callers.
 func (s *Server) computeEstimate(req *EstimateRequest) (result, error) {
 	v, err := ParseVariant(req.Variant)
 	if err != nil {
@@ -331,6 +364,16 @@ func (s *Server) computeEstimate(req *EstimateRequest) (result, error) {
 	m := s.models[v]
 	if m == nil {
 		return result{}, fmt.Errorf("serve: variant %s not served", req.Variant)
+	}
+	if s.tasks != nil {
+		if reqBody, err := json.Marshal(req); err == nil {
+			if body, ok := s.remoteCompute(TaskEstimate, req.CacheKey(), reqBody, s.modelFPs[v]); ok {
+				var resp EstimateResponse
+				if json.Unmarshal(body, &resp) == nil {
+					return result{body: body, powerW: resp.PowerW, breakdown: resp.Breakdown}, nil
+				}
+			}
+		}
 	}
 	return estimateResult(m, req)
 }
@@ -343,6 +386,16 @@ func (s *Server) computeSweep(req *SweepRequest) (result, error) {
 	m := s.models[v]
 	if m == nil {
 		return result{}, fmt.Errorf("serve: variant %s not served", req.Variant)
+	}
+	if s.tasks != nil {
+		if reqBody, err := json.Marshal(req); err == nil {
+			if body, ok := s.remoteCompute(TaskSweep, req.CacheKey(), reqBody, s.modelFPs[v]); ok {
+				var resp SweepResponse
+				if json.Unmarshal(body, &resp) == nil {
+					return result{body: body}, nil
+				}
+			}
+		}
 	}
 	return sweepResult(m, req)
 }

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"accelwattch/internal/core"
+	"accelwattch/internal/shard"
+	"accelwattch/internal/tune"
+)
+
+// Shard task kinds for the serving pipeline.
+const (
+	TaskEstimate = "serve/estimate"
+	TaskSweep    = "serve/sweep"
+)
+
+// TaskDispatcher is the slice of shard.Dispatcher the server uses — an
+// interface so tests can fake placements.
+type TaskDispatcher interface {
+	Do(ctx context.Context, t shard.Task) ([]byte, error)
+	Degraded() bool
+	States() []shard.WorkerState
+}
+
+// taskSpec is the wire form of one estimate or sweep computation: the
+// validated request body verbatim, plus the fingerprint of the model the
+// coordinator would use. A worker holding a different model for the variant
+// must refuse (Unsupported) rather than answer plausibly and wrongly.
+type taskSpec struct {
+	Body    json.RawMessage `json:"body"`
+	ModelFP string          `json:"model_fp"`
+}
+
+// modelFingerprint hashes a model's serialised form. Two processes that
+// loaded or tuned the same model agree on it; any coefficient drift breaks
+// it.
+func modelFingerprint(m *core.Model) string {
+	if m == nil {
+		return ""
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "unmarshalable"
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TaskMux builds the worker-side handler set for the serving pipeline on a
+// fresh mux (see RegisterTasks).
+func TaskMux(models map[tune.Variant]*core.Model) (*shard.Mux, error) {
+	mux := shard.NewMux()
+	if err := RegisterTasks(mux, models); err != nil {
+		return nil, err
+	}
+	return mux, nil
+}
+
+// RegisterTasks installs the serving task handlers on mux: estimate and
+// sweep computations against the given models, each a pure function of
+// (model, request) returning the exact bytes the coordinator's in-process
+// path would produce. Request validation failures are deterministic task
+// errors; a variant or model fingerprint this worker does not hold is a
+// capability miss.
+func RegisterTasks(mux *shard.Mux, models map[tune.Variant]*core.Model) error {
+	var arr [tune.NumVariants]*core.Model
+	var fps [tune.NumVariants]string
+	any := false
+	for v, m := range models {
+		if v < 0 || v >= tune.NumVariants {
+			return fmt.Errorf("serve: unknown variant %v in task mux", v)
+		}
+		if m == nil {
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("serve: model for %v: %w", v, err)
+		}
+		arr[v] = m
+		fps[v] = modelFingerprint(m)
+		any = true
+	}
+	if !any {
+		return fmt.Errorf("serve: no models configured for task mux")
+	}
+
+	resolve := func(spec []byte, variant func(body []byte) (string, error)) (*core.Model, json.RawMessage, error) {
+		var ts taskSpec
+		if err := json.Unmarshal(spec, &ts); err != nil {
+			return nil, nil, shard.Taskf("serve: decoding task spec: %v", err)
+		}
+		name, err := variant(ts.Body)
+		if err != nil {
+			return nil, nil, shard.Taskf("%v", err)
+		}
+		v, err := ParseVariant(name)
+		if err != nil {
+			return nil, nil, shard.Taskf("%v", err)
+		}
+		m := arr[v]
+		if m == nil {
+			return nil, nil, shard.Unsupportedf("serve: variant %s not served by this worker", name)
+		}
+		if ts.ModelFP != fps[v] {
+			return nil, nil, shard.Unsupportedf("serve: model fingerprint mismatch for %s (worker %s, task %s)",
+				name, fps[v], ts.ModelFP)
+		}
+		return m, ts.Body, nil
+	}
+
+	mux.Register(TaskEstimate, func(_ context.Context, spec []byte) ([]byte, error) {
+		m, body, err := resolve(spec, func(b []byte) (string, error) {
+			req, err := DecodeEstimateRequest(b)
+			if err != nil {
+				return "", err
+			}
+			return req.Variant, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out, err := EstimateOnce(m, body)
+		if err != nil {
+			return nil, shard.Taskf("%v", err)
+		}
+		return out, nil
+	})
+	mux.Register(TaskSweep, func(_ context.Context, spec []byte) ([]byte, error) {
+		m, body, err := resolve(spec, func(b []byte) (string, error) {
+			req, err := DecodeSweepRequest(b)
+			if err != nil {
+				return "", err
+			}
+			return req.Variant, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out, err := SweepOnce(m, body)
+		if err != nil {
+			return nil, shard.Taskf("%v", err)
+		}
+		return out, nil
+	})
+	return nil
+}
+
+// remoteCompute tries to place one serving computation on the shard fleet.
+// It returns (body, true) only for a well-formed remote answer; every
+// failure — transport exhaustion, open breakers, capability misses, even
+// deterministic remote task errors — returns false and the caller computes
+// in process, which reproduces the exact same bytes (the computation is a
+// pure function of model + request) or the exact same error.
+func (s *Server) remoteCompute(kind, key string, reqBody []byte, fp string) ([]byte, bool) {
+	spec, err := json.Marshal(taskSpec{Body: reqBody, ModelFP: fp})
+	if err != nil {
+		return nil, false
+	}
+	out, err := s.tasks.Do(s.baseCtx, shard.Task{Kind: kind, Key: key, Spec: spec})
+	if err != nil || len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}

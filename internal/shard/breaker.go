@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state machine's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe call is admitted at a time; its success
+	// closes the breaker, its failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-worker circuit breaker. Closed, it admits every call
+// and counts consecutive transport failures; at the threshold it opens and
+// refuses calls for a cooldown; after the cooldown it half-opens, admitting
+// exactly one probe at a time — success closes the circuit, failure
+// reopens it for another cooldown.
+//
+// Cancellation is deliberately not a breaker input: a caller abandoning a
+// call says nothing about the worker, so Guard never reports ctx errors
+// here — a drain must surface as "canceled", not as a breaker trip.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (minimum 1) and stays open for cooldown before probing.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// withClock replaces the breaker's time source (tests only).
+func (b *Breaker) withClock(now func() time.Time) *Breaker {
+	b.now = now
+	return b
+}
+
+// State reports the current state, applying the open → half-open
+// transition if the cooldown has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state
+}
+
+// advanceLocked moves open → half-open once the cooldown has elapsed.
+func (b *Breaker) advanceLocked() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+}
+
+// TryAcquire asks to place one call. Closed always admits; open refuses;
+// half-open admits a single probe at a time. Every admitted call must be
+// settled with Success or Failure (cancelled calls are settled with
+// Release, which returns the probe slot without judging the worker).
+func (b *Breaker) TryAcquire() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Success settles an admitted call: the worker answered, so the circuit
+// closes and the failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure settles an admitted call with a transport failure: a half-open
+// probe reopens the circuit immediately; a closed-circuit failure counts
+// toward the threshold. Reports whether this failure tripped the circuit
+// open.
+func (b *Breaker) Failure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.trip()
+		return true
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.trip()
+		return true
+	}
+	return false
+}
+
+// Release settles an admitted call without judging the worker — the caller
+// was cancelled, or the failure was a capability miss. The probe slot is
+// returned; state and failure count are untouched.
+func (b *Breaker) Release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// Trip forces the breaker open (quarantine uses this so a worker pulled by
+// the health checker stops receiving calls immediately).
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trip()
+}
+
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+}

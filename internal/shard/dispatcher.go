@@ -1,0 +1,309 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes the dispatcher's robustness stack. The zero value selects
+// the documented defaults.
+type Options struct {
+	// CallTimeout bounds each individual attempt on a remote worker.
+	// Default 10s.
+	CallTimeout time.Duration
+
+	// Retry is the per-worker transport-failure retry policy.
+	Retry Retry
+
+	// BreakerThreshold is the consecutive transport failures that open a
+	// worker's circuit (default 3); BreakerCooldown is how long it stays
+	// open before half-opening (default 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// HealthInterval enables periodic background health probes when
+	// positive; HealthFailures consecutive probe failures quarantine the
+	// worker (default 2), and the next successful probe readmits it.
+	HealthInterval time.Duration
+	HealthFailures int
+
+	// HedgeDelay, when positive, launches one hedge call on a different
+	// worker if the primary has not answered within the delay — bounded
+	// fleet-wide by MaxHedges tokens (default 4). Hedging is safe because
+	// tasks are pure: both placements compute identical bytes.
+	HedgeDelay time.Duration
+	MaxHedges  int
+
+	// Seed drives backoff jitter (timing only — results are placement-
+	// independent, so the seed can never change an output).
+	Seed int64
+}
+
+func (o Options) normalize() Options {
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.BreakerThreshold < 1 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.HealthFailures < 1 {
+		o.HealthFailures = 2
+	}
+	if o.MaxHedges < 1 {
+		o.MaxHedges = 4
+	}
+	o.Retry = o.Retry.normalize()
+	return o
+}
+
+// Dispatcher places tasks across a fleet of guarded remote workers with a
+// graceful local fallback: round-robin over available workers, hedged
+// straggler calls, failover to the next worker on transport exhaustion,
+// and — when every remote shard is open-circuit, quarantined, or absent —
+// local in-process execution, so a dead fleet degrades a run's latency,
+// never its correctness or its completion.
+type Dispatcher struct {
+	local  *Mux // nil: no in-process fallback (caller handles ErrUnavailable)
+	guards []*Guard
+	opts   Options
+
+	rr          atomic.Uint64
+	hedgeTokens chan struct{}
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewDispatcher builds a dispatcher over the given remote backends, each
+// wrapped in its own Guard. local, when non-nil, is the in-process
+// fallback mux; with a nil local every task must place remotely or fail
+// with ErrUnavailable. Close releases the health loop.
+func NewDispatcher(local *Mux, remotes []Backend, opts Options) *Dispatcher {
+	opts = opts.normalize()
+	d := &Dispatcher{
+		local:       local,
+		opts:        opts,
+		hedgeTokens: make(chan struct{}, opts.MaxHedges),
+		stop:        make(chan struct{}),
+	}
+	for _, b := range remotes {
+		d.guards = append(d.guards, newGuard(b, opts))
+	}
+	if opts.HealthInterval > 0 && len(d.guards) > 0 {
+		d.wg.Add(1)
+		go d.healthLoop()
+	}
+	return d
+}
+
+// Close stops the health loop. In-flight Do calls are unaffected; cancel
+// their contexts to abort them.
+func (d *Dispatcher) Close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}
+
+// Workers returns the remote fleet size.
+func (d *Dispatcher) Workers() int { return len(d.guards) }
+
+// HasLocal reports whether a local fallback mux is configured.
+func (d *Dispatcher) HasLocal() bool { return d.local != nil }
+
+// Degraded reports whether every remote shard is currently unavailable
+// (open-circuit or quarantined) — i.e. tasks are running on the local
+// fallback. A dispatcher with no remotes configured is not "degraded";
+// all-local is its normal shape.
+func (d *Dispatcher) Degraded() bool {
+	if len(d.guards) == 0 {
+		return false
+	}
+	for _, g := range d.guards {
+		if g.Available() {
+			return false
+		}
+	}
+	return true
+}
+
+// WorkerState is one worker's health snapshot for /healthz and logs.
+type WorkerState struct {
+	Name        string `json:"name"`
+	Breaker     string `json:"breaker"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+}
+
+// States snapshots the fleet.
+func (d *Dispatcher) States() []WorkerState {
+	out := make([]WorkerState, 0, len(d.guards))
+	for _, g := range d.guards {
+		out = append(out, WorkerState{
+			Name:        g.Name(),
+			Breaker:     g.breaker.State().String(),
+			Quarantined: g.Quarantined(),
+		})
+	}
+	return out
+}
+
+// Do places one task: remote workers first (round-robin over available
+// guards, hedged, failing over on transport exhaustion), local fallback
+// last. The result is bit-identical wherever the task lands; only errors
+// depend on placement, and of those only transport errors — task errors
+// are deterministic and returned from the first worker that computes one.
+func (d *Dispatcher) Do(ctx context.Context, t Task) ([]byte, error) {
+	n := len(d.guards)
+	var lastErr error
+	if n > 0 {
+		start := int(d.rr.Add(1) - 1)
+		for i := 0; i < n; i++ {
+			g := d.guards[(start+i)%n]
+			if !g.Available() {
+				continue
+			}
+			body, err := d.callHedged(ctx, g, t)
+			switch {
+			case err == nil:
+				return body, nil
+			case IsTaskError(err):
+				return nil, err
+			case ctx.Err() != nil:
+				return nil, err
+			case errors.Is(err, ErrUnsupported):
+				// Capability miss: this worker cannot serve the task
+				// family at all; another placement might.
+				lastErr = err
+			default:
+				// Transport exhaustion on this worker (its breaker has
+				// the details); fail over to the next one.
+				lastErr = err
+			}
+		}
+	}
+	mDegraded.Set(boolGauge(d.Degraded()))
+	if d.local != nil {
+		if n > 0 {
+			mFailovers.Inc()
+		}
+		return d.local.Do(ctx, t)
+	}
+	if lastErr == nil {
+		lastErr = ErrUnavailable
+	}
+	if !errors.Is(lastErr, ErrUnavailable) {
+		lastErr = fmt.Errorf("%v: %w", lastErr, ErrUnavailable)
+	}
+	return nil, lastErr
+}
+
+// callHedged runs the task on g, optionally racing a bounded hedge call on
+// a different available worker if g has not answered within HedgeDelay.
+// Identical bytes from either leg — purity makes the race benign.
+func (d *Dispatcher) callHedged(ctx context.Context, g *Guard, t Task) ([]byte, error) {
+	if d.opts.HedgeDelay <= 0 || len(d.guards) < 2 {
+		return g.Do(ctx, t)
+	}
+	type leg struct {
+		body  []byte
+		err   error
+		hedge bool
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan leg, 2)
+	launched := 1
+	go func() {
+		body, err := g.Do(cctx, t)
+		results <- leg{body: body, err: err}
+	}()
+
+	timer := time.NewTimer(d.opts.HedgeDelay)
+	defer timer.Stop()
+	var first *leg
+	select {
+	case r := <-results:
+		first = &r
+	case <-timer.C:
+		if h := d.otherAvailable(g); h != nil {
+			select {
+			case d.hedgeTokens <- struct{}{}:
+				mHedges.Inc()
+				launched++
+				go func() {
+					body, err := h.Do(cctx, t)
+					<-d.hedgeTokens
+					results <- leg{body: body, err: err, hedge: true}
+				}()
+			default: // hedge budget exhausted; ride the primary
+			}
+		}
+	}
+
+	for {
+		if first != nil {
+			if first.err == nil || IsTaskError(first.err) || launched == 1 {
+				if first.err == nil && first.hedge {
+					mHedgeWins.Inc()
+				}
+				// Cancel the losing leg and let its goroutine drain into
+				// the buffered channel.
+				return first.body, first.err
+			}
+			// First leg failed in transit and a second is still out —
+			// wait for it.
+			launched--
+			first = nil
+			continue
+		}
+		r := <-results
+		first = &r
+	}
+}
+
+// otherAvailable picks an available guard other than g (round-robin).
+func (d *Dispatcher) otherAvailable(g *Guard) *Guard {
+	n := len(d.guards)
+	start := int(d.rr.Add(1) - 1)
+	for i := 0; i < n; i++ {
+		h := d.guards[(start+i)%n]
+		if h != g && h.Available() {
+			return h
+		}
+	}
+	return nil
+}
+
+// healthLoop periodically probes every worker, quarantining after
+// consecutive failures and readmitting on recovery.
+func (d *Dispatcher) healthLoop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.opts.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, g := range d.guards {
+			ctx, cancel := context.WithTimeout(context.Background(), d.opts.CallTimeout)
+			g.checkOnce(ctx, d.opts.HealthFailures)
+			cancel()
+		}
+		mDegraded.Set(boolGauge(d.Degraded()))
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

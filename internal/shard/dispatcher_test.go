@@ -1,0 +1,200 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDispatcherFailsOverToHealthyWorker(t *testing.T) {
+	dead := &fakeBackend{name: "dead", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return nil, errors.New("connection refused")
+	}}
+	live := &fakeBackend{name: "live", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return []byte("answer"), nil
+	}}
+	d := NewDispatcher(nil, []Backend{dead, live}, fastOpts())
+	defer d.Close()
+
+	// Whatever the round-robin start, every placement must land on "live".
+	for i := 0; i < 4; i++ {
+		out, err := d.Do(context.Background(), Task{Kind: "k", Key: "a"})
+		if err != nil || string(out) != "answer" {
+			t.Fatalf("Do #%d = %q, %v", i, out, err)
+		}
+	}
+	if live.calls.Load() == 0 {
+		t.Fatal("healthy worker never reached")
+	}
+	if d.Degraded() {
+		t.Fatal("Degraded with a live worker")
+	}
+}
+
+func TestDispatcherTaskErrorReturnsWithoutFailover(t *testing.T) {
+	a := &fakeBackend{name: "a", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return nil, Taskf("deterministic rejection")
+	}}
+	b := &fakeBackend{name: "b", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return nil, Taskf("deterministic rejection")
+	}}
+	d := NewDispatcher(NewMux(), []Backend{a, b}, fastOpts())
+	defer d.Close()
+	_, err := d.Do(context.Background(), Task{Kind: "k"})
+	if !IsTaskError(err) {
+		t.Fatalf("Do = %v, want the TaskError surfaced", err)
+	}
+	// Deterministic verdicts come from the first worker that computes one —
+	// a task error is a result, so trying elsewhere would be pointless.
+	if n := a.calls.Load() + b.calls.Load(); n != 1 {
+		t.Fatalf("%d backend calls for a deterministic failure, want 1", n)
+	}
+}
+
+func TestDispatcherLocalFallbackWhenFleetIsDown(t *testing.T) {
+	dead := &fakeBackend{name: "dead", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return nil, errors.New("connection refused")
+	}}
+	local := NewMux()
+	local.Register("k", func(_ context.Context, spec []byte) ([]byte, error) {
+		return append([]byte("local:"), spec...), nil
+	})
+	o := fastOpts()
+	o.BreakerThreshold = 1
+	d := NewDispatcher(local, []Backend{dead}, o)
+	defer d.Close()
+
+	out, err := d.Do(context.Background(), Task{Kind: "k", Key: "a", Spec: []byte("x")})
+	if err != nil || string(out) != "local:x" {
+		t.Fatalf("Do = %q, %v — want the local fallback's bytes", out, err)
+	}
+	if !d.Degraded() {
+		t.Fatal("fleet is fully open-circuit but Degraded() is false")
+	}
+	// The breaker is open now: later tasks go straight to local without
+	// touching the dead worker again.
+	calls := dead.calls.Load()
+	if out, err := d.Do(context.Background(), Task{Kind: "k", Key: "b", Spec: []byte("y")}); err != nil || string(out) != "local:y" {
+		t.Fatalf("degraded Do = %q, %v", out, err)
+	}
+	if after := dead.calls.Load(); after != calls {
+		t.Fatalf("open-circuit worker was called again (%d -> %d)", calls, after)
+	}
+}
+
+func TestDispatcherNoLocalNoWorkersIsUnavailable(t *testing.T) {
+	dead := &fakeBackend{name: "dead", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return nil, errors.New("connection refused")
+	}}
+	d := NewDispatcher(nil, []Backend{dead}, fastOpts())
+	defer d.Close()
+	_, err := d.Do(context.Background(), Task{Kind: "k", Key: "a"})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Do = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestDispatcherAllLocalIsNotDegraded(t *testing.T) {
+	local := NewMux()
+	local.Register("k", func(_ context.Context, _ []byte) ([]byte, error) { return []byte("ok"), nil })
+	d := NewDispatcher(local, nil, fastOpts())
+	defer d.Close()
+	if out, err := d.Do(context.Background(), Task{Kind: "k"}); err != nil || string(out) != "ok" {
+		t.Fatalf("Do = %q, %v", out, err)
+	}
+	if d.Degraded() {
+		t.Fatal("a dispatcher with no remotes reported degraded — all-local is its normal shape")
+	}
+	if d.Workers() != 0 || !d.HasLocal() {
+		t.Fatalf("Workers=%d HasLocal=%v", d.Workers(), d.HasLocal())
+	}
+}
+
+func TestDispatcherHedgeWinsOverStraggler(t *testing.T) {
+	release := make(chan struct{})
+	slow := &fakeBackend{name: "slow", doFn: func(ctx context.Context, _ int64, _ Task) ([]byte, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return []byte("answer"), nil
+	}}
+	fast := &fakeBackend{name: "fast", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return []byte("answer"), nil
+	}}
+	o := fastOpts()
+	o.HedgeDelay = 5 * time.Millisecond
+	d := NewDispatcher(nil, []Backend{slow, fast}, o)
+	defer d.Close()
+	defer close(release)
+
+	// Run a few placements: whichever worker round-robin picks first, any
+	// task landing on "slow" must be rescued by a hedge on "fast" long
+	// before the straggler answers. Purity makes the race benign — both
+	// legs compute identical bytes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			out, err := d.Do(context.Background(), Task{Kind: "k", Key: "a"})
+			if err != nil || string(out) != "answer" {
+				t.Errorf("hedged Do #%d = %q, %v", i, out, err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hedged placements did not complete — straggler was never hedged")
+	}
+	if fast.calls.Load() == 0 {
+		t.Fatal("hedge worker never called")
+	}
+}
+
+func TestDispatcherHealthLoopQuarantinesAndReadmits(t *testing.T) {
+	var healthy atomic.Bool
+	b := &fakeBackend{
+		name: "w",
+		doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) { return []byte("ok"), nil },
+		checkFn: func(_ context.Context) error {
+			if healthy.Load() {
+				return nil
+			}
+			return errors.New("probe refused")
+		},
+	}
+	o := fastOpts()
+	o.HealthInterval = 2 * time.Millisecond
+	o.HealthFailures = 2
+	o.BreakerCooldown = time.Millisecond
+	d := NewDispatcher(nil, []Backend{b}, o)
+	defer d.Close()
+
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func() bool { return d.Degraded() }, "quarantine")
+	st := d.States()
+	if len(st) != 1 || !st[0].Quarantined || st[0].Breaker != "open" && st[0].Breaker != "half_open" {
+		t.Fatalf("States = %+v, want quarantined + tripped", st)
+	}
+
+	healthy.Store(true)
+	waitFor(func() bool { return !d.Degraded() }, "readmission")
+	waitFor(func() bool {
+		out, err := d.Do(context.Background(), Task{Kind: "k"})
+		return err == nil && string(out) == "ok"
+	}, "a successful post-readmission task")
+}

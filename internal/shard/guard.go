@@ -1,0 +1,195 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"accelwattch/internal/obs"
+)
+
+// Backend is one place a task can run: a remote worker over HTTP, the
+// in-process mux, or a fault-injecting wrapper around either. Do must be
+// safe for concurrent use.
+type Backend interface {
+	// Name identifies the backend in metrics, logs, and fault draws —
+	// typically its address.
+	Name() string
+
+	// Do executes one task. Errors are classified by the caller: a
+	// *TaskError is a deterministic task failure, ErrUnsupported a
+	// capability miss, and anything else a transport failure.
+	Do(ctx context.Context, t Task) ([]byte, error)
+
+	// Check probes liveness for the health loop.
+	Check(ctx context.Context) error
+}
+
+// Guard wraps one remote backend with the per-worker robustness stack:
+// per-call timeouts, retry with exponential backoff and jitter, a circuit
+// breaker, and the quarantine bit the health checker flips. One Guard
+// exists per configured worker for the lifetime of its dispatcher.
+type Guard struct {
+	backend     Backend
+	breaker     *Breaker
+	retry       Retry
+	callTimeout time.Duration
+	jitter      *jitterSource
+
+	latency    *obs.Histogram
+	stateGauge *obs.Gauge
+
+	quarantined atomic.Bool
+	probeFails  int // consecutive health-probe failures (health loop only)
+}
+
+// newGuard assembles a guard from dispatcher options.
+func newGuard(b Backend, o Options) *Guard {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "guard|%s", b.Name())
+	return &Guard{
+		backend:     b,
+		breaker:     NewBreaker(o.BreakerThreshold, o.BreakerCooldown),
+		retry:       o.Retry.normalize(),
+		callTimeout: o.CallTimeout,
+		jitter:      newJitterSource(o.Seed ^ int64(h.Sum64())),
+		latency:     mCallSeconds.With(b.Name()),
+		stateGauge:  mBreakerState.With(b.Name()),
+	}
+}
+
+// Name returns the guarded backend's name.
+func (g *Guard) Name() string { return g.backend.Name() }
+
+// Breaker exposes the guard's breaker (health loop and tests).
+func (g *Guard) Breaker() *Breaker { return g.breaker }
+
+// Quarantined reports whether the health checker has pulled this worker.
+func (g *Guard) Quarantined() bool { return g.quarantined.Load() }
+
+// Available reports whether the dispatcher should offer this guard a task:
+// not quarantined and not open-circuit. Half-open counts as available — the
+// next call is the probe.
+func (g *Guard) Available() bool {
+	return !g.quarantined.Load() && g.breaker.State() != BreakerOpen
+}
+
+// publishState refreshes the per-worker breaker-state gauge.
+func (g *Guard) publishState() {
+	g.stateGauge.Set(breakerGaugeValue(g.breaker.State()))
+}
+
+// Do runs one task on the guarded worker, retrying transport failures with
+// backoff until the policy, the breaker, or the context says stop.
+//
+// The cancellation contract (the drain path depends on it): once ctx is
+// done, no further attempt or backoff is started, the returned error is
+// ctx.Err(), and the cancellation itself is never recorded as a breaker
+// failure — a pool shutdown must surface as "canceled", not as a trip.
+func (g *Guard) Do(ctx context.Context, t Task) ([]byte, error) {
+	if g.quarantined.Load() {
+		mCalls.With("breaker_open").Inc()
+		return nil, fmt.Errorf("shard: worker %s quarantined: %w", g.Name(), ErrUnavailable)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			mCalls.With("canceled").Inc()
+			return nil, err
+		}
+		if !g.breaker.TryAcquire() {
+			g.publishState()
+			mCalls.With("breaker_open").Inc()
+			if lastErr != nil {
+				return nil, fmt.Errorf("shard: worker %s open-circuit after %w", g.Name(), lastErr)
+			}
+			return nil, fmt.Errorf("shard: worker %s open-circuit: %w", g.Name(), ErrUnavailable)
+		}
+
+		body, err := g.call(ctx, t)
+		switch {
+		case err == nil:
+			g.breaker.Success()
+			g.publishState()
+			mCalls.With("ok").Inc()
+			return body, nil
+
+		case IsTaskError(err) || errors.Is(err, ErrUnsupported):
+			// The transport worked; the verdict is deterministic. The
+			// worker is healthy as far as the breaker is concerned.
+			g.breaker.Success()
+			g.publishState()
+			mCalls.With(errClass(err)).Inc()
+			return nil, err
+
+		case ctx.Err() != nil:
+			// The caller went away mid-call. Settle the breaker without
+			// judgement and surface the cancellation, not the transport
+			// noise the abort produced.
+			g.breaker.Release()
+			mCalls.With("canceled").Inc()
+			return nil, ctx.Err()
+
+		default:
+			if g.breaker.Failure() {
+				mBreakerTrips.Inc()
+			}
+			g.publishState()
+			lastErr = err
+		}
+
+		if attempt+1 >= g.retry.MaxAttempts {
+			mCalls.With("transport_error").Inc()
+			return nil, fmt.Errorf("shard: worker %s: %d attempts: %w", g.Name(), attempt+1, lastErr)
+		}
+		mRetries.Inc()
+		if err := sleep(ctx, g.retry.backoff(attempt, g.jitter)); err != nil {
+			// Cancelled mid-backoff: the retry that was pending must not
+			// fire. This is the drain path.
+			mCalls.With("canceled").Inc()
+			return nil, err
+		}
+	}
+}
+
+// call places one attempt under the per-call timeout.
+func (g *Guard) call(ctx context.Context, t Task) ([]byte, error) {
+	if g.callTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.callTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	body, err := g.backend.Do(ctx, t)
+	g.latency.Observe(time.Since(start).Seconds())
+	return body, err
+}
+
+// checkOnce runs one health probe and applies the quarantine/readmission
+// policy. Called only from the dispatcher's health loop (single goroutine,
+// so probeFails needs no lock).
+func (g *Guard) checkOnce(ctx context.Context, failLimit int) {
+	err := g.backend.Check(ctx)
+	if err != nil {
+		mQuarantines.With("probe_err").Inc()
+		g.probeFails++
+		if g.probeFails >= failLimit && !g.quarantined.Load() {
+			g.quarantined.Store(true)
+			g.breaker.Trip()
+			g.publishState()
+			mQuarantines.With("quarantine").Inc()
+		}
+		return
+	}
+	mQuarantines.With("probe_ok").Inc()
+	g.probeFails = 0
+	if g.quarantined.Load() {
+		// Readmit through half-open: the breaker stays tripped until its
+		// cooldown, then the next task is the probe call.
+		g.quarantined.Store(false)
+		mQuarantines.With("readmit").Inc()
+	}
+}

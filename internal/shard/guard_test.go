@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBackend scripts a Backend: doFn/checkFn decide each call's outcome,
+// calls counts Do invocations.
+type fakeBackend struct {
+	name    string
+	calls   atomic.Int64
+	doFn    func(ctx context.Context, n int64, t Task) ([]byte, error)
+	checkFn func(ctx context.Context) error
+}
+
+func (f *fakeBackend) Name() string { return f.name }
+
+func (f *fakeBackend) Do(ctx context.Context, t Task) ([]byte, error) {
+	n := f.calls.Add(1)
+	return f.doFn(ctx, n, t)
+}
+
+func (f *fakeBackend) Check(ctx context.Context) error {
+	if f.checkFn != nil {
+		return f.checkFn(ctx)
+	}
+	return nil
+}
+
+// fastOpts keeps retry/backoff timing test-sized.
+func fastOpts() Options {
+	return Options{
+		CallTimeout:      time.Second,
+		Retry:            Retry{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+	}.normalize()
+}
+
+func TestGuardRetriesTransportThenSucceeds(t *testing.T) {
+	b := &fakeBackend{name: "w1", doFn: func(_ context.Context, n int64, _ Task) ([]byte, error) {
+		if n < 3 {
+			return nil, errors.New("connection reset")
+		}
+		return []byte("payload"), nil
+	}}
+	g := newGuard(b, fastOpts())
+	out, err := g.Do(context.Background(), Task{Kind: "k", Key: "a"})
+	if err != nil || string(out) != "payload" {
+		t.Fatalf("Do = %q, %v", out, err)
+	}
+	if n := b.calls.Load(); n != 3 {
+		t.Fatalf("backend saw %d calls, want 3 (two retries)", n)
+	}
+	if st := g.Breaker().State(); st != BreakerClosed {
+		t.Fatalf("breaker %v after eventual success, want closed", st)
+	}
+}
+
+func TestGuardDeterministicErrorsAreNotRetried(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		is   func(error) bool
+	}{
+		{"task_error", Taskf("bad operating point"), IsTaskError},
+		{"unsupported", Unsupportedf("wrong arch"), func(e error) bool { return errors.Is(e, ErrUnsupported) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := &fakeBackend{name: "w1", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+				return nil, tc.err
+			}}
+			g := newGuard(b, fastOpts())
+			_, err := g.Do(context.Background(), Task{Kind: "k"})
+			if !tc.is(err) {
+				t.Fatalf("Do = %v, want the deterministic error back", err)
+			}
+			if n := b.calls.Load(); n != 1 {
+				t.Fatalf("backend saw %d calls, want 1 (no retry)", n)
+			}
+			// Deterministic verdicts are breaker-neutral: the transport worked.
+			if st := g.Breaker().State(); st != BreakerClosed {
+				t.Fatalf("breaker %v, want closed", st)
+			}
+		})
+	}
+}
+
+func TestGuardExhaustionTripsBreaker(t *testing.T) {
+	b := &fakeBackend{name: "w1", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return nil, errors.New("connection refused")
+	}}
+	o := fastOpts()
+	o.BreakerThreshold = 3
+	g := newGuard(b, o)
+	_, err := g.Do(context.Background(), Task{Kind: "k", Key: "a"})
+	if err == nil || errClass(err) != "transport_error" {
+		t.Fatalf("Do = %v, want transport exhaustion", err)
+	}
+	if n := b.calls.Load(); n != 3 {
+		t.Fatalf("backend saw %d calls, want MaxAttempts=3", n)
+	}
+	// Three consecutive failures met the threshold: the circuit is open and
+	// the next call is refused without touching the backend.
+	if g.Available() {
+		t.Fatal("guard still available after breaker trip")
+	}
+	_, err = g.Do(context.Background(), Task{Kind: "k", Key: "a"})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("open-circuit Do = %v, want ErrUnavailable", err)
+	}
+	if n := b.calls.Load(); n != 3 {
+		t.Fatalf("open circuit still reached the backend (%d calls)", n)
+	}
+}
+
+// TestGuardCancelMidCall: the caller goes away while the backend is
+// computing. The contract: the error is ctx.Err(), and the abandonment is
+// never a breaker input — a drain must surface as "canceled", not a trip.
+func TestGuardCancelMidCall(t *testing.T) {
+	entered := make(chan struct{})
+	b := &fakeBackend{name: "w1", doFn: func(ctx context.Context, _ int64, _ Task) ([]byte, error) {
+		close(entered)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	g := newGuard(b, fastOpts())
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Do(ctx, Task{Kind: "k"})
+		errc <- err
+	}()
+	<-entered
+	cancel()
+	err := <-errc
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do after mid-call cancel = %v, want context.Canceled", err)
+	}
+	if st := g.Breaker().State(); st != BreakerClosed {
+		t.Fatalf("breaker %v after cancellation, want closed (cancel is not a failure)", st)
+	}
+	if n := b.calls.Load(); n != 1 {
+		t.Fatalf("backend saw %d calls after cancel, want 1", n)
+	}
+}
+
+// TestGuardCancelMidBackoffDoesNotRetry is the pool-shutdown regression:
+// an in-flight task cancelled between a transport failure and its retry
+// must abort the loop — no further attempt fires after shutdown, and the
+// outcome is the cancellation, not a breaker trip.
+func TestGuardCancelMidBackoffDoesNotRetry(t *testing.T) {
+	b := &fakeBackend{name: "w1", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return nil, errors.New("connection reset")
+	}}
+	o := fastOpts()
+	o.Retry = Retry{MaxAttempts: 5, BaseDelay: 20 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	o.BreakerThreshold = 100 // keep the breaker out of this test
+	g := newGuard(b, o)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Do(ctx, Task{Kind: "k", Key: "a"})
+		errc <- err
+	}()
+	// Wait for the first attempt to fail, then cancel during its backoff.
+	for b.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-errc
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do after mid-backoff cancel = %v, want context.Canceled", err)
+	}
+	if got := errClass(err); got != "canceled" {
+		t.Fatalf("errClass = %q, want canceled", got)
+	}
+	calls := b.calls.Load()
+	// The pending retry must not fire after shutdown: wait out several
+	// backoff periods and re-assert the call count.
+	time.Sleep(100 * time.Millisecond)
+	if after := b.calls.Load(); after != calls {
+		t.Fatalf("a retry fired after cancellation: %d -> %d calls", calls, after)
+	}
+	if st := g.Breaker().State(); st != BreakerClosed {
+		t.Fatalf("breaker %v after drain, want closed — cancellation must not trip", st)
+	}
+}
+
+func TestGuardHealthQuarantineAndReadmission(t *testing.T) {
+	var healthy atomic.Bool
+	b := &fakeBackend{
+		name: "w1",
+		doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) { return []byte("ok"), nil },
+		checkFn: func(_ context.Context) error {
+			if healthy.Load() {
+				return nil
+			}
+			return errors.New("probe refused")
+		},
+	}
+	o := fastOpts()
+	o.BreakerCooldown = time.Millisecond
+	g := newGuard(b, o)
+
+	// Two consecutive probe failures quarantine and trip the breaker.
+	g.checkOnce(context.Background(), 2)
+	if g.Quarantined() {
+		t.Fatal("quarantined after a single probe failure (limit 2)")
+	}
+	g.checkOnce(context.Background(), 2)
+	if !g.Quarantined() || g.Available() {
+		t.Fatal("second probe failure did not quarantine")
+	}
+	if _, err := g.Do(context.Background(), Task{Kind: "k"}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("quarantined Do = %v, want ErrUnavailable", err)
+	}
+
+	// A successful probe readmits; the breaker reopens via half-open after
+	// its cooldown, so the next task is the probe call.
+	healthy.Store(true)
+	g.checkOnce(context.Background(), 2)
+	if g.Quarantined() {
+		t.Fatal("successful probe did not readmit")
+	}
+	time.Sleep(2 * time.Millisecond) // let the cooldown elapse
+	out, err := g.Do(context.Background(), Task{Kind: "k"})
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("post-readmission Do = %q, %v", out, err)
+	}
+	if st := g.Breaker().State(); st != BreakerClosed {
+		t.Fatalf("breaker %v after successful probe task, want closed", st)
+	}
+}

@@ -1,0 +1,334 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelwattch/internal/obs"
+)
+
+// The wire protocol, shared by the HTTP backend (client side) and the
+// Worker handler (server side):
+//
+//	POST /task    Task JSON -> 200 with the raw result bytes, or a JSON
+//	              error {"error": ..., "class": ...} whose class maps the
+//	              failure back onto the shard error taxonomy.
+//	GET  /healthz liveness + a capability snapshot
+//	GET  /readyz  readiness (503 while draining) — the health-check probe
+//	GET  /metrics Prometheus exposition of the worker process
+//
+// Result integrity rides on Content-Length: a response truncated in flight
+// surfaces as an unexpected-EOF transport error on the client, never as
+// corrupt result bytes handed to a caller.
+
+// maxTaskBytes bounds task and result bodies on both sides of the wire.
+const maxTaskBytes = 4 << 20
+
+// wireError is the JSON error body. Class is the shard error taxonomy:
+// "task" (deterministic task failure), "unsupported" (capability miss),
+// "overload", "draining", "deadline", "internal" (all transport-class).
+type wireError struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+// HTTPBackend is the client side of the task protocol: one remote worker
+// addressed by host:port.
+type HTTPBackend struct {
+	name   string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend points at a worker address ("host:port" or a full
+// "http://..." base URL).
+func NewHTTPBackend(addr string) *HTTPBackend {
+	base := addr
+	if !bytes.HasPrefix([]byte(base), []byte("http://")) && !bytes.HasPrefix([]byte(base), []byte("https://")) {
+		base = "http://" + base
+	}
+	return &HTTPBackend{
+		name: addr,
+		base: base,
+		// Transport defaults are fine; per-call deadlines come from the
+		// guard's context, so the client itself sets no timeout.
+		client: &http.Client{},
+	}
+}
+
+// Name returns the worker's address.
+func (b *HTTPBackend) Name() string { return b.name }
+
+// Do posts one task and maps the response onto the shard error taxonomy.
+func (b *HTTPBackend) Do(ctx context.Context, t Task) ([]byte, error) {
+	payload, err := json.Marshal(&t)
+	if err != nil {
+		return nil, Taskf("shard: marshalling task: %v", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/task", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("shard: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", b.name, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxTaskBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s: reading response: %w", b.name, err)
+	}
+	if len(body) > maxTaskBytes {
+		return nil, fmt.Errorf("shard: %s: response exceeds %d bytes", b.name, maxTaskBytes)
+	}
+	if resp.StatusCode == http.StatusOK {
+		return body, nil
+	}
+	var we wireError
+	if err := json.Unmarshal(body, &we); err != nil {
+		return nil, fmt.Errorf("shard: %s: status %d with unreadable error body", b.name, resp.StatusCode)
+	}
+	switch we.Class {
+	case "task":
+		return nil, &TaskError{Msg: we.Error}
+	case "unsupported":
+		return nil, Unsupportedf("%s", we.Error)
+	default:
+		return nil, fmt.Errorf("shard: %s: %s (%s, status %d)", b.name, we.Error, we.Class, resp.StatusCode)
+	}
+}
+
+// Check probes /readyz.
+func (b *HTTPBackend) Check(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: %s: readyz status %d", b.name, resp.StatusCode)
+	}
+	return nil
+}
+
+// WorkerConfig sizes a worker's serving side. The zero value of each field
+// selects the documented default; Mux is mandatory.
+type WorkerConfig struct {
+	// Mux holds the task handlers this worker serves.
+	Mux *Mux
+
+	// MaxInflight bounds concurrent task executions; excess requests
+	// answer 429 so callers retry or fail over instead of queueing
+	// unboundedly. Default 4x GOMAXPROCS.
+	MaxInflight int
+
+	// Deadline bounds each task execution end to end; overruns answer
+	// 504. Default 30s.
+	Deadline time.Duration
+
+	// OnTask, when non-nil, observes every admitted task with its ordinal
+	// (1-based). The chaos suite and awworker's -crash-after use it to
+	// force mid-run worker deaths.
+	OnTask func(n int64)
+}
+
+// Worker serves a Mux over the task protocol with the same discipline the
+// estimation service applies to requests: bounded concurrency with
+// backpressure, per-task deadlines, and a graceful drain that flips
+// readiness before refusing work.
+type Worker struct {
+	mux      *Mux
+	sem      chan struct{}
+	deadline time.Duration
+	onTask   func(int64)
+
+	served atomic.Int64
+
+	mu       sync.RWMutex
+	draining bool
+	pending  sync.WaitGroup
+}
+
+// NewWorker builds a worker around cfg.Mux.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Mux == nil {
+		return nil, fmt.Errorf("shard: worker needs a task mux")
+	}
+	inflight := cfg.MaxInflight
+	if inflight < 1 {
+		inflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	deadline := cfg.Deadline
+	if deadline <= 0 {
+		deadline = 30 * time.Second
+	}
+	return &Worker{
+		mux:      cfg.Mux,
+		sem:      make(chan struct{}, inflight),
+		deadline: deadline,
+		onTask:   cfg.OnTask,
+	}, nil
+}
+
+// Served returns how many tasks have been admitted.
+func (w *Worker) Served() int64 { return w.served.Load() }
+
+// Draining reports whether the worker has begun draining.
+func (w *Worker) Draining() bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.draining
+}
+
+// Drain flips the worker into draining mode — /task answers 503, /readyz
+// flips — and waits for in-flight tasks, or ctx expiry. Idempotent and
+// safe to race with Close or another Drain.
+func (w *Worker) Drain(ctx context.Context) error {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		w.pending.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admit reserves an execution slot, honouring drain and backpressure.
+func (w *Worker) admit() error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if w.draining {
+		return errors.New("draining")
+	}
+	select {
+	case w.sem <- struct{}{}:
+		w.pending.Add(1)
+		return nil
+	default:
+		return errors.New("overload")
+	}
+}
+
+func (w *Worker) release() {
+	<-w.sem
+	w.pending.Done()
+}
+
+// writeWireError sends a classified JSON error.
+func writeWireError(rw http.ResponseWriter, status int, class, msg string) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(wireError{Error: msg, Class: class})
+}
+
+// handleTask answers POST /task.
+func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rw.Header().Set("Allow", http.MethodPost)
+		writeWireError(rw, http.StatusMethodNotAllowed, "internal", "POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxTaskBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeWireError(rw, http.StatusRequestEntityTooLarge, "task",
+				fmt.Sprintf("task body exceeds %d bytes", maxTaskBytes))
+		} else {
+			writeWireError(rw, http.StatusBadRequest, "internal", "reading task body: "+err.Error())
+		}
+		return
+	}
+	var t Task
+	if err := json.Unmarshal(body, &t); err != nil {
+		writeWireError(rw, http.StatusBadRequest, "task", "decoding task: "+err.Error())
+		return
+	}
+	switch err := w.admit(); {
+	case err == nil:
+	case err.Error() == "draining":
+		writeWireError(rw, http.StatusServiceUnavailable, "draining", "worker is draining")
+		return
+	default:
+		rw.Header().Set("Retry-After", "1")
+		writeWireError(rw, http.StatusTooManyRequests, "overload", "worker at capacity; retry")
+		return
+	}
+	defer w.release()
+	if n := w.served.Add(1); w.onTask != nil {
+		w.onTask(n)
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), w.deadline)
+	defer cancel()
+	res, err := w.mux.Do(ctx, t)
+	switch {
+	case err == nil:
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusOK)
+		_, _ = rw.Write(res)
+	case errors.Is(err, ErrUnsupported):
+		writeWireError(rw, http.StatusNotFound, "unsupported", err.Error())
+	case IsTaskError(err):
+		writeWireError(rw, http.StatusUnprocessableEntity, "task", err.Error())
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		writeWireError(rw, http.StatusGatewayTimeout, "deadline", "task deadline exceeded")
+	default:
+		writeWireError(rw, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// handleHealthz reports liveness plus the capability snapshot.
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(rw).Encode(map[string]any{
+		"status":   "ok",
+		"draining": w.Draining(),
+		"served":   w.Served(),
+		"kinds":    w.mux.Kinds(),
+	})
+}
+
+// handleReadyz is the health-check gate: ready until drain begins.
+func (w *Worker) handleReadyz(rw http.ResponseWriter, r *http.Request) {
+	if w.Draining() {
+		writeWireError(rw, http.StatusServiceUnavailable, "draining", "draining")
+		return
+	}
+	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(rw, "ok\n")
+}
+
+// Handler returns the worker's routes, with /metrics from the shared obs
+// registry.
+func (w *Worker) Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/task", w.handleTask)
+	mux.HandleFunc("/healthz", w.handleHealthz)
+	mux.HandleFunc("/readyz", w.handleReadyz)
+	mux.Handle("/metrics", obs.Default().Handler())
+	return mux
+}

@@ -1,0 +1,274 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"accelwattch/internal/faults"
+)
+
+// newTestWorker serves cfg over httptest and returns the client-side
+// backend pointed at it.
+func newTestWorker(t *testing.T, cfg WorkerConfig) (*Worker, *HTTPBackend, *httptest.Server) {
+	t.Helper()
+	w, err := NewWorker(cfg)
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+	return w, NewHTTPBackend(ts.URL), ts
+}
+
+func echoMux() *Mux {
+	m := NewMux()
+	m.Register("echo", func(_ context.Context, spec []byte) ([]byte, error) {
+		return append([]byte("echo:"), spec...), nil
+	})
+	m.Register("reject", func(_ context.Context, _ []byte) ([]byte, error) {
+		return nil, Taskf("deterministic rejection")
+	})
+	m.Register("hang", func(ctx context.Context, _ []byte) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	return m
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	w, b, _ := newTestWorker(t, WorkerConfig{Mux: echoMux()})
+
+	out, err := b.Do(context.Background(), Task{Kind: "echo", Key: "a", Spec: []byte(`"x"`)})
+	if err != nil || string(out) != `echo:"x"` {
+		t.Fatalf("Do = %q, %v", out, err)
+	}
+	if w.Served() != 1 {
+		t.Fatalf("Served = %d, want 1", w.Served())
+	}
+
+	// Deterministic task failures travel the wire as TaskErrors.
+	_, err = b.Do(context.Background(), Task{Kind: "reject"})
+	if !IsTaskError(err) {
+		t.Fatalf("reject Do = %v, want a TaskError", err)
+	}
+	if !strings.Contains(err.Error(), "deterministic rejection") {
+		t.Fatalf("TaskError lost its message: %v", err)
+	}
+
+	// Capability misses travel as ErrUnsupported.
+	_, err = b.Do(context.Background(), Task{Kind: "no-such-kind"})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("unknown kind Do = %v, want ErrUnsupported", err)
+	}
+
+	// The probe endpoint answers while serving.
+	if err := b.Check(context.Background()); err != nil {
+		t.Fatalf("Check = %v", err)
+	}
+}
+
+func TestHTTPTaskDeadline(t *testing.T) {
+	_, b, _ := newTestWorker(t, WorkerConfig{Mux: echoMux(), Deadline: 10 * time.Millisecond})
+	_, err := b.Do(context.Background(), Task{Kind: "hang"})
+	if err == nil || errClass(err) != "transport_error" {
+		t.Fatalf("hung task Do = %v, want a transport-class deadline error", err)
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("deadline overrun not labelled: %v", err)
+	}
+}
+
+func TestHTTPOverloadBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	m := NewMux()
+	m.Register("block", func(ctx context.Context, _ []byte) ([]byte, error) {
+		select {
+		case <-release:
+			return []byte("ok"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	w, b, _ := newTestWorker(t, WorkerConfig{Mux: m, MaxInflight: 1})
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Do(context.Background(), Task{Kind: "block"})
+		errc <- err
+	}()
+	// Wait until the first task holds the only slot.
+	for w.Served() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	_, err := b.Do(context.Background(), Task{Kind: "block"})
+	if err == nil || !strings.Contains(err.Error(), "overload") {
+		t.Fatalf("second Do = %v, want an overload transport error", err)
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatalf("first Do = %v after release", err)
+	}
+}
+
+func TestHTTPDrainFlipsReadiness(t *testing.T) {
+	w, b, _ := newTestWorker(t, WorkerConfig{Mux: echoMux()})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := w.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := w.Drain(ctx); err != nil { // idempotent
+		t.Fatalf("second Drain: %v", err)
+	}
+	if err := b.Check(context.Background()); err == nil {
+		t.Fatal("Check passed on a draining worker")
+	}
+	_, err := b.Do(context.Background(), Task{Kind: "echo"})
+	if err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("draining Do = %v, want a draining transport error", err)
+	}
+}
+
+func TestHTTPHealthzSnapshot(t *testing.T) {
+	_, b, ts := newTestWorker(t, WorkerConfig{Mux: echoMux()})
+	if _, err := b.Do(context.Background(), Task{Kind: "echo"}); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Status   string   `json:"status"`
+		Draining bool     `json:"draining"`
+		Served   int64    `json:"served"`
+		Kinds    []string `json:"kinds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	if snap.Status != "ok" || snap.Draining || snap.Served != 1 {
+		t.Fatalf("healthz = %+v", snap)
+	}
+	if len(snap.Kinds) != 3 || snap.Kinds[0] != "echo" {
+		t.Fatalf("kinds = %v", snap.Kinds)
+	}
+}
+
+func TestHTTPOnTaskOrdinal(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		seen []int64
+	)
+	m := echoMux()
+	_, b, _ := newTestWorker(t, WorkerConfig{Mux: m, OnTask: func(n int64) {
+		mu.Lock()
+		seen = append(seen, n)
+		mu.Unlock()
+	}})
+	for i := 0; i < 3; i++ {
+		if _, err := b.Do(context.Background(), Task{Kind: "echo"}); err != nil {
+			t.Fatalf("Do #%d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Fatalf("OnTask ordinals = %v, want [1 2 3]", seen)
+	}
+}
+
+func TestWorkerRequiresMux(t *testing.T) {
+	if _, err := NewWorker(WorkerConfig{}); err == nil {
+		t.Fatal("NewWorker accepted a nil mux")
+	}
+}
+
+func TestNetFaultsDisabledProfileUnwraps(t *testing.T) {
+	b := &fakeBackend{name: "w"}
+	if got := WithNetFaults(b, faults.NetProfile{Seed: 7}); got != Backend(b) {
+		t.Fatal("disabled profile did not return the backend unwrapped")
+	}
+}
+
+func TestNetFaultsCrashClock(t *testing.T) {
+	inner := &fakeBackend{name: "w", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return []byte("ok"), nil
+	}}
+	fb := WithNetFaults(inner, faults.NetProfile{Seed: 1, CrashAfter: 2})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := fb.Do(ctx, Task{Kind: "k", Key: "a"}); err != nil {
+			t.Fatalf("pre-crash Do #%d = %v", i, err)
+		}
+	}
+	_, err := fb.Do(ctx, Task{Kind: "k", Key: "a"})
+	if !errors.Is(err, faults.ErrNetFault) {
+		t.Fatalf("post-crash Do = %v, want an injected net fault", err)
+	}
+	if err := fb.Check(ctx); !errors.Is(err, faults.ErrNetFault) {
+		t.Fatalf("post-crash Check = %v, want failure", err)
+	}
+	if n := inner.calls.Load(); n != 2 {
+		t.Fatalf("crashed backend still reached: %d calls, want 2", n)
+	}
+}
+
+// TestNetFaultsPerturbTransportOnly: under heavy chaos, every *successful*
+// call returns exactly the clean payload — faults sever, delay or truncate
+// calls, but can never corrupt bytes that are handed to the caller.
+func TestNetFaultsPerturbTransportOnly(t *testing.T) {
+	inner := &fakeBackend{name: "w", doFn: func(_ context.Context, _ int64, t Task) ([]byte, error) {
+		return append([]byte("payload:"), t.Spec...), nil
+	}}
+	prof := faults.NetProfile{Seed: 42, DropRate: 0.3, PartialRate: 0.3, SpikeRate: 0.2, SpikeLatency: time.Microsecond}
+	fb := WithNetFaults(inner, prof)
+	ctx := context.Background()
+	succ, fail := 0, 0
+	for i := 0; i < 200; i++ {
+		key := string(rune('a' + i%26))
+		out, err := fb.Do(ctx, Task{Kind: "k", Key: key, Spec: []byte(key)})
+		if err != nil {
+			if !errors.Is(err, faults.ErrNetFault) {
+				t.Fatalf("unexpected non-injected failure: %v", err)
+			}
+			fail++
+			continue
+		}
+		if string(out) != "payload:"+key {
+			t.Fatalf("successful call returned perturbed bytes %q", out)
+		}
+		succ++
+	}
+	if succ == 0 || fail == 0 {
+		t.Fatalf("chaos profile degenerate: %d successes, %d failures", succ, fail)
+	}
+}
+
+// TestNetFaultsGuardRecovers: a lossy transport under a guard with retries
+// still completes every task — the retry sees a fresh draw per attempt.
+func TestNetFaultsGuardRecovers(t *testing.T) {
+	inner := &fakeBackend{name: "w", doFn: func(_ context.Context, _ int64, _ Task) ([]byte, error) {
+		return []byte("ok"), nil
+	}}
+	fb := WithNetFaults(inner, faults.NetProfile{Seed: 3, DropRate: 0.4})
+	o := fastOpts()
+	o.Retry = Retry{MaxAttempts: 8, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	o.BreakerThreshold = 100
+	g := newGuard(fb, o)
+	for i := 0; i < 40; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		out, err := g.Do(context.Background(), Task{Kind: "k", Key: key})
+		if err != nil || string(out) != "ok" {
+			t.Fatalf("guarded Do %q = %q, %v", key, out, err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package shard
+
+import "accelwattch/internal/obs"
+
+// Shard telemetry. Observe-only like every other obs consumer: no
+// dispatch decision reads a metric back. Label cardinality is bounded by
+// construction — "worker" is a backend name (the configured fleet, a
+// handful), "outcome"/"state"/"reason" are closed vocabularies.
+var (
+	mCalls = obs.Default().CounterVec("aw_shard_calls_total",
+		"Task placements finished, by outcome (ok, task_error, transport_error, canceled, unsupported, breaker_open).",
+		"outcome")
+
+	mCallSeconds = obs.Default().HistogramVec("aw_shard_call_seconds",
+		"Per-worker wall-clock latency of remote task calls (success or failure).",
+		obs.ExpBuckets(1e-4, 4, 10), "worker")
+
+	mRetries = obs.Default().Counter("aw_shard_retries_total",
+		"Transport-failure retries across all workers.")
+
+	mHedges = obs.Default().Counter("aw_shard_hedges_total",
+		"Hedge calls launched for straggling primaries.")
+	mHedgeWins = obs.Default().Counter("aw_shard_hedge_wins_total",
+		"Hedge calls that answered before their primary.")
+
+	mFailovers = obs.Default().Counter("aw_shard_failovers_total",
+		"Tasks that fell back to local in-process execution after every remote placement failed.")
+
+	mBreakerState = obs.Default().GaugeVec("aw_shard_breaker_state",
+		"Per-worker breaker state (0 closed, 1 half-open, 2 open).", "worker")
+	mBreakerTrips = obs.Default().Counter("aw_shard_breaker_trips_total",
+		"Breaker transitions into the open state.")
+
+	mQuarantines = obs.Default().CounterVec("aw_shard_health_total",
+		"Health-checker verdicts, by event (quarantine, readmit, probe_ok, probe_err).", "event")
+
+	mDegraded = obs.Default().Gauge("aw_shard_degraded",
+		"1 while every remote shard is unavailable and tasks run locally.")
+)
+
+// breakerGaugeValue maps a state onto its gauge encoding.
+func breakerGaugeValue(s BreakerState) float64 {
+	switch s {
+	case BreakerOpen:
+		return 2
+	case BreakerHalfOpen:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelwattch/internal/faults"
+)
+
+// faultyBackend injects a faults.NetProfile between the guard and a real
+// backend: drops, latency spikes, truncated responses, and a mid-run crash
+// clock. The same discipline as FaultyMeter applies — every draw derives
+// from (seed, backend, task key, per-key attempt), so a given run replays
+// the same chaos regardless of scheduling; and faults only ever perturb
+// whether a call completes, never what a completed call returns.
+type faultyBackend struct {
+	inner Backend
+	prof  faults.NetProfile
+
+	seq atomic.Int64 // admitted-call ordinal, the crash clock
+
+	mu       sync.Mutex
+	attempts map[string]int64 // per task key, so retries see fresh draws
+}
+
+// WithNetFaults wraps a backend in deterministic network-fault injection.
+// A disabled profile returns the backend unwrapped.
+func WithNetFaults(b Backend, p faults.NetProfile) Backend {
+	if !p.Enabled() {
+		return b
+	}
+	return &faultyBackend{inner: b, prof: p, attempts: make(map[string]int64)}
+}
+
+// Name keeps the inner backend's identity — faults are an overlay, not a
+// different worker.
+func (f *faultyBackend) Name() string { return f.inner.Name() }
+
+// crashed reports whether the crash clock has expired.
+func (f *faultyBackend) crashed() bool {
+	return f.prof.CrashAfter > 0 && f.seq.Load() > f.prof.CrashAfter
+}
+
+func (f *faultyBackend) nextAttempt(key string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.attempts[key]
+	f.attempts[key] = n + 1
+	return n
+}
+
+// Do draws one fault for this call and applies it around the real call.
+func (f *faultyBackend) Do(ctx context.Context, t Task) ([]byte, error) {
+	seq := f.seq.Add(1)
+	attempt := f.nextAttempt(t.Key)
+	switch f.prof.Draw(f.Name(), t.Key, attempt, seq) {
+	case faults.NetCrash:
+		// The worker process is gone: connection refused, instantly.
+		return nil, fmt.Errorf("shard: %s: %w", f.Name(),
+			&faults.NetError{Backend: f.Name(), Kind: faults.NetCrash})
+
+	case faults.NetDrop:
+		return nil, fmt.Errorf("shard: %s: %w", f.Name(),
+			&faults.NetError{Backend: f.Name(), Kind: faults.NetDrop})
+
+	case faults.NetSpike:
+		timer := time.NewTimer(f.prof.SpikeLatency)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+		return f.inner.Do(ctx, t)
+
+	case faults.NetPartial:
+		// The worker computes and answers, but the body is truncated in
+		// flight: the caller must discard it as a transport failure.
+		if _, err := f.inner.Do(ctx, t); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("shard: %s: truncated response: %w", f.Name(),
+			&faults.NetError{Backend: f.Name(), Kind: faults.NetPartial})
+	}
+	return f.inner.Do(ctx, t)
+}
+
+// Check reflects the crash clock — a crashed worker fails its health probe
+// — and otherwise forwards to the real backend.
+func (f *faultyBackend) Check(ctx context.Context) error {
+	if f.crashed() {
+		return fmt.Errorf("shard: %s: %w", f.Name(),
+			&faults.NetError{Backend: f.Name(), Kind: faults.NetCrash})
+	}
+	return f.inner.Check(ctx)
+}

@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Retry is the per-call retry policy a Guard applies to transport
+// failures. Task errors are never retried — they are deterministic results.
+// The zero value means "one attempt, no backoff"; normalize fills
+// defaults.
+type Retry struct {
+	// MaxAttempts bounds the total tries per call (first attempt
+	// included). Values < 1 mean 1 — no retries.
+	MaxAttempts int
+
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay. Jitter in [0, 50%) of the delay is
+	// added from the guard's seeded stream — jitter perturbs timing only,
+	// never results, so determinism of outputs is untouched.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetry is the stock policy: 3 attempts, 25ms base, 1s cap.
+var DefaultRetry = Retry{MaxAttempts: 3, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second}
+
+func (r Retry) normalize() Retry {
+	if r.MaxAttempts < 1 {
+		r.MaxAttempts = 1
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = DefaultRetry.BaseDelay
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = DefaultRetry.MaxDelay
+	}
+	return r
+}
+
+// jitterSource is a lockable deterministic stream for backoff jitter.
+type jitterSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitterSource(seed int64) *jitterSource {
+	return &jitterSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (j *jitterSource) frac() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Float64()
+}
+
+// backoff returns the delay before retry number `retry` (0 = first retry):
+// base * 2^retry, capped, plus up to 50% jitter.
+func (r Retry) backoff(retry int, j *jitterSource) time.Duration {
+	d := r.BaseDelay << uint(retry)
+	if d <= 0 || d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	if j != nil {
+		d += time.Duration(float64(d) * 0.5 * j.frac())
+	}
+	return d
+}
+
+// sleep waits for d or until ctx is done, returning ctx.Err() in the
+// latter case — a cancelled backoff must abort the retry loop, not fire
+// one more attempt after shutdown.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

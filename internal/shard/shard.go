@@ -1,0 +1,164 @@
+// Package shard is the transport-agnostic task layer that lets the
+// execution engine's worker slots be backed by remote replicas: the tuning
+// and serving pipelines describe their remotable work as Tasks — pure
+// functions of a serialisable spec — and a Dispatcher places each task on a
+// healthy remote worker or, failing that, runs it in process.
+//
+// Determinism is the non-negotiable contract, and purity is what delivers
+// it. A task's result must be a function of its spec alone: a worker built
+// from the same configuration (architecture, workload scale, fault
+// profile) computes bit-identical bytes to the local fallback, so *where* a
+// task runs — all-local, all-remote, mixed, or failed over mid-run — can
+// never change any output. Every robustness mechanism in this package
+// (retries, hedges, breaker trips, quarantine, failover) merely re-executes
+// or re-places a pure function; none of them can perturb a result.
+//
+// The robustness core, applied per remote worker by Guard and across
+// workers by Dispatcher:
+//
+//   - per-call timeouts with retry, exponential backoff, and jitter;
+//   - a circuit breaker (closed / open / half-open with probe calls) so a
+//     dead worker stops absorbing latency budget;
+//   - periodic health checks with quarantine and readmission;
+//   - bounded hedged requests for straggler calls;
+//   - graceful degradation: when every remote shard is open-circuit the
+//     dispatcher falls back to local in-process execution and reports
+//     degraded, rather than failing the run.
+//
+// Error classes matter: a *TaskError is a deterministic result (the task
+// itself failed, identically on any replica — memoise it, never retry it),
+// while transport errors (timeouts, resets, truncated responses) say
+// nothing about the task and everything about the path, so they are
+// retried, hedged, and failed over. ErrUnsupported is a capability miss —
+// the worker cannot serve this task family — and sends the caller to
+// another placement without penalising the worker's breaker.
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Task is one unit of remotable work: a registered kind plus its
+// serialised spec. Key names the task for fault-injection determinism,
+// hedging labels, and logs; it must be a pure function of the spec.
+type Task struct {
+	Kind string          `json:"kind"`
+	Key  string          `json:"key,omitempty"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// Handler computes one task kind: spec bytes in, result bytes out. The
+// result must be a pure function of the spec — bit-identical on every
+// replica — and a returned error must be deterministic too (it travels the
+// wire as a *TaskError and is memoised by callers exactly like a value).
+type Handler func(ctx context.Context, spec []byte) ([]byte, error)
+
+// Mux maps task kinds to handlers. It is the in-process backend: workers
+// serve it over HTTP, and the dispatcher uses one as its local fallback.
+// Register all handlers before serving; registration is not synchronised
+// against Do.
+type Mux struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+}
+
+// NewMux returns an empty task mux.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]Handler)}
+}
+
+// Register installs the handler for a task kind, replacing any previous
+// one.
+func (m *Mux) Register(kind string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[kind] = h
+}
+
+// Kinds lists the registered task kinds, sorted.
+func (m *Mux) Kinds() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kinds := make([]string, 0, len(m.handlers))
+	for k := range m.handlers {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// handler looks up a kind (nil when absent).
+func (m *Mux) handler(kind string) Handler {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.handlers[kind]
+}
+
+// Do executes a task in process. An unregistered kind is ErrUnsupported.
+func (m *Mux) Do(ctx context.Context, t Task) ([]byte, error) {
+	h := m.handler(t.Kind)
+	if h == nil {
+		return nil, Unsupportedf("task kind %q not registered", t.Kind)
+	}
+	return h(ctx, t.Spec)
+}
+
+// TaskError is a deterministic task-level failure: the handler itself
+// rejected or failed the task, and would do so identically on any replica.
+// It is never retried and never counts against a worker's breaker.
+type TaskError struct {
+	Msg string
+}
+
+func (e *TaskError) Error() string { return e.Msg }
+
+// Taskf builds a deterministic task error.
+func Taskf(format string, args ...any) error {
+	return &TaskError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsTaskError reports whether err is (or wraps) a deterministic task
+// failure.
+func IsTaskError(err error) bool {
+	var te *TaskError
+	return errors.As(err, &te)
+}
+
+// ErrUnsupported marks a capability miss: the worker cannot serve this
+// task (unknown kind, mismatched architecture or fault fingerprint). The
+// caller should try another placement; the miss is deterministic for that
+// worker but says nothing about its health.
+var ErrUnsupported = errors.New("shard: task unsupported by worker")
+
+// Unsupportedf wraps ErrUnsupported with context.
+func Unsupportedf(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrUnsupported)
+}
+
+// ErrUnavailable marks a placement failure: no backend could be reached —
+// breakers open, workers quarantined, retries exhausted — and no local
+// fallback was configured.
+var ErrUnavailable = errors.New("shard: no worker available")
+
+// errClass buckets an error for metrics and control flow.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case IsTaskError(err):
+		return "task_error"
+	case errors.Is(err, ErrUnsupported):
+		return "unsupported"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	case errors.Is(err, ErrUnavailable):
+		return "breaker_open"
+	default:
+		return "transport_error"
+	}
+}

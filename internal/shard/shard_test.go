@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestMuxDispatchAndUnsupported(t *testing.T) {
+	m := NewMux()
+	m.Register("echo", func(_ context.Context, spec []byte) ([]byte, error) {
+		return append([]byte("got:"), spec...), nil
+	})
+	m.Register("fail", func(_ context.Context, _ []byte) ([]byte, error) {
+		return nil, Taskf("bad spec %d", 7)
+	})
+
+	out, err := m.Do(context.Background(), Task{Kind: "echo", Spec: []byte("x")})
+	if err != nil || string(out) != "got:x" {
+		t.Fatalf("echo = %q, %v", out, err)
+	}
+	if _, err := m.Do(context.Background(), Task{Kind: "fail"}); !IsTaskError(err) {
+		t.Fatalf("fail returned %v, want a TaskError", err)
+	}
+	if _, err := m.Do(context.Background(), Task{Kind: "nope"}); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("unknown kind returned %v, want ErrUnsupported", err)
+	}
+	if kinds := m.Kinds(); len(kinds) != 2 || kinds[0] != "echo" || kinds[1] != "fail" {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+}
+
+func TestErrClassTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{Taskf("boom"), "task_error"},
+		{fmt.Errorf("wrap: %w", Taskf("boom")), "task_error"},
+		{Unsupportedf("no such kind"), "unsupported"},
+		{context.Canceled, "canceled"},
+		{fmt.Errorf("call: %w", context.DeadlineExceeded), "canceled"},
+		{ErrUnavailable, "breaker_open"},
+		{errors.New("connection reset"), "transport_error"},
+	}
+	for _, c := range cases {
+		if got := errClass(c.err); got != c.want {
+			t.Errorf("errClass(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// TestBreakerStateMachine walks closed -> open -> half-open -> closed and
+// the probe-failure reopen, on an injected clock.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(2, time.Second).withClock(clock)
+
+	if !b.TryAcquire() {
+		t.Fatal("closed breaker refused a call")
+	}
+	if tripped := b.Failure(); tripped {
+		t.Fatal("first failure tripped a threshold-2 breaker")
+	}
+	if !b.TryAcquire() {
+		t.Fatal("breaker refused below threshold")
+	}
+	if tripped := b.Failure(); !tripped {
+		t.Fatal("second failure did not trip")
+	}
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	if b.TryAcquire() {
+		t.Fatal("open breaker admitted a call")
+	}
+
+	// Cooldown elapses: half-open, exactly one probe at a time.
+	now = now.Add(time.Second)
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", st)
+	}
+	if !b.TryAcquire() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.TryAcquire() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", st)
+	}
+
+	// A failed probe reopens immediately.
+	b.Trip()
+	now = now.Add(time.Second)
+	if !b.TryAcquire() {
+		t.Fatal("half-open breaker refused the probe after trip+cooldown")
+	}
+	if tripped := b.Failure(); !tripped {
+		t.Fatal("failed probe did not reopen the circuit")
+	}
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+}
+
+// TestBreakerReleaseIsJudgementFree: a released (cancelled) probe returns
+// the slot without changing state or the failure count.
+func TestBreakerReleaseIsJudgementFree(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, time.Second).withClock(func() time.Time { return now })
+	b.Trip()
+	now = now.Add(time.Second)
+	if !b.TryAcquire() {
+		t.Fatal("no probe slot")
+	}
+	b.Release()
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state after release = %v, want half-open", st)
+	}
+	if !b.TryAcquire() {
+		t.Fatal("released probe slot was not returned")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half_open",
+		BreakerState(42): "unknown",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(st), got, want)
+		}
+	}
+}
+
+func TestRetryBackoffShape(t *testing.T) {
+	r := Retry{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond}.normalize()
+	// Without jitter the ladder doubles and caps.
+	for i, want := range []time.Duration{10, 20, 35, 35} {
+		if got := r.backoff(i, nil); got != want*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+	// With jitter the delay stays in [d, 1.5d).
+	j := newJitterSource(1)
+	for i := 0; i < 100; i++ {
+		d := r.backoff(1, j)
+		if d < 20*time.Millisecond || d >= 30*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [20ms, 30ms)", d)
+		}
+	}
+}
+
+func TestRetryNormalizeDefaults(t *testing.T) {
+	r := Retry{}.normalize()
+	if r.MaxAttempts != 1 || r.BaseDelay != DefaultRetry.BaseDelay || r.MaxDelay != DefaultRetry.MaxDelay {
+		t.Fatalf("normalize() = %+v", r)
+	}
+}
+
+func TestSleepHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sleep(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleep on cancelled ctx = %v", err)
+	}
+	if err := sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep = %v", err)
+	}
+}

@@ -1,0 +1,281 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/faults"
+	"accelwattch/internal/shard"
+	"accelwattch/internal/ubench"
+)
+
+// chaosTB builds a testbench the way a coordinator or worker process would:
+// a chaotic-but-deterministic meter under the hardened policy. Coordinator
+// and every worker construct it identically, so their fingerprints agree.
+func chaosTB(t *testing.T) *Testbench {
+	t.Helper()
+	tb, err := NewTestbench(config.Volta(), ubench.Quick)
+	if err != nil {
+		t.Fatalf("NewTestbench: %v", err)
+	}
+	prof, err := faults.Named("chaos", 9)
+	if err != nil {
+		t.Fatalf("faults.Named: %v", err)
+	}
+	fm, err := faults.NewFaultyMeter(tb.Device, prof)
+	if err != nil {
+		t.Fatalf("NewFaultyMeter: %v", err)
+	}
+	tb.UseMeter(fm, HardenedMeterPolicy())
+	return tb
+}
+
+// startMeasureWorker serves a worker-process testbench over httptest,
+// optionally killing the whole server after crashAfter admitted tasks — the
+// mid-run worker death the dispatcher must fail over from.
+func startMeasureWorker(t *testing.T, netProf faults.NetProfile, crashAfter int64) shard.Backend {
+	t.Helper()
+	wtb := chaosTB(t)
+	mux := shard.NewMux()
+	RegisterMeasureTask(mux, wtb, StandardWorkloads(wtb.Arch, wtb.Scale))
+
+	var (
+		ts   *httptest.Server
+		once sync.Once
+	)
+	cfg := shard.WorkerConfig{Mux: mux}
+	if crashAfter > 0 {
+		cfg.OnTask = func(n int64) {
+			if n > crashAfter {
+				// Kill the server from a goroutine: Close waits for in-flight
+				// handlers (including the one running this hook) to return.
+				once.Do(func() {
+					go func() {
+						ts.CloseClientConnections()
+						ts.Close()
+					}()
+				})
+			}
+		}
+	}
+	w, err := shard.NewWorker(cfg)
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	ts = httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+	return shard.WithNetFaults(shard.NewHTTPBackend(ts.URL), netProf)
+}
+
+func distOpts() shard.Options {
+	return shard.Options{
+		CallTimeout:      10 * time.Second,
+		Retry:            shard.Retry{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+		BreakerThreshold: 2,
+		BreakerCooldown:  25 * time.Millisecond,
+		HealthInterval:   10 * time.Millisecond,
+		HealthFailures:   2,
+		HedgeDelay:       250 * time.Millisecond,
+		Seed:             7,
+	}
+}
+
+// measureAll measures a fixed operating-point set through an execution
+// engine at the given worker count, with remotes optionally installed, and
+// renders each outcome — power or deterministic failure — as a string
+// record. Records carry full float precision, so equality is bit-identity.
+func measureAll(t *testing.T, workers int, remotes []shard.Backend) []string {
+	t.Helper()
+	tb := chaosTB(t)
+	if remotes != nil {
+		d := shard.NewDispatcher(nil, remotes, distOpts())
+		defer d.Close()
+		// The tuning path's local fallback is Measure's own in-process slot
+		// (see UseShards), so the dispatcher itself carries no local mux.
+		tb.UseShards(nil, d)
+	}
+	ex, err := NewExec(nil, tb, workers)
+	if err != nil {
+		t.Fatalf("NewExec: %v", err)
+	}
+	points := ubench.MustSuite(tb.Arch, tb.Scale)[:8]
+	recs, err := Map(ex, points, func(tb *Testbench, b ubench.Bench) (string, error) {
+		m, merr := tb.Measure(FromBench(b), 0)
+		if merr != nil {
+			// Deterministic measurement failures are outcomes, not aborts:
+			// record the exact error text and keep going.
+			return "err:" + merr.Error(), nil
+		}
+		return fmt.Sprintf("%.17g@%.17g@%.17g", m.AvgPowerW, m.Cycles, m.RuntimeS), nil
+	})
+	if err != nil {
+		t.Fatalf("measure fan-out: %v", err)
+	}
+	return recs
+}
+
+// TestDistributedDeterminism is the acceptance gate for the shard layer:
+// the same operating-point set measured all-local, all-remote, and mixed
+// with a forced mid-run worker crash — under chaotic meters AND a chaotic
+// network — must produce bit-identical records at every worker count.
+func TestDistributedDeterminism(t *testing.T) {
+	netChaos, err := faults.NamedNet("chaos", 5)
+	if err != nil {
+		t.Fatalf("NamedNet: %v", err)
+	}
+
+	baseline := measureAll(t, 1, nil)
+	succ := 0
+	for _, r := range baseline {
+		if r[:4] != "err:" {
+			succ++
+		}
+	}
+	if succ == 0 {
+		t.Fatal("degenerate baseline: every point failed")
+	}
+
+	placements := []struct {
+		name    string
+		workers int
+		remotes func() []shard.Backend
+	}{
+		{"all-local-8", 8, func() []shard.Backend { return nil }},
+		{"all-remote-8", 8, func() []shard.Backend {
+			return []shard.Backend{
+				startMeasureWorker(t, netChaos, 0),
+				startMeasureWorker(t, netChaos, 0),
+			}
+		}},
+		{"mixed-crash-8", 8, func() []shard.Backend {
+			// One worker dies after 3 tasks; the other rides out net chaos.
+			return []shard.Backend{
+				startMeasureWorker(t, netChaos, 3),
+				startMeasureWorker(t, netChaos, 0),
+			}
+		}},
+		{"remote-crash-1", 1, func() []shard.Backend {
+			return []shard.Backend{startMeasureWorker(t, netChaos, 2)}
+		}},
+	}
+	for _, p := range placements {
+		t.Run(p.name, func(t *testing.T) {
+			got := measureAll(t, p.workers, p.remotes())
+			for i := range baseline {
+				if got[i] != baseline[i] {
+					t.Fatalf("point %d diverged under %s:\n  baseline: %s\n  got:      %s",
+						i, p.name, baseline[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedFingerprintMismatchFallsBackLocally: a worker built with a
+// different configuration must refuse the task (capability miss), and the
+// coordinator must recompute locally — identical bytes, no error surfaced.
+func TestDistributedFingerprintMismatchFallsBackLocally(t *testing.T) {
+	baseline := measureAll(t, 1, nil)
+
+	// The "wrong" worker runs a clean meter: its fingerprint cannot match
+	// the chaos coordinator, so every task answers Unsupported.
+	wtb, err := NewTestbench(config.Volta(), ubench.Quick)
+	if err != nil {
+		t.Fatalf("NewTestbench: %v", err)
+	}
+	mux := shard.NewMux()
+	RegisterMeasureTask(mux, wtb, StandardWorkloads(wtb.Arch, wtb.Scale))
+	w, err := shard.NewWorker(shard.WorkerConfig{Mux: mux})
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+
+	got := measureAll(t, 4, []shard.Backend{shard.NewHTTPBackend(ts.URL)})
+	for i := range baseline {
+		if got[i] != baseline[i] {
+			t.Fatalf("point %d diverged behind a mismatched worker:\n  %s\n  %s", i, baseline[i], got[i])
+		}
+	}
+}
+
+// TestDistributedTuneDeterminism runs the complete tuning flow with every
+// measurement offloaded to a crashing, chaotic-network worker fleet and
+// requires the full Result — every fitted coefficient of every variant — to
+// match the all-local shared baseline byte for byte.
+func TestDistributedTuneDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tuning flow")
+	}
+	_, want := sharedTuned(t)
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshalling baseline: %v", err)
+	}
+
+	// Clean coordinator + clean workers: fingerprints agree (a disabled
+	// fault profile fingerprints as the clean device).
+	tb, err := NewTestbench(config.Volta(), ubench.Quick)
+	if err != nil {
+		t.Fatalf("NewTestbench: %v", err)
+	}
+	netChaos, err := faults.NamedNet("chaos", 11)
+	if err != nil {
+		t.Fatalf("NamedNet: %v", err)
+	}
+	mkWorker := func(crashAfter int64) shard.Backend {
+		wtb, err := NewTestbench(config.Volta(), ubench.Quick)
+		if err != nil {
+			t.Fatalf("NewTestbench: %v", err)
+		}
+		mux := shard.NewMux()
+		RegisterMeasureTask(mux, wtb, StandardWorkloads(wtb.Arch, wtb.Scale))
+		var (
+			ts   *httptest.Server
+			once sync.Once
+		)
+		cfg := shard.WorkerConfig{Mux: mux}
+		if crashAfter > 0 {
+			cfg.OnTask = func(n int64) {
+				if n > crashAfter {
+					once.Do(func() {
+						go func() {
+							ts.CloseClientConnections()
+							ts.Close()
+						}()
+					})
+				}
+			}
+		}
+		w, err := shard.NewWorker(cfg)
+		if err != nil {
+			t.Fatalf("NewWorker: %v", err)
+		}
+		ts = httptest.NewServer(w.Handler())
+		t.Cleanup(ts.Close)
+		return shard.WithNetFaults(shard.NewHTTPBackend(ts.URL), netChaos)
+	}
+	d := shard.NewDispatcher(nil, []shard.Backend{mkWorker(40), mkWorker(0)}, distOpts())
+	defer d.Close()
+	tb.UseShards(nil, d)
+
+	opts := tb.DefaultOptions()
+	opts.Workers = 8
+	got, err := Tune(tb, opts)
+	if err != nil {
+		t.Fatalf("distributed Tune: %v", err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("marshalling result: %v", err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatal("distributed tuning result diverged from the all-local baseline")
+	}
+}

@@ -1,0 +1,203 @@
+package tune
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/faults"
+	"accelwattch/internal/obs"
+	"accelwattch/internal/shard"
+	"accelwattch/internal/ubench"
+)
+
+// TaskMeasure is the shard task kind for one operating-point measurement.
+const TaskMeasure = "tune/measure"
+
+// RemoteCaller is the slice of shard.Dispatcher the testbench needs — an
+// interface so tests can fake placements without a fleet.
+type RemoteCaller interface {
+	Do(ctx context.Context, t shard.Task) ([]byte, error)
+}
+
+// measureSpec is the wire form of one point measurement. Fingerprint pins
+// the configuration the reading depends on: a worker built differently
+// would compute different bytes, so it must refuse the task (Unsupported)
+// rather than answer plausibly and wrongly.
+type measureSpec struct {
+	Workload    string  `json:"workload"`
+	ClockMHz    float64 `json:"clock_mhz"`
+	Fingerprint string  `json:"fingerprint"`
+}
+
+// Fingerprint summarises everything a point measurement is a function of
+// besides (workload, clock): architecture, workload scale, the meter's
+// fault profile, and the measurement policy. Coordinator and worker must
+// agree on it exactly for remote placement to preserve bit-identity.
+func (tb *Testbench) Fingerprint() string {
+	// A FaultyMeter with a disabled profile is a documented bit-identical
+	// pass-through, so it fingerprints as the clean device — a coordinator
+	// that never wrapped its meter and a worker started with "-faults off"
+	// agree.
+	meter := "clean"
+	if fm, ok := tb.Meter.(*faults.FaultyMeter); ok {
+		if p := fm.FaultProfile(); p.Enabled() {
+			meter = fmt.Sprintf("%+v", p)
+		}
+	}
+	return fmt.Sprintf("arch=%s|scale=%+v|meter=%s|policy=%+v",
+		tb.Arch.Name, tb.Scale, meter, tb.Policy.normalized())
+}
+
+// UseShards installs a shard dispatcher as the testbench's measurement
+// placement layer: Measure offloads each operating point to a remote worker
+// replica when one is reachable, and computes it in process otherwise. ctx
+// scopes the remote calls — cancel it on shutdown and in-flight placements
+// abort as "canceled" without tripping breakers or firing pending retries.
+//
+// Call before creating replicas; Replicate propagates the dispatcher. The
+// local fallback is Measure's own in-process path, not a dispatcher-level
+// mux — the fallback runs inside the artifact store's singleflight slot the
+// point already holds, so no re-entrant store access can deadlock.
+func (tb *Testbench) UseShards(ctx context.Context, d RemoteCaller) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tb.remote = d
+	tb.remoteCtx = ctx
+}
+
+// resolvePoint decides where one operating point is measured. Remote
+// placement is an accelerator, never an authority: only a well-formed
+// PointOutcome is trusted from the wire, and every failure class — open
+// breakers, exhausted retries, capability misses, even deterministic remote
+// task errors — falls back to the local path, which reproduces the exact
+// outcome (and exact error values) an all-local run would have produced.
+func (tb *Testbench) resolvePoint(w Workload, clockMHz float64) (PointOutcome, error) {
+	if tb.remote == nil {
+		return tb.MeasurePoint(w, clockMHz)
+	}
+	if err := tb.remoteCtx.Err(); err != nil {
+		return PointOutcome{}, err
+	}
+	spec, err := json.Marshal(measureSpec{
+		Workload: w.Name, ClockMHz: clockMHz, Fingerprint: tb.Fingerprint(),
+	})
+	if err != nil {
+		return PointOutcome{}, fmt.Errorf("tune: marshalling measure spec: %w", err)
+	}
+	sp := obs.StartSpan("tune/measure/remote").WithWorker(tb.Worker).WithDetail(w.Name)
+	body, err := tb.remote.Do(tb.remoteCtx, shard.Task{
+		Kind: TaskMeasure,
+		Key:  fmt.Sprintf("%s@%.0f", w.Name, clockMHz),
+		Spec: spec,
+	})
+	sp.End()
+	if err != nil {
+		if cerr := tb.remoteCtx.Err(); cerr != nil {
+			// Shutdown, not a placement failure: surface the cancellation
+			// instead of silently measuring a point the run no longer wants.
+			return PointOutcome{}, cerr
+		}
+		return tb.MeasurePoint(w, clockMHz)
+	}
+	var out PointOutcome
+	if err := json.Unmarshal(body, &out); err != nil || (out.M == nil && out.ErrMsg == "") {
+		// A malformed or empty outcome means a worker we don't understand;
+		// trust the local path instead.
+		return tb.MeasurePoint(w, clockMHz)
+	}
+	return out, nil
+}
+
+// RegisterMeasureTask installs the worker-side handler for TaskMeasure on
+// mux: specs resolve against reg by workload name, fingerprints must match
+// the serving testbench exactly, and outcomes are memoised per point (see
+// MeasurePoint) so redelivered tasks replay rather than re-measure.
+//
+// The worker serves tasks concurrently (up to its MaxInflight), but a
+// testbench's device carries single-threaded mutable state — clocks,
+// temperature — so the handler borrows a worker-private replica per
+// in-flight measurement, exactly as the execution engine hands each of its
+// workers one. Replicas share the artifact store and per-point fault state,
+// so which replica measures a point can never change its bytes.
+func RegisterMeasureTask(mux *shard.Mux, tb *Testbench, reg map[string]Workload) {
+	fp := tb.Fingerprint()
+	n := runtime.GOMAXPROCS(0)
+	pool := make(chan *Testbench, n)
+	pool <- tb
+	for i := 1; i < n; i++ {
+		r, err := tb.Replicate()
+		if err != nil {
+			// A smaller pool only reduces concurrency, never correctness.
+			break
+		}
+		r.Worker = i
+		pool <- r
+	}
+	mux.Register(TaskMeasure, func(ctx context.Context, spec []byte) ([]byte, error) {
+		var ms measureSpec
+		if err := json.Unmarshal(spec, &ms); err != nil {
+			return nil, shard.Taskf("tune: decoding measure spec: %v", err)
+		}
+		if ms.Fingerprint != fp {
+			return nil, shard.Unsupportedf("tune: fingerprint mismatch (worker %q, task %q)", fp, ms.Fingerprint)
+		}
+		w, ok := reg[ms.Workload]
+		if !ok {
+			return nil, shard.Unsupportedf("tune: workload %q not in worker registry", ms.Workload)
+		}
+		var r *Testbench
+		select {
+		case r = <-pool:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		out, err := r.MeasurePoint(w, ms.ClockMHz)
+		pool <- r
+		if err != nil {
+			// Hard failure (trace, clock range): deterministic, travels as
+			// a task error with the same text the local path would produce.
+			return nil, shard.Taskf("%v", err)
+		}
+		return json.Marshal(out)
+	})
+}
+
+// StandardWorkloads enumerates every workload the tuning flow's Measure
+// path can ask for — the 102-microbenchmark suite, the DVFS ladder, the
+// divergence y-sweeps, and the occupancy ladders — keyed by name, for a
+// worker's task registry. A workload missing here merely declines remote
+// placement (the coordinator measures it locally); it can never corrupt a
+// result.
+func StandardWorkloads(arch *config.Arch, sc ubench.Scale) map[string]Workload {
+	reg := make(map[string]Workload)
+	add := func(b ubench.Bench) {
+		w := FromBench(b)
+		if _, dup := reg[w.Name]; !dup {
+			reg[w.Name] = w
+		}
+	}
+	for _, b := range ubench.MustSuite(arch, sc) {
+		add(b)
+	}
+	for _, b := range ubench.DVFSSuite(arch, sc) {
+		add(b)
+	}
+	for _, mix := range ubench.DivergenceMixes(arch) {
+		for y := 1; y <= 32; y++ {
+			add(ubench.DivergenceBench(arch, sc, mix, y))
+		}
+	}
+	n := arch.NumSMs
+	for _, k := range []int{n, n / 8, n / 4, n / 2, 3 * n / 4} {
+		if k <= 0 || k > n {
+			continue
+		}
+		add(ubench.OccupancyBench(arch, sc, k))
+		add(ubench.OccupancyBenchFP(arch, sc, k))
+	}
+	return reg
+}
