@@ -1,0 +1,100 @@
+// Command awbenchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, so benchmark results can be checked in
+// (BENCH_serve.json) and diffed across runs and CI uploads without parsing
+// the free-text format downstream.
+//
+//	go test -run '^$' -bench BenchmarkServeMixedLoad ./internal/serve/ | awbenchjson
+//
+// The output carries the run environment (goos, goarch, pkg, cpu) and one
+// record per benchmark line: name, parallelism suffix, iterations, and every
+// reported metric (ns/op, B/op, allocs/op, custom units) keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Format  string            `json:"format"`
+	Env     map[string]string `json:"env,omitempty"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	doc := document{Format: "accelwattch-bench-v1", Env: map[string]string{}, Results: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			doc.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "awbenchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "awbenchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "awbenchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkServeMixedLoad-8   12000   95012 ns/op   1234 B/op   17 allocs/op
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Metrics: map[string]float64{}}
+	// The -N procs suffix follows the LAST dash; benchmark names themselves
+	// may contain dashes.
+	if i := strings.LastIndexByte(fields[0], '-'); i > 0 {
+		if p, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+			r.Name, r.Procs = fields[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r.Iterations = iters
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

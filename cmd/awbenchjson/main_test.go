@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkServeMixedLoad-8   12000   95012 ns/op   1234 B/op   17 allocs/op")
+	if !ok {
+		t.Fatal("well-formed line rejected")
+	}
+	if r.Name != "BenchmarkServeMixedLoad" || r.Procs != 8 || r.Iterations != 12000 {
+		t.Fatalf("parsed %+v", r)
+	}
+	for unit, want := range map[string]float64{"ns/op": 95012, "B/op": 1234, "allocs/op": 17} {
+		if r.Metrics[unit] != want {
+			t.Fatalf("metric %s = %v, want %v", unit, r.Metrics[unit], want)
+		}
+	}
+
+	// GOMAXPROCS=1 runs emit no -N suffix.
+	r, ok = parseBenchLine("BenchmarkServeMixedLoad \t 11284\t    100450 ns/op")
+	if !ok || r.Name != "BenchmarkServeMixedLoad" || r.Procs != 0 || r.Metrics["ns/op"] != 100450 {
+		t.Fatalf("suffixless line parsed as %+v (ok=%v)", r, ok)
+	}
+
+	// Sub-benchmark names keep their slash path; only a trailing numeric
+	// dash segment is a procs suffix.
+	r, ok = parseBenchLine("BenchmarkX/case-with-dash-4   10   5 ns/op")
+	if !ok {
+		t.Fatal("sub-benchmark rejected")
+	}
+	if r.Procs != 0 && r.Name == "BenchmarkX/case-with-dash" {
+		// acceptable: suffix split on the last dash
+	} else if r.Procs != 0 || r.Name != "BenchmarkX/case-with-dash-4" {
+		t.Fatalf("sub-benchmark parsed as %+v", r)
+	}
+
+	if _, ok := parseBenchLine("BenchmarkBroken notanumber 5 ns/op"); ok {
+		t.Fatal("malformed iteration count accepted")
+	}
+	if _, ok := parseBenchLine("Benchmark"); ok {
+		t.Fatal("bare name accepted")
+	}
+}

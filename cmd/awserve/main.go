@@ -1,10 +1,18 @@
-// Command awserve is the long-running power-estimation service: it tunes
-// (or loads) a model once at startup, then answers estimation requests over
-// HTTP until asked to drain.
+// Command awserve is the long-running power-estimation gateway: it builds a
+// model zoo once at startup — tuned, loaded from files, or derived across
+// architectures — then answers estimation requests over HTTP until asked to
+// drain.
 //
 //	awserve -addr :8080                 # tune Volta at Quick scale, serve
 //	awserve -model volta.json           # serve a saved model for all variants
+//	awserve -models manifest.json       # serve a multi-architecture model zoo
 //	curl -d '{"variant":"SASS_SIM","cycles":1e6,...}' localhost:8080/estimate
+//	curl -d '{"arch":"pascal","variant":"SASS_SIM",...}' localhost:8080/estimate
+//
+// Under -models, requests route by the "model" (entry name) or "arch"
+// (family alias) body field, and the admin endpoints (GET /models, PUT
+// /models/{name}, DELETE /models/{name}) hot-add, replace, or retire
+// entries under load without draining.
 //
 // SIGINT/SIGTERM triggers a graceful drain: readiness flips to 503, new
 // estimation work is refused, accepted work is answered, in-flight HTTP
@@ -25,11 +33,11 @@ import (
 	"syscall"
 	"time"
 
-	"accelwattch"
 	"accelwattch/internal/cli"
 	"accelwattch/internal/core"
 	"accelwattch/internal/serve"
 	"accelwattch/internal/tune"
+	"accelwattch/internal/zoo"
 )
 
 func main() {
@@ -40,6 +48,7 @@ func main() {
 		archName     = flag.String("arch", "volta", "architecture to tune at startup (volta, pascal, turing)")
 		full         = flag.Bool("full", false, "tune at the full-fidelity workload scale")
 		modelPath    = flag.String("model", "", "serve a saved model file (accelwattch-model-v1 JSON) for all variants instead of tuning")
+		manifestPath = flag.String("models", "", "serve a multi-architecture model zoo from a manifest file (overrides -model/-arch)")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "batch worker count (responses are identical at any setting)")
 		queue        = flag.Int("queue", serve.DefaultQueueSize, "estimation queue bound; a full queue answers 429")
 		batch        = flag.Int("batch", serve.DefaultMaxBatch, "max jobs coalesced per engine dispatch")
@@ -75,13 +84,17 @@ func main() {
 		cfg.Tasks = d
 		run.Log.Info("offloading to worker shards", "addrs", shards.Addrs, "net_faults", shards.NetProfile)
 	}
-	models, source, err := buildModels(*modelPath, *archName, *full, *workers, remote)
+	set, err := buildSet(*manifestPath, *modelPath, *archName, *full, *workers, remote,
+		func(format string, args ...any) { run.Log.Warn(fmt.Sprintf(format, args...)) })
 	if err != nil {
 		run.Fatal(err)
 	}
-	run.Log.Info("models ready", "source", source)
+	for _, e := range set.Entries {
+		run.Log.Info("model ready", "name", e.Name, "arch", e.Arch, "source", e.Source,
+			"variants", len(e.Variants()), "default", e.Name == set.Default)
+	}
 
-	cfg.Models = models
+	cfg.Zoo = set
 	srv, err := serve.New(cfg)
 	if err != nil {
 		run.Fatal(err)
@@ -118,54 +131,47 @@ func main() {
 	}
 }
 
-// resolveArch maps a -arch flag value onto a stock architecture.
-func resolveArch(name string) (*accelwattch.Arch, error) {
-	switch name {
-	case "volta":
-		return accelwattch.Volta(), nil
-	case "pascal":
-		return accelwattch.Pascal(), nil
-	case "turing":
-		return accelwattch.Turing(), nil
-	default:
-		return nil, fmt.Errorf("unknown architecture %q (want volta, pascal, or turing)", name)
+// buildSet produces the model zoo the gateway serves. Three shapes:
+//
+//   - -models manifest.json: the full multi-architecture zoo — tuned,
+//     file-loaded, and derived entries, with routing and admin enabled
+//     across all of them;
+//   - -model file.json: the legacy single-file mode, one saved model
+//     answering for every variant. A model that records the variant it was
+//     tuned under still serves all variants here (flag compatibility), but
+//     the mismatch is logged loudly at startup and counted per estimate in
+//     aw_serve_variant_mismatch_total;
+//   - neither: tune -arch at startup, exactly as before.
+func buildSet(manifestPath, modelPath, archName string, full bool, workers int,
+	shards tune.RemoteCaller, warn func(format string, args ...any)) (*zoo.Set, error) {
+	if warn == nil {
+		warn = func(string, ...any) {}
 	}
-}
-
-// buildModels produces the variant->model table the service serves: either
-// one saved model file answering for every variant, or a freshly tuned
-// session's per-variant models. The returned string describes the source
-// for the startup log.
-func buildModels(modelPath, archName string, full bool, workers int, shards tune.RemoteCaller) (map[tune.Variant]*core.Model, string, error) {
+	if manifestPath != "" {
+		return cli.BuildModelSet(manifestPath, workers, shards, warn)
+	}
 	if modelPath != "" {
 		m, err := core.LoadModel(modelPath)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
-		models := make(map[tune.Variant]*core.Model, tune.NumVariants)
-		for _, v := range tune.Variants() {
-			models[v] = m
+		if m.TunedVariant != "" {
+			warn("model %s records tuned variant %s but -model serves it for every variant — estimates under other variants are unvalidated (use a -models manifest to restrict)",
+				modelPath, m.TunedVariant)
 		}
-		return models, "file:" + modelPath, nil
+		e, err := zoo.Uniform("saved", m, "file:"+modelPath)
+		if err != nil {
+			return nil, err
+		}
+		return &zoo.Set{Default: e.Name, Entries: []*zoo.Entry{e}}, nil
 	}
-	arch, err := resolveArch(archName)
+	models, source, err := cli.TuneModels(workers, shards)(archName, full)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	sc := accelwattch.Quick
-	scName := "quick"
-	if full {
-		sc = accelwattch.Full
-		scName = "full"
-	}
-	sess, err := accelwattch.NewSessionWithOptions(arch, sc,
-		accelwattch.SessionOptions{Workers: workers, Shards: shards})
+	e, err := zoo.PerVariant(archName+"-tuned", models, source)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	models := make(map[tune.Variant]*core.Model, tune.NumVariants)
-	for _, v := range tune.Variants() {
-		models[v] = sess.Model(v)
-	}
-	return models, "tuned:" + archName + "/" + scName, nil
+	return &zoo.Set{Default: e.Name, Entries: []*zoo.Entry{e}}, nil
 }

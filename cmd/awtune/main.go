@@ -133,10 +133,14 @@ func main() {
 	}
 
 	if *outPath != "" {
+		// Record which variant this model was tuned under: serving layers
+		// use the tag to refuse (or loudly warn about) answering for a
+		// variant the model was never validated against.
+		m.TunedVariant = accelwattch.SASSSIM.String()
 		if err := m.Save(*outPath); err != nil {
 			run.Fatal(err)
 		}
-		fmt.Printf("\nsaved the tuned SASS SIM model to %s\n", *outPath)
+		fmt.Printf("\nsaved the tuned SASS SIM model to %s (tuned variant %s)\n", *outPath, m.TunedVariant)
 	}
 	if *metricsOut != "" {
 		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {

@@ -1,6 +1,9 @@
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Technology scaling (Section 7.1): when a model tuned at one process node
 // is applied to an architecture at another node, the dynamic energy per
@@ -31,16 +34,29 @@ var staticPowerFactor = map[int]float64{
 }
 
 // TechScale holds the multiplicative factors applied to a power model when
-// retargeting between technology nodes.
+// retargeting between technology nodes. It serialises as part of a derived
+// model's provenance record (core.Derivation), so the fields carry stable
+// JSON names.
 type TechScale struct {
-	FromNM  int
-	ToNM    int
-	Dynamic float64 // multiplier on per-access dynamic energy
-	Static  float64 // multiplier on static (leakage) power
+	FromNM  int     `json:"from_nm"`
+	ToNM    int     `json:"to_nm"`
+	Dynamic float64 `json:"dynamic"` // multiplier on per-access dynamic energy
+	Static  float64 `json:"static"`  // multiplier on static (leakage) power
 }
 
 // Identity reports whether the scaling is a no-op (same node).
 func (t TechScale) Identity() bool { return t.FromNM == t.ToNM }
+
+// Nodes lists the process nodes the scaling tables cover, ascending — the
+// domain over which NewTechScale succeeds.
+func Nodes() []int {
+	out := make([]int, 0, len(dynamicEnergyFactor))
+	for nm := range dynamicEnergyFactor {
+		out = append(out, nm)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // NewTechScale derives scaling factors from one node to another using the
 // IRDS-shaped tables. It returns an error for nodes outside the table; the

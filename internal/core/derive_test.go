@@ -1,0 +1,248 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"accelwattch/internal/config"
+)
+
+// The Section 7.1 Pascal case study: Volta's 12 nm tuned model applied to
+// the 16 nm TITAN X through technology scaling only (const_mult 1.0).
+// Expected outputs are fixture-checked against the table factors: dynamic
+// energies x1.18, static powers x1.12, constant power unchanged.
+func TestDeriveVoltaToPascal(t *testing.T) {
+	m := testModel()
+	dm, d, err := m.Derive(config.Pascal(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FromArch != "volta-gv100" || d.ToArch != "pascal-titanx" {
+		t.Fatalf("derivation endpoints %q -> %q", d.FromArch, d.ToArch)
+	}
+	if d.Tech.Dynamic != 1.18 || d.Tech.Static != 1.12 {
+		t.Fatalf("tech factors %v/%v, want 1.18/1.12", d.Tech.Dynamic, d.Tech.Static)
+	}
+	if d.ConstMult != 1.0 || d.Identity() {
+		t.Fatalf("derivation record malformed: %+v", d)
+	}
+	if dm.Arch.Name != "pascal-titanx" {
+		t.Fatalf("derived model targets %q", dm.Arch.Name)
+	}
+	for _, c := range DynComponents() {
+		want := m.BaseEnergyPJ[c] * 1.18
+		if dm.BaseEnergyPJ[c] != want {
+			t.Fatalf("%v energy = %v, want %v (x1.18)", c, dm.BaseEnergyPJ[c], want)
+		}
+		if dm.Scale[c] != m.Scale[c] {
+			t.Fatalf("%v scale changed: tuned scale factors are node-independent", c)
+		}
+	}
+	if dm.IdleSMW != m.IdleSMW*1.12 {
+		t.Fatalf("idle-SM power = %v, want %v (x1.12)", dm.IdleSMW, m.IdleSMW*1.12)
+	}
+	for mix := MixCategory(0); mix < NumMixCategories; mix++ {
+		if dm.Div[mix].FirstLaneW != m.Div[mix].FirstLaneW*1.12 ||
+			dm.Div[mix].AddLaneW != m.Div[mix].AddLaneW*1.12 {
+			t.Fatalf("mix %v divergence coefficients not scaled x1.12", mix)
+		}
+	}
+	if dm.ConstW != m.ConstW {
+		t.Fatalf("constant power changed: %v != %v", dm.ConstW, m.ConstW)
+	}
+	// Fixture-pinned expected values for the seed coefficients: the paper's
+	// transform must keep reproducing exactly these numbers. The factor is
+	// held in a variable so the expectation rounds the same way the runtime
+	// multiplication does (a folded constant expression rounds once and
+	// lands one ULP away).
+	static := 1.12
+	if got := dm.IdleSMW; got != 0.1*static {
+		t.Fatalf("idle-SM fixture %v, want %v", got, 0.1*static)
+	}
+	if got := dm.Div[MixLight].FirstLaneW; got != 30*static {
+		t.Fatalf("first-lane fixture %v, want %v", got, 30*static)
+	}
+	if err := dm.Validate(); err != nil {
+		t.Fatalf("derived model invalid: %v", err)
+	}
+}
+
+// The Section 7.1 Turing case study: same 12 nm node (identity tech
+// scaling), constant power x1.7 for the consumer board.
+func TestDeriveVoltaToTuring(t *testing.T) {
+	m := testModel()
+	dm, d, err := m.Derive(config.Turing(), 1.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Tech.Identity() || d.ConstMult != 1.7 || d.Identity() {
+		t.Fatalf("derivation record %+v: want identity tech, const x1.7", d)
+	}
+	if dm.ConstW != m.ConstW*1.7 {
+		t.Fatalf("constant power %v, want %v", dm.ConstW, m.ConstW*1.7)
+	}
+	if dm.ConstW != 32.5*1.7 {
+		t.Fatalf("constant-power fixture %v, want %v", dm.ConstW, 32.5*1.7)
+	}
+	// Identity tech scaling must leave every other coefficient bit-equal.
+	for _, c := range DynComponents() {
+		if dm.BaseEnergyPJ[c] != m.BaseEnergyPJ[c] {
+			t.Fatalf("%v energy changed under identity scaling", c)
+		}
+	}
+	if dm.IdleSMW != m.IdleSMW {
+		t.Fatal("idle-SM power changed under identity scaling")
+	}
+	for mix := MixCategory(0); mix < NumMixCategories; mix++ {
+		if dm.Div[mix] != m.Div[mix] {
+			t.Fatalf("mix %v divergence model changed under identity scaling", mix)
+		}
+	}
+}
+
+func TestDeriveRejects(t *testing.T) {
+	m := testModel()
+	for _, cm := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, _, err := m.Derive(config.Turing(), cm); err == nil {
+			t.Errorf("Derive accepted constant-power multiplier %v", cm)
+		}
+	}
+	if _, _, err := m.Derive(nil, 1); err == nil {
+		t.Error("Derive accepted a nil architecture")
+	}
+}
+
+// TunedVariant provenance must survive derivation and serialisation: a
+// derived model still records what its base was tuned under.
+func TestTunedVariantPropagates(t *testing.T) {
+	m := testModel()
+	m.TunedVariant = "SASS_SIM"
+	dm, _, err := m.Derive(config.Pascal(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.TunedVariant != "SASS_SIM" {
+		t.Fatalf("derived model lost the tuned-variant tag: %q", dm.TunedVariant)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TunedVariant != "SASS_SIM" {
+		t.Fatalf("tuned-variant tag lost through save/load: %q", back.TunedVariant)
+	}
+	// Untagged files stay untagged (backward compatibility with models
+	// saved before the tag existed).
+	m2 := testModel()
+	if err := m2.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if back, err = LoadModel(path); err != nil || back.TunedVariant != "" {
+		t.Fatalf("untagged model gained a tag: %q (err %v)", back.TunedVariant, err)
+	}
+}
+
+func TestUnderiveMismatches(t *testing.T) {
+	m := testModel()
+	dm, d, err := m.Derive(config.Pascal(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dm.Underive(config.Turing(), d); err == nil {
+		t.Error("Underive accepted a base architecture that is not the derivation source")
+	}
+	if _, err := m.Underive(config.Volta(), d); err == nil {
+		t.Error("Underive accepted a model that is not the derivation target")
+	}
+	bad := d
+	bad.ConstMult = 0
+	if _, err := dm.Underive(config.Volta(), bad); err == nil {
+		t.Error("Underive accepted non-positive derivation factors")
+	}
+}
+
+// Scale-then-unscale is deterministic and tight: every coefficient returns
+// to within one ULP of the base model (bit-exactly wherever the rounded
+// product divides back cleanly, always for the constant power under an
+// exact multiplier), and the round-tripped model's serialised bytes are
+// pinned as a golden file so any drift in the transform arithmetic fails
+// loudly. Regenerate with UPDATE_DERIVE_GOLDEN=1.
+func TestUnderiveGoldenRoundTrip(t *testing.T) {
+	m := testModel()
+	golden := filepath.Join("testdata", "underive_roundtrip.json")
+	for _, tc := range []struct {
+		name string
+		arch *config.Arch
+		cm   float64
+	}{
+		{"pascal", config.Pascal(), 1.0},
+		{"turing", config.Turing(), 1.7},
+	} {
+		dm, d, err := m.Derive(tc.arch, tc.cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := dm.Underive(config.Volta(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Arch.Name != m.Arch.Name {
+			t.Fatalf("%s: round trip landed on %q", tc.name, back.Arch.Name)
+		}
+		if back.ConstW != m.ConstW {
+			t.Fatalf("%s: constant power %v did not round-trip to %v", tc.name, back.ConstW, m.ConstW)
+		}
+		for _, c := range DynComponents() {
+			if got, want := back.BaseEnergyPJ[c], m.BaseEnergyPJ[c]; math.Abs(got-want) > ulp(want) {
+				t.Fatalf("%s: %v energy %v is more than one ULP from %v", tc.name, c, got, want)
+			}
+		}
+		if math.Abs(back.IdleSMW-m.IdleSMW) > ulp(m.IdleSMW) {
+			t.Fatalf("%s: idle-SM power %v is more than one ULP from %v", tc.name, back.IdleSMW, m.IdleSMW)
+		}
+		// Identity-factor derivations invert bit-exactly in full (Underive
+		// rebuilds the Arch pointer, so compare with it normalised away).
+		if d.Tech.Identity() {
+			cmp := *back
+			cmp.Arch = m.Arch
+			if cmp != *m {
+				t.Fatalf("%s: identity-tech round trip is not bit-exact", tc.name)
+			}
+		}
+		if tc.name == "pascal" {
+			got, err := back.MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if os.Getenv("UPDATE_DERIVE_GOLDEN") == "1" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", golden)
+				continue
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with UPDATE_DERIVE_GOLDEN=1 to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: round-tripped model bytes drifted from golden %s", tc.name, golden)
+			}
+		}
+	}
+}
+
+// ulp returns the unit in the last place of x.
+func ulp(x float64) float64 {
+	return math.Nextafter(math.Abs(x), math.Inf(1)) - math.Abs(x)
+}

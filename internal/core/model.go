@@ -41,6 +41,15 @@ type Model struct {
 	// when an activity window reports a die temperature. Zero means the
 	// model was tuned at the 65C reference and applies no correction.
 	TempCoeff float64
+
+	// TunedVariant records which AccelWattch variant ("SASS_SIM", ...)
+	// the model's correction factors were fit under. It is provenance
+	// metadata only — the estimate math never reads it — but serving a
+	// model under a different variant than the one it was tuned for is a
+	// silent modelling error, so loaders surface (and the gateway can
+	// refuse) variant-mismatched use. Empty means unrecorded (models
+	// saved before this field existed).
+	TunedVariant string
 }
 
 // Validate checks that the model is usable.
@@ -234,20 +243,48 @@ func (m *Model) EstimateTrace(windows []Activity) ([]float64, float64, error) {
 	return out, energy / time, nil
 }
 
-// Retarget returns a copy of the model retargeted to a new architecture
-// without retuning — the design-space-exploration use case of Section 7.1.
-// Technology scaling is applied when the nodes differ (e.g. Volta 12 nm ->
-// Pascal 16 nm, per IRDS data); constMult adjusts the constant power for
-// board-level differences (the paper uses 1.7x for Turing's fans and
-// peripheral circuitry, 1.0 otherwise).
-func (m *Model) Retarget(arch *config.Arch, constMult float64) (*Model, error) {
+// Derivation records how a derived model was produced from a tuned base —
+// the first-class form of the Section 7.1 design-space transforms. It is
+// the provenance a model zoo attaches to Pascal/Turing entries derived from
+// the Volta-tuned model: which architectures, which technology-scaling
+// factors, and which constant-power board adjustment.
+type Derivation struct {
+	FromArch string           `json:"from_arch"`
+	ToArch   string           `json:"to_arch"`
+	Tech     config.TechScale `json:"tech_scale"`
+	// ConstMult is the board-level constant-power multiplier (the paper
+	// uses 1.7 for Turing's consumer board — fans and peripheral
+	// circuitry — and 1.0 otherwise).
+	ConstMult float64 `json:"const_mult"`
+}
+
+// Identity reports whether the derivation changes nothing: same node and a
+// unit constant-power multiplier.
+func (d Derivation) Identity() bool { return d.Tech.Identity() && d.ConstMult == 1 }
+
+// Derive returns a copy of the model retargeted to a new architecture
+// without retuning — the design-space-exploration transform of Section 7.1
+// — together with the derivation record describing exactly what was
+// applied. Technology scaling multiplies per-access dynamic energies by the
+// IRDS-shaped dynamic factor and static powers (idle-SM and both
+// divergence-model coefficients) by the static factor when the nodes differ
+// (e.g. Volta 12 nm -> Pascal 16 nm); constMult adjusts the constant power
+// for board-level differences.
+func (m *Model) Derive(arch *config.Arch, constMult float64) (*Model, Derivation, error) {
+	if arch == nil {
+		return nil, Derivation{}, fmt.Errorf("core: cannot derive onto a nil architecture")
+	}
 	if err := arch.Validate(); err != nil {
-		return nil, err
+		return nil, Derivation{}, err
+	}
+	if !(constMult > 0) || math.IsInf(constMult, 0) {
+		return nil, Derivation{}, fmt.Errorf("core: constant-power multiplier %g is not positive and finite", constMult)
 	}
 	ts, err := config.NewTechScale(m.Arch.TechNodeNM, arch.TechNodeNM)
 	if err != nil {
-		return nil, err
+		return nil, Derivation{}, err
 	}
+	d := Derivation{FromArch: m.Arch.Name, ToArch: arch.Name, Tech: ts, ConstMult: constMult}
 	out := *m
 	out.Arch = arch
 	out.ConstW = m.ConstW * constMult
@@ -261,5 +298,54 @@ func (m *Model) Retarget(arch *config.Arch, constMult float64) (*Model, error) {
 			out.Div[i].AddLaneW *= ts.Static
 		}
 	}
+	return &out, d, nil
+}
+
+// Underive inverts a derivation on a derived model: it divides by the
+// exact factors Derive multiplied by, which is the closest arithmetic
+// inverse of the rounded multiplication — every coefficient is restored to
+// within one ULP (bit-exactly for identity factors), where composing with
+// a reverse table scaling can drift by several ULPs. The round trip is
+// deterministic, so its output is pinnable as golden bytes. The derived
+// model's architecture must match the derivation's target.
+func (m *Model) Underive(base *config.Arch, d Derivation) (*Model, error) {
+	if m.Arch == nil || m.Arch.Name != d.ToArch {
+		return nil, fmt.Errorf("core: underive: model is for %q, derivation targeted %q",
+			archName(m.Arch), d.ToArch)
+	}
+	if base == nil || base.Name != d.FromArch {
+		return nil, fmt.Errorf("core: underive: base architecture %q does not match derivation source %q",
+			archName(base), d.FromArch)
+	}
+	if !(d.ConstMult > 0) || !(d.Tech.Dynamic > 0) || !(d.Tech.Static > 0) {
+		return nil, fmt.Errorf("core: underive: derivation factors are not positive")
+	}
+	out := *m
+	out.Arch = base
+	out.ConstW = m.ConstW / d.ConstMult
+	if !d.Tech.Identity() {
+		for i := range out.BaseEnergyPJ {
+			out.BaseEnergyPJ[i] /= d.Tech.Dynamic
+		}
+		out.IdleSMW /= d.Tech.Static
+		for i := range out.Div {
+			out.Div[i].FirstLaneW /= d.Tech.Static
+			out.Div[i].AddLaneW /= d.Tech.Static
+		}
+	}
 	return &out, nil
+}
+
+func archName(a *config.Arch) string {
+	if a == nil {
+		return "<nil>"
+	}
+	return a.Name
+}
+
+// Retarget is Derive without the provenance record, kept for the case-study
+// evaluation path (Figures 10-12) that only needs the transformed model.
+func (m *Model) Retarget(arch *config.Arch, constMult float64) (*Model, error) {
+	out, _, err := m.Derive(arch, constMult)
+	return out, err
 }

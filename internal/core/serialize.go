@@ -21,6 +21,7 @@ type modelJSON struct {
 	ConstW       float64            `json:"const_w"`
 	IdleSMW      float64            `json:"idle_sm_w"`
 	TempCoeff    float64            `json:"temp_coeff,omitempty"`
+	TunedVariant string             `json:"tuned_variant,omitempty"`
 	BaseEnergyPJ map[string]float64 `json:"base_energy_pj"`
 	Scale        map[string]float64 `json:"scale"`
 	Div          map[string]divJSON `json:"divergence"`
@@ -43,6 +44,7 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 		ConstW:       m.ConstW,
 		IdleSMW:      m.IdleSMW,
 		TempCoeff:    m.TempCoeff,
+		TunedVariant: m.TunedVariant,
 		BaseEnergyPJ: map[string]float64{},
 		Scale:        map[string]float64{},
 		Div:          map[string]divJSON{},
@@ -77,6 +79,7 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	m.ConstW = in.ConstW
 	m.IdleSMW = in.IdleSMW
 	m.TempCoeff = in.TempCoeff
+	m.TunedVariant = in.TunedVariant
 	nameToComp := map[string]Component{}
 	for _, c := range DynComponents() {
 		nameToComp[c.String()] = c

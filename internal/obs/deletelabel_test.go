@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// DeleteLabel is the series GC behind model retirement: dropping every
+// series carrying one label value keeps bounded labels bounded across
+// add/retire churn.
+func TestDeleteLabel(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("aw_test_routed_total", "test", "model", "result")
+	v.With("a", "hit").Inc()
+	v.With("a", "miss").Inc()
+	v.With("b", "hit").Add(3)
+
+	if n := v.DeleteLabel("model", "a"); n != 2 {
+		t.Fatalf("deleted %d series, want 2", n)
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if strings.Contains(text, `model="a"`) {
+		t.Fatalf("deleted series still exposed:\n%s", text)
+	}
+	if !strings.Contains(text, `model="b"`) {
+		t.Fatalf("unrelated series vanished:\n%s", text)
+	}
+
+	// Unknown values and labels are no-ops, not errors.
+	if n := v.DeleteLabel("model", "a"); n != 0 {
+		t.Fatalf("re-delete removed %d series, want 0", n)
+	}
+	if n := v.DeleteLabel("nonexistent", "b"); n != 0 {
+		t.Fatalf("unknown label removed %d series, want 0", n)
+	}
+
+	// Deletion is keyed by label position: a value that appears under a
+	// different label must survive.
+	v.With("hit", "miss").Inc() // model="hit", result="miss"
+	if n := v.DeleteLabel("result", "hit"); n != 1 {
+		t.Fatalf("deleted %d series by result, want 1", n)
+	}
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `model="hit"`) {
+		t.Fatal("series whose model value matches another label's deleted value was dropped")
+	}
+
+	// A live handle to a deleted series keeps working but re-With creates a
+	// fresh series (orphaned-handle semantics).
+	g := r.GaugeVec("aw_test_state", "test", "model")
+	h := g.With("x")
+	h.Set(5)
+	if n := g.DeleteLabel("model", "x"); n != 1 {
+		t.Fatalf("gauge delete removed %d, want 1", n)
+	}
+	h.Set(7) // must not panic
+	if got := g.With("x").Value(); got != 0 {
+		t.Fatalf("re-registered series inherited the orphan's value %v", got)
+	}
+
+	hv := r.HistogramVec("aw_test_lat", "test", []float64{1}, "model")
+	hv.With("x").Observe(0.5)
+	if n := hv.DeleteLabel("model", "x"); n != 1 {
+		t.Fatalf("histogram delete removed %d, want 1", n)
+	}
+}

@@ -219,6 +219,35 @@ func (f *Family) with(values []string) any {
 	return s
 }
 
+// deleteWhere unregisters every series whose value for the named label
+// equals value, returning how many were dropped. An unknown label drops
+// nothing. Outstanding handles to a dropped series keep accepting updates
+// but are orphaned — they never appear in exposition again — so callers
+// retiring a label value (a removed serving model, a drained worker) must
+// stop using their handles first.
+func (f *Family) deleteWhere(label, value string) int {
+	idx := -1
+	for i, l := range f.labels {
+		if l == label {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for key := range f.series {
+		if strings.Split(key, labelSep)[idx] == value {
+			delete(f.series, key)
+			n++
+		}
+	}
+	return n
+}
+
 // sorted returns the series in deterministic (label-value) order.
 func (f *Family) sorted() []any {
 	f.mu.Lock()
@@ -262,6 +291,11 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 // the handle; With itself takes the family lock.
 func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).(*Counter) }
 
+// DeleteLabel unregisters every series whose named label carries value —
+// the garbage-collection hook for bounded-but-churning label vocabularies
+// (e.g. retired serving models). Returns the number of series dropped.
+func (v *CounterVec) DeleteLabel(label, value string) int { return v.f.deleteWhere(label, value) }
+
 // Inc adds 1.
 func (c *Counter) Inc() { c.Add(1) }
 
@@ -300,6 +334,9 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 
 // With resolves the series for one label-value tuple.
 func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values).(*Gauge) }
+
+// DeleteLabel unregisters every series whose named label carries value.
+func (v *GaugeVec) DeleteLabel(label, value string) int { return v.f.deleteWhere(label, value) }
 
 // Set stores v.
 func (g *Gauge) Set(v float64) {
@@ -347,6 +384,9 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 
 // With resolves the series for one label-value tuple.
 func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values).(*Histogram) }
+
+// DeleteLabel unregisters every series whose named label carries value.
+func (v *HistogramVec) DeleteLabel(label, value string) int { return v.f.deleteWhere(label, value) }
 
 // Observe records one value. NaN observations are dropped (they would
 // poison the sum without landing in any meaningful bucket).

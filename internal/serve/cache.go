@@ -18,15 +18,17 @@ type result struct {
 	breakdown map[string]float64
 }
 
-// lruCache is a size-bounded LRU of canonical-key -> result. The full
-// canonical string is the key, so two distinct computations can never
-// alias. A zero or negative capacity disables the cache entirely (Get
-// always misses, Put drops).
+// lruCache is a size-bounded LRU of canonical-key -> result, one shard per
+// serving unit. The full canonical string is the key and the shard is
+// model-scoped, so two distinct computations — even the same activity
+// against two models — can never alias. A zero or negative capacity
+// disables the cache entirely (Get always misses, Put drops).
 type lruCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	mu    sync.Mutex
+	model string // owning unit's entry name, for cache-event metrics
+	cap   int
+	ll    *list.List // front = most recently used
+	m     map[string]*list.Element
 }
 
 type lruEntry struct {
@@ -34,11 +36,11 @@ type lruEntry struct {
 	res result
 }
 
-func newLRUCache(capacity int) *lruCache {
+func newLRUCache(model string, capacity int) *lruCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+	return &lruCache{model: model, cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
 }
 
 // Get returns the cached result for key, refreshing its recency.
@@ -74,7 +76,7 @@ func (c *lruCache) Put(key string, res result) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*lruEntry).key)
-		mCacheEvents.With("eviction").Inc()
+		mCacheEvents.With(c.model, "eviction").Inc()
 	}
 }
 

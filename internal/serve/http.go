@@ -78,6 +78,17 @@ func writeResult(w http.ResponseWriter, body []byte) {
 // the request counter and don't inflate the 5xx rate.
 const statusClientClosedRequest = 499
 
+// writeStatusErr maps a routing/admin error onto its HTTP status (400 for
+// plain errors).
+func writeStatusErr(w http.ResponseWriter, err error) {
+	var se *statusError
+	if errors.As(err, &se) {
+		httpError(w, se.code, se.msg)
+		return
+	}
+	httpError(w, http.StatusBadRequest, err.Error())
+}
+
 // failServe maps the serving sentinels onto HTTP statuses: backpressure is
 // 429 + Retry-After, drain is 503, a blown deadline is 504, and a client
 // that went away mid-request is 499.
@@ -120,20 +131,25 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if m := s.Model(mustVariant(req.Variant)); m == nil {
+	u, err := s.resolveUnit(req.Model, req.Arch)
+	if err != nil {
+		writeStatusErr(w, err)
+		return
+	}
+	if m := u.entry.Model(mustVariant(req.Variant)); m == nil {
 		httpError(w, http.StatusBadRequest, "variant "+req.Variant+" not served")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline)
 	defer cancel()
-	res, err := s.answer(ctx, req.CacheKey(), func() (result, error) {
-		return s.computeEstimate(req)
+	res, err := s.answer(ctx, u, req.CacheKey(), func() (result, error) {
+		return s.computeEstimate(u, req)
 	})
 	if err != nil {
 		failServe(w, err)
 		return
 	}
-	emitEstimate(req, res)
+	emitEstimate(u, req, res)
 	writeResult(w, res.body)
 }
 
@@ -158,14 +174,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if m := s.Model(mustVariant(req.Variant)); m == nil {
+	u, err := s.resolveUnit(req.Model, req.Arch)
+	if err != nil {
+		writeStatusErr(w, err)
+		return
+	}
+	if m := u.entry.Model(mustVariant(req.Variant)); m == nil {
 		httpError(w, http.StatusBadRequest, "variant "+req.Variant+" not served")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline)
 	defer cancel()
-	res, err := s.answer(ctx, req.CacheKey(), func() (result, error) {
-		return s.computeSweep(req)
+	res, err := s.answer(ctx, u, req.CacheKey(), func() (result, error) {
+		return s.computeSweep(u, req)
 	})
 	if err != nil {
 		failServe(w, err)
@@ -184,20 +205,45 @@ func mustVariant(name string) tune.Variant {
 	return v
 }
 
-// handleHealthz reports liveness plus a configuration snapshot.
+// handleHealthz reports liveness plus a configuration snapshot. The
+// top-level "variants" and "cached" keys describe the default entry, as
+// they did when the server held exactly one model set; "models" adds the
+// per-entry readiness detail — state, architecture, source, variants, and
+// cache occupancy — including retired tombstones.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	variants := make([]string, 0, tune.NumVariants)
-	for _, v := range tune.Variants() {
-		if s.models[v] != nil {
-			variants = append(variants, v.String())
-		}
+	s.umu.RLock()
+	variants := []string{}
+	cached := 0
+	if u := s.units[s.defaultName]; u != nil {
+		variants = u.entry.VariantNames()
 	}
+	models := make(map[string]any, len(s.order))
+	for _, name := range s.order {
+		state := s.states[name]
+		u, live := s.units[name]
+		detail := map[string]any{"state": state}
+		if live {
+			detail["arch"] = u.entry.Arch
+			detail["source"] = u.entry.Source
+			detail["variants"] = u.entry.VariantNames()
+			detail["cached"] = u.cache.Len()
+			if u.entry.Derived != nil {
+				detail["derived_from"] = u.entry.BaseName
+			}
+			cached += u.cache.Len()
+		}
+		models[name] = detail
+	}
+	defaultName := s.defaultName
+	s.umu.RUnlock()
 	snapshot := map[string]any{
 		"status":   "ok",
 		"draining": s.Draining(),
 		"workers":  s.workers,
 		"variants": variants,
-		"cached":   s.cache.Len(),
+		"cached":   cached,
+		"default":  defaultName,
+		"models":   models,
 	}
 	if s.tasks != nil {
 		snapshot["shards"] = s.tasks.States()
@@ -211,7 +257,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz is the load-balancer gate: ready until drain begins. A
 // fully-degraded shard fleet does NOT flip readiness — every computation
 // still answers, bit-identically, from the local fallback — but the detail
-// line says so, so operators and probes can see the degradation.
+// line says so, so operators and probes can see the degradation. The lines
+// after the first report per-model readiness; a model mid-derivation or
+// retired never flips overall readiness, because every other entry keeps
+// answering (and a replacement's old unit serves until the swap).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		httpError(w, http.StatusServiceUnavailable, "draining")
@@ -220,9 +269,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.tasks != nil && s.tasks.Degraded() {
 		_, _ = io.WriteString(w, "ok (degraded: all remote shards unavailable, serving from local fallback)\n")
-		return
+	} else {
+		_, _ = io.WriteString(w, "ok\n")
 	}
-	_, _ = io.WriteString(w, "ok\n")
+	s.umu.RLock()
+	for _, name := range s.order {
+		_, _ = fmt.Fprintf(w, "model %s: %s\n", name, s.states[name])
+	}
+	s.umu.RUnlock()
 }
 
 // handleIndex documents the routes at /.
@@ -232,12 +286,15 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = io.WriteString(w, `awserve: AccelWattch power-estimation service
-POST /estimate  kernel counters + variant -> power breakdown
-POST /sweep     activity + frequency ladder -> DVFS curve
-GET  /metrics   Prometheus exposition
-GET  /healthz   liveness + config snapshot
-GET  /readyz    readiness (503 while draining)
+	_, _ = io.WriteString(w, `awserve: AccelWattch power-estimation gateway
+POST   /estimate       kernel counters + variant [+ model/arch routing] -> power breakdown
+POST   /sweep          activity + frequency ladder [+ model/arch routing] -> DVFS curve
+GET    /models         model registry listing (entries, states, provenance)
+PUT    /models/{name}  hot-add or replace a model (saved-model JSON or derive spec)
+DELETE /models/{name}  retire a model (the default route cannot be retired)
+GET    /metrics        Prometheus exposition
+GET    /healthz        liveness + per-model snapshot
+GET    /readyz         readiness (503 while draining; per-model states follow)
 `)
 }
 
@@ -247,6 +304,8 @@ func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/estimate", instrument("estimate", s.handleEstimate))
 	mux.HandleFunc("/sweep", instrument("sweep", s.handleSweep))
+	mux.HandleFunc("/models", instrument("models", s.handleModels))
+	mux.HandleFunc("/models/", instrument("models_item", s.handleModelItem))
 	mux.Handle("/metrics", obs.Default().Handler())
 	mux.HandleFunc("/healthz", instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("/readyz", instrument("readyz", s.handleReadyz))

@@ -5,7 +5,9 @@ import "accelwattch/internal/obs"
 // Serving telemetry, following the obs naming scheme with subsystem
 // "serve". Label cardinality is bounded by construction: route is one of
 // the fixed handler names, code one of the handful of statuses the service
-// emits, and cache/reject reasons are closed vocabularies. Request bodies
+// emits, cache/reject reasons are closed vocabularies, and model is an
+// entry name from the registry, which Config.MaxModels caps and Retire
+// garbage-collects (retiring a model deletes its series). Request bodies
 // and kernel names never become labels — per-kernel context goes to the
 // ledger.
 var (
@@ -15,7 +17,7 @@ var (
 		"End-to-end request latency in seconds, by route.",
 		obs.ExpBuckets(1e-5, 4, 12), "route")
 	mCacheEvents = obs.Default().CounterVec("aw_serve_cache_events_total",
-		"Response-cache events (hit, miss, eviction, bypass).", "result")
+		"Response-cache events (hit, miss, eviction, bypass), by model shard.", "model", "result")
 	mQueueDepth = obs.Default().Gauge("aw_serve_queue_depth",
 		"Estimation jobs currently queued for the batcher.")
 	mBatchSize = obs.Default().Histogram("aw_serve_batch_size",
@@ -26,5 +28,13 @@ var (
 	mDraining = obs.Default().Gauge("aw_serve_draining",
 		"1 while the server is draining and refusing new estimation work.")
 	mEstimates = obs.Default().CounterVec("aw_serve_estimates_total",
-		"Estimates served (cache hits included), by variant.", "variant")
+		"Estimates served (cache hits included), by model and variant.", "model", "variant")
+	mModels = obs.Default().Gauge("aw_serve_models",
+		"Live (non-retired) models in the serving registry.")
+	mModelState = obs.Default().GaugeVec("aw_serve_model_state",
+		"Per-model readiness: 0 deriving, 1 ready, 2 retired.", "model")
+	mVariantMismatch = obs.Default().CounterVec("aw_serve_variant_mismatch_total",
+		"Estimates answered by a model under a variant other than the one it records being tuned for.", "model")
+	mAdminOps = obs.Default().CounterVec("aw_serve_admin_total",
+		"Admin operations on the model registry, by op (add, replace, retire) and outcome (ok, error).", "op", "outcome")
 )

@@ -35,6 +35,20 @@ type EstimateRequest struct {
 	// the computation or the response body.
 	Name string `json:"name,omitempty"`
 
+	// Model routes the request to a named zoo entry ("volta-tuned",
+	// "pascal-derived", ...); empty selects the gateway's default entry.
+	// Routing fields select which model answers — they are not part of the
+	// activity vector, and they never appear in the response body, so a
+	// routed response is byte-identical to the single-shot evaluation
+	// against that entry's model.
+	Model string `json:"model,omitempty"`
+
+	// Arch routes by architecture instead of entry name: a family alias
+	// ("pascal") or full config name ("pascal-titanx"). It must resolve to
+	// exactly one live entry — ambiguity is a 400 naming the candidates.
+	// With Model set, Arch is a cross-check against the entry's target.
+	Arch string `json:"arch,omitempty"`
+
 	Variant string `json:"variant"`
 
 	Counts       map[string]float64 `json:"counts,omitempty"`

@@ -13,14 +13,27 @@ import (
 	"accelwattch/internal/eval"
 	"accelwattch/internal/obs"
 	"accelwattch/internal/tune"
+	"accelwattch/internal/zoo"
 )
 
 // Config sizes the service. The zero value of each field selects the
-// documented default; Models is the only mandatory field.
+// documented default; exactly one of Zoo or Models must be provided.
 type Config struct {
-	// Models maps each served variant to its tuned model. Variants absent
-	// from the map answer 400. At least one variant is required.
+	// Zoo is the multi-architecture model set the gateway serves: named
+	// entries (tuned, file-loaded, derived), each becoming a model-scoped
+	// serving unit with its own cache shard and metrics labels. Takes
+	// precedence over Models.
+	Zoo *zoo.Set
+
+	// Models is the legacy single-entry configuration: one variant->model
+	// table, served as the default entry named "default". Variants absent
+	// from the map answer 400. Responses under this configuration are
+	// byte-identical to the pre-gateway server (golden-tested).
 	Models map[tune.Variant]*core.Model
+
+	// MaxModels caps the registry so the bounded `model` metric label and
+	// the admin surface cannot grow without limit. Default 64.
+	MaxModels int
 
 	// Workers is the engine pool width batches fan out across. Values < 1
 	// mean 1. Responses are bit-identical at every setting.
@@ -40,8 +53,8 @@ type Config struct {
 	// and an idle service adds no latency.
 	BatchWindow time.Duration
 
-	// CacheSize is the response LRU capacity in entries. Zero or negative
-	// disables caching entirely.
+	// CacheSize is the per-model response LRU shard capacity in entries.
+	// Zero or negative disables caching entirely.
 	CacheSize int
 
 	// Deadline bounds each request end to end; a request that cannot be
@@ -54,6 +67,9 @@ type Config struct {
 	// authority: any placement failure falls back to the in-process
 	// computation, which produces bit-identical bytes, so a degraded or
 	// dead fleet slows the service without changing a single response.
+	// Placement is pinned by model fingerprint, so a worker that does not
+	// hold a given zoo entry's exact model refuses its tasks and the
+	// gateway computes them locally.
 	Tasks TaskDispatcher
 }
 
@@ -62,6 +78,18 @@ const (
 	DefaultQueueSize = 256
 	DefaultMaxBatch  = 32
 	DefaultDeadline  = 5 * time.Second
+	DefaultMaxModels = 64
+
+	// maxRetiredTombstones bounds how many retired entries /healthz and
+	// /readyz keep reporting; beyond it the oldest tombstones are dropped.
+	maxRetiredTombstones = 32
+)
+
+// Model readiness states reported per entry by /healthz and /readyz.
+const (
+	StateReady    = "ready"    // installed and serving
+	StateDeriving = "deriving" // admin build in progress (replacements keep serving the old model)
+	StateRetired  = "retired"  // removed; in-flight requests finished on the old model
 )
 
 // Sentinel errors mapped to HTTP statuses by the handlers.
@@ -70,30 +98,71 @@ var (
 	errDraining     = errors.New("serve: draining")
 )
 
-// Server is the power-estimation service: models loaded once, requests
-// validated, coalesced into batches across an engine worker pool, answered
-// from an LRU + singleflight response cache, and drained gracefully on
-// shutdown. It implements http.Handler via Mux.
+// statusError carries an explicit HTTP status from routing and admin
+// operations to the handler edge.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+func statusErrorf(code int, format string, args ...any) *statusError {
+	return &statusError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// unit is one model-scoped serving unit: an immutable zoo entry plus the
+// serving state scoped to it — its response-cache shard, its singleflight
+// group, and the per-variant model fingerprints remote placement pins to.
+// Units are immutable once installed; hot add/swap/retire replaces the map
+// slot, never the unit, so a request that resolved a unit keeps a
+// consistent model for its whole lifetime.
+type unit struct {
+	entry   *zoo.Entry
+	fps     [tune.NumVariants]string
+	cache   *lruCache
+	flights *flightGroup
+}
+
+func newUnit(e *zoo.Entry, cacheSize int) *unit {
+	u := &unit{entry: e, cache: newLRUCache(e.Name, cacheSize), flights: newFlightGroup()}
+	for _, v := range e.Variants() {
+		u.fps[v] = e.Fingerprint(v)
+	}
+	return u
+}
+
+// Server is the power-estimation gateway: a registry of model-scoped
+// serving units (the zoo), request routing by model name or architecture,
+// shared batching across an engine worker pool, per-model LRU + singleflight
+// response caches, admin endpoints for hot add/swap/retire, and graceful
+// drain on shutdown. It implements http.Handler via Mux.
 type Server struct {
-	models      [tune.NumVariants]*core.Model
 	workers     int
 	deadline    time.Duration
 	batchWindow time.Duration
 	maxBatch    int
+	cacheSize   int
+	maxModels   int
 
-	cache   *lruCache
-	flights *flightGroup
+	// umu guards the unit registry: the name->unit map, registration
+	// order, per-entry states (including retired tombstones), and the
+	// default route. Request paths take the read lock once, to resolve a
+	// unit pointer; everything after works on the immutable unit.
+	umu         sync.RWMutex
+	units       map[string]*unit
+	states      map[string]string
+	order       []string
+	defaultName string
 
 	jobs  chan *job
 	slots *engine.Pool[struct{}]
 
-	// tasks is the optional shard fleet; modelFPs pins what each variant's
-	// model must hash to on a worker for its answers to be trusted.
-	// baseCtx scopes remote placements to the server's lifetime: Close
-	// cancels it so a stuck remote retry can never hold a drain hostage —
-	// the in-flight jobs fall back to local compute and finish.
+	// tasks is the optional shard fleet. baseCtx scopes remote placements
+	// to the server's lifetime: Close cancels it so a stuck remote retry
+	// can never hold a drain hostage — the in-flight jobs fall back to
+	// local compute and finish.
 	tasks      TaskDispatcher
-	modelFPs   [tune.NumVariants]string
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
@@ -109,47 +178,67 @@ type Server struct {
 	// backpressure, deadline, drain, and singleflight paths
 	// deterministically. Always nil in production.
 	testHookCompute func()
+
+	// testHookAdmin, when non-nil, runs inside admin installs between the
+	// "deriving" state flip and the unit swap, so tests can observe the
+	// transitional state deterministically. Always nil in production.
+	testHookAdmin func(name string)
 }
 
 // job is one computation travelling through the batcher. The flight fans
-// its landing out to every requester waiting on the same canonical key.
+// its landing out to every requester waiting on the same canonical key, and
+// the unit pins which cache shard the landing populates.
 type job struct {
 	key     string
+	unit    *unit
 	compute func() (result, error)
 	flight  *flight
 }
 
-// New builds and starts a server (its dispatcher goroutine runs until
+// New builds and starts a gateway (its dispatcher goroutine runs until
 // Close).
 func New(cfg Config) (*Server, error) {
+	set := cfg.Zoo
+	if set == nil {
+		if len(cfg.Models) == 0 {
+			return nil, fmt.Errorf("serve: no models configured")
+		}
+		e, err := zoo.PerVariant("default", cfg.Models, "config")
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		set = &zoo.Set{Default: "default", Entries: []*zoo.Entry{e}}
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s := &Server{
 		workers:     cfg.Workers,
 		deadline:    cfg.Deadline,
 		batchWindow: cfg.BatchWindow,
 		maxBatch:    cfg.MaxBatch,
-		flights:     newFlightGroup(),
+		cacheSize:   cfg.CacheSize,
+		maxModels:   cfg.MaxModels,
+		units:       make(map[string]*unit, len(set.Entries)),
+		states:      make(map[string]string, len(set.Entries)),
+		defaultName: set.Default,
 		done:        make(chan struct{}),
 		tasks:       cfg.Tasks,
 	}
+	if s.maxModels < 1 {
+		s.maxModels = DefaultMaxModels
+	}
+	if len(set.Entries) > s.maxModels {
+		return nil, fmt.Errorf("serve: %d models configured, cap is %d", len(set.Entries), s.maxModels)
+	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
-	any := false
-	for v, m := range cfg.Models {
-		if v < 0 || v >= tune.NumVariants {
-			return nil, fmt.Errorf("serve: unknown variant %v in config", v)
-		}
-		if m == nil {
-			continue
-		}
-		if err := m.Validate(); err != nil {
-			return nil, fmt.Errorf("serve: model for %v: %w", v, err)
-		}
-		s.models[v] = m
-		s.modelFPs[v] = modelFingerprint(m)
-		any = true
+	for _, e := range set.Entries {
+		s.units[e.Name] = newUnit(e, s.cacheSize)
+		s.states[e.Name] = StateReady
+		s.order = append(s.order, e.Name)
+		mModelState.With(e.Name).Set(stateValue(StateReady))
 	}
-	if !any {
-		return nil, fmt.Errorf("serve: no models configured")
-	}
+	mModels.Set(float64(len(s.units)))
 	if s.workers < 1 {
 		s.workers = 1
 	}
@@ -168,20 +257,224 @@ func New(cfg Config) (*Server, error) {
 	// Note: mDraining is deliberately not reset here. The serve metrics are
 	// process-global, and a freshly constructed Server must not clear the
 	// draining indicator of another instance in the same process.
-	s.cache = newLRUCache(cfg.CacheSize)
 	go s.dispatch()
 	return s, nil
+}
+
+// stateValue encodes a readiness state as the aw_serve_model_state gauge
+// value: 0 deriving, 1 ready, 2 retired.
+func stateValue(state string) float64 {
+	switch state {
+	case StateDeriving:
+		return 0
+	case StateReady:
+		return 1
+	default:
+		return 2
+	}
 }
 
 // Workers returns the engine pool width.
 func (s *Server) Workers() int { return s.workers }
 
-// Model returns the served model for a variant (nil when not configured).
+// DefaultName returns the entry requests without a routing field resolve to.
+func (s *Server) DefaultName() string {
+	s.umu.RLock()
+	defer s.umu.RUnlock()
+	return s.defaultName
+}
+
+// Model returns the default entry's served model for a variant (nil when
+// not configured) — the single-model accessor the pre-gateway server had.
 func (s *Server) Model(v tune.Variant) *core.Model {
-	if v < 0 || v >= tune.NumVariants {
-		return nil
+	s.umu.RLock()
+	defer s.umu.RUnlock()
+	if u := s.units[s.defaultName]; u != nil {
+		return u.entry.Model(v)
 	}
-	return s.models[v]
+	return nil
+}
+
+// Entry returns the zoo entry registered under name ("" = default), or nil.
+func (s *Server) Entry(name string) *zoo.Entry {
+	s.umu.RLock()
+	defer s.umu.RUnlock()
+	if name == "" {
+		name = s.defaultName
+	}
+	if u := s.units[name]; u != nil {
+		return u.entry
+	}
+	return nil
+}
+
+// ModelNames lists the live (non-retired) entries in registration order.
+func (s *Server) ModelNames() []string {
+	s.umu.RLock()
+	defer s.umu.RUnlock()
+	out := make([]string, 0, len(s.units))
+	for _, name := range s.order {
+		if _, ok := s.units[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// resolveUnit routes a request to a serving unit: by entry name, by
+// architecture alias, or to the default when neither is given. Resolution
+// takes the registry read lock once; the returned unit is immutable, so a
+// concurrent hot swap or retire cannot change this request's model.
+func (s *Server) resolveUnit(model, arch string) (*unit, error) {
+	s.umu.RLock()
+	defer s.umu.RUnlock()
+	if model == "" && arch == "" {
+		if u := s.units[s.defaultName]; u != nil {
+			return u, nil
+		}
+		return nil, statusErrorf(503, "serve: default model %q is not available", s.defaultName)
+	}
+	if model != "" {
+		u := s.units[model]
+		if u == nil {
+			if s.states[model] == StateRetired {
+				return nil, statusErrorf(404, "serve: model %q has been retired", model)
+			}
+			return nil, statusErrorf(404, "serve: unknown model %q", model)
+		}
+		if arch != "" && !zoo.ArchMatches(arch, u.entry.Arch) {
+			return nil, statusErrorf(400, "serve: model %q serves arch %s, not %q", model, u.entry.Arch, arch)
+		}
+		return u, nil
+	}
+	var hits []string
+	for _, name := range s.order {
+		if u, ok := s.units[name]; ok && zoo.ArchMatches(arch, u.entry.Arch) {
+			hits = append(hits, name)
+		}
+	}
+	switch len(hits) {
+	case 0:
+		return nil, statusErrorf(404, "serve: no model serves arch %q", arch)
+	case 1:
+		return s.units[hits[0]], nil
+	default:
+		return nil, statusErrorf(400, "serve: arch %q is ambiguous across models %v; pass \"model\"", arch, hits)
+	}
+}
+
+// AddEntry installs (or hot-swaps) a zoo entry as a serving unit without
+// draining: the new unit is built off-lock, then swapped into the registry
+// under the write lock. Requests that already resolved the old unit finish
+// on it — zero in-flight responses change — and requests arriving after the
+// swap see the new model. The transitional state is visible as "deriving".
+func (s *Server) AddEntry(e *zoo.Entry) error {
+	if e == nil {
+		return statusErrorf(400, "serve: nil entry")
+	}
+	if err := e.Validate(); err != nil {
+		return statusErrorf(400, "%v", err)
+	}
+	if s.Draining() {
+		return errDraining
+	}
+	s.umu.Lock()
+	_, replacing := s.units[e.Name]
+	if !replacing && len(s.units) >= s.maxModels {
+		s.umu.Unlock()
+		return statusErrorf(409, "serve: model registry is full (%d entries); retire one first", s.maxModels)
+	}
+	s.states[e.Name] = StateDeriving
+	// List the name immediately so /healthz and /readyz report the install
+	// in its transitional "deriving" state, not only after it lands.
+	if !s.listedLocked(e.Name) {
+		s.order = append(s.order, e.Name)
+	}
+	mModelState.With(e.Name).Set(stateValue(StateDeriving))
+	s.umu.Unlock()
+
+	if s.testHookAdmin != nil {
+		s.testHookAdmin(e.Name)
+	}
+	u := newUnit(e, s.cacheSize)
+
+	s.umu.Lock()
+	s.units[e.Name] = u
+	s.states[e.Name] = StateReady
+	if !s.listedLocked(e.Name) {
+		s.order = append(s.order, e.Name)
+	}
+	mModelState.With(e.Name).Set(stateValue(StateReady))
+	mModels.Set(float64(len(s.units)))
+	s.umu.Unlock()
+	return nil
+}
+
+// listedLocked reports whether name appears in the registration order.
+// Caller holds umu.
+func (s *Server) listedLocked(name string) bool {
+	for _, n := range s.order {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Retire removes a model from the registry under load: requests that
+// already resolved its unit finish unchanged; later requests naming it
+// answer 404. The default entry cannot be retired (swap it first), so the
+// unrouted path always has a target. Retired names remain visible as
+// tombstones in /healthz and /readyz (bounded; oldest dropped).
+func (s *Server) Retire(name string) error {
+	s.umu.Lock()
+	defer s.umu.Unlock()
+	if _, ok := s.units[name]; !ok {
+		if s.states[name] == StateRetired {
+			return statusErrorf(404, "serve: model %q is already retired", name)
+		}
+		return statusErrorf(404, "serve: unknown model %q", name)
+	}
+	if name == s.defaultName {
+		return statusErrorf(409, "serve: model %q is the default route; point the default elsewhere before retiring it", name)
+	}
+	delete(s.units, name)
+	s.states[name] = StateRetired
+	mModelState.With(name).Set(stateValue(StateRetired))
+	mModels.Set(float64(len(s.units)))
+	// Retired entries stop contributing metric series: drop every series
+	// labelled with this model so the bounded `model` label cannot
+	// accumulate across add/retire churn.
+	mEstimates.DeleteLabel("model", name)
+	mCacheEvents.DeleteLabel("model", name)
+	mVariantMismatch.DeleteLabel("model", name)
+	s.pruneTombstonesLocked()
+	return nil
+}
+
+// pruneTombstonesLocked drops the oldest retired tombstones beyond the cap.
+// Caller holds umu.
+func (s *Server) pruneTombstonesLocked() {
+	retired := 0
+	for _, st := range s.states {
+		if st == StateRetired {
+			retired++
+		}
+	}
+	if retired <= maxRetiredTombstones {
+		return
+	}
+	kept := s.order[:0]
+	for _, name := range s.order {
+		if retired > maxRetiredTombstones && s.states[name] == StateRetired {
+			delete(s.states, name)
+			mModelState.DeleteLabel("model", name)
+			retired--
+			continue
+		}
+		kept = append(kept, name)
+	}
+	s.order = kept
 }
 
 // enqueue hands a job to the batcher, honouring drain and backpressure.
@@ -204,8 +497,9 @@ func (s *Server) enqueue(j *job) error {
 
 // dispatch is the batcher loop: take one job, coalesce whatever else is
 // queued (bounded by MaxBatch, optionally waiting BatchWindow), and fan the
-// batch across the engine pool. Each job's computation is pure, so batch
-// composition and worker count cannot influence any response.
+// batch across the engine pool. Each job's computation is pure and carries
+// its own unit, so batch composition — even mixing models — and worker
+// count cannot influence any response.
 func (s *Server) dispatch() {
 	defer close(s.done)
 	for {
@@ -256,16 +550,17 @@ func (s *Server) dispatch() {
 	}
 }
 
-// runJob computes a job, populates the cache, and lands the flight.
+// runJob computes a job, populates its unit's cache shard, and lands the
+// flight.
 func (s *Server) runJob(j *job) {
 	if s.testHookCompute != nil {
 		s.testHookCompute()
 	}
 	res, err := j.compute()
 	if err == nil {
-		s.cache.Put(j.key, res)
+		j.unit.cache.Put(j.key, res)
 	}
-	s.flights.land(j.key, j.flight, res, err)
+	j.unit.flights.land(j.key, j.flight, res, err)
 	s.pending.Done()
 }
 
@@ -319,23 +614,25 @@ func (s *Server) Close() {
 	})
 }
 
-// answer resolves one validated request through cache, singleflight, and
-// the batcher, honouring ctx for the caller's wait. The returned result is
-// shared — callers must not mutate it.
-func (s *Server) answer(ctx context.Context, key string, compute func() (result, error)) (result, error) {
-	if res, ok := s.cache.Get(key); ok {
-		mCacheEvents.With("hit").Inc()
+// answer resolves one validated request through the unit's cache shard,
+// singleflight group, and the shared batcher, honouring ctx for the
+// caller's wait. The returned result is shared — callers must not mutate
+// it.
+func (s *Server) answer(ctx context.Context, u *unit, key string, compute func() (result, error)) (result, error) {
+	name := u.entry.Name
+	if res, ok := u.cache.Get(key); ok {
+		mCacheEvents.With(name, "hit").Inc()
 		return res, nil
 	}
-	if s.cache == nil {
-		mCacheEvents.With("bypass").Inc()
+	if u.cache == nil {
+		mCacheEvents.With(name, "bypass").Inc()
 	} else {
-		mCacheEvents.With("miss").Inc()
+		mCacheEvents.With(name, "miss").Inc()
 	}
-	f, leader := s.flights.join(key)
+	f, leader := u.flights.join(key)
 	if leader {
-		if err := s.enqueue(&job{key: key, compute: compute, flight: f}); err != nil {
-			s.flights.land(key, f, result{}, err)
+		if err := s.enqueue(&job{key: key, unit: u, compute: compute, flight: f}); err != nil {
+			u.flights.land(key, f, result{}, err)
 			return result{}, err
 		}
 	}
@@ -354,20 +651,21 @@ func (s *Server) answer(ctx context.Context, key string, compute func() (result,
 
 // computeEstimate is the pure estimate computation: the single-shot eval
 // path, marshalled once. req must be validated. With a shard fleet
-// configured the computation places remotely first; the bytes are the same
-// either way, so placement is invisible to callers.
-func (s *Server) computeEstimate(req *EstimateRequest) (result, error) {
+// configured the computation places remotely first, pinned to the unit's
+// model fingerprint; the bytes are the same either way, so placement is
+// invisible to callers.
+func (s *Server) computeEstimate(u *unit, req *EstimateRequest) (result, error) {
 	v, err := ParseVariant(req.Variant)
 	if err != nil {
 		return result{}, err
 	}
-	m := s.models[v]
+	m := u.entry.Model(v)
 	if m == nil {
 		return result{}, fmt.Errorf("serve: variant %s not served", req.Variant)
 	}
 	if s.tasks != nil {
 		if reqBody, err := json.Marshal(req); err == nil {
-			if body, ok := s.remoteCompute(TaskEstimate, req.CacheKey(), reqBody, s.modelFPs[v]); ok {
+			if body, ok := s.remoteCompute(TaskEstimate, req.CacheKey(), reqBody, u.fps[v]); ok {
 				var resp EstimateResponse
 				if json.Unmarshal(body, &resp) == nil {
 					return result{body: body, powerW: resp.PowerW, breakdown: resp.Breakdown}, nil
@@ -378,18 +676,18 @@ func (s *Server) computeEstimate(req *EstimateRequest) (result, error) {
 	return estimateResult(m, req)
 }
 
-func (s *Server) computeSweep(req *SweepRequest) (result, error) {
+func (s *Server) computeSweep(u *unit, req *SweepRequest) (result, error) {
 	v, err := ParseVariant(req.Variant)
 	if err != nil {
 		return result{}, err
 	}
-	m := s.models[v]
+	m := u.entry.Model(v)
 	if m == nil {
 		return result{}, fmt.Errorf("serve: variant %s not served", req.Variant)
 	}
 	if s.tasks != nil {
 		if reqBody, err := json.Marshal(req); err == nil {
-			if body, ok := s.remoteCompute(TaskSweep, req.CacheKey(), reqBody, s.modelFPs[v]); ok {
+			if body, ok := s.remoteCompute(TaskSweep, req.CacheKey(), reqBody, u.fps[v]); ok {
 				var resp SweepResponse
 				if json.Unmarshal(body, &resp) == nil {
 					return result{body: body}, nil
@@ -401,8 +699,9 @@ func (s *Server) computeSweep(req *SweepRequest) (result, error) {
 }
 
 // estimateResult evaluates one request against a model and marshals the
-// response. Every serving path — batched, cached, or the single-shot
-// reference below — flows through this one function.
+// response. Every serving path — batched, cached, remote, or the
+// single-shot reference below — flows through this one function, for every
+// zoo entry, which is what makes the per-model bit-identity contract hold.
 func estimateResult(m *core.Model, req *EstimateRequest) (result, error) {
 	a, err := req.Activity()
 	if err != nil {
@@ -445,9 +744,10 @@ func sweepResult(m *core.Model, req *SweepRequest) (result, error) {
 }
 
 // EstimateOnce is the single-shot reference path: decode, validate, and
-// evaluate one estimate body with no server, queue, batcher, or cache in
-// the way. The serving determinism suite asserts that what the HTTP
-// service returns under concurrency is bit-identical to these bytes.
+// evaluate one estimate body against one model with no gateway, queue,
+// batcher, or cache in the way. The serving determinism suite asserts that
+// what the HTTP service returns under concurrency — for tuned and derived
+// entries alike — is bit-identical to these bytes.
 func EstimateOnce(m *core.Model, body []byte) ([]byte, error) {
 	req, err := DecodeEstimateRequest(body)
 	if err != nil {
@@ -475,14 +775,23 @@ func SweepOnce(m *core.Model, body []byte) ([]byte, error) {
 
 // emitEstimate records one served estimate in the attribution ledger: one
 // KindBreakdown event per answered /estimate request (cache hits included),
-// run-ID correlated like every other ledger event. Sweeps carry no
-// attribution payload and emit nothing.
-func emitEstimate(req *EstimateRequest, res result) {
-	mEstimates.With(req.Variant).Inc()
+// run-ID correlated like every other ledger event, tagged with the serving
+// model's name. Sweeps carry no attribution payload and emit nothing.
+func emitEstimate(u *unit, req *EstimateRequest, res result) {
+	name := u.entry.Name
+	mEstimates.With(name, req.Variant).Inc()
+	if v, err := ParseVariant(req.Variant); err == nil {
+		// A model tagged as tuned under one variant answering for another
+		// is a modelling smell the operator opted into (all_variants);
+		// make it loudly visible without per-request log spam.
+		if _, mismatch := u.entry.TunedVariantMismatch(v); mismatch {
+			mVariantMismatch.With(name).Inc()
+		}
+	}
 	if led := obs.ActiveLedger(); led != nil && res.breakdown != nil {
 		led.Emit(obs.Event{
 			Kind: obs.KindBreakdown, Stage: "serve/estimate",
-			Workload: req.Name, Variant: req.Variant,
+			Workload: req.Name, Variant: req.Variant, Detail: name,
 			PowerW: res.powerW, Breakdown: res.breakdown,
 		})
 	}

@@ -225,7 +225,7 @@ func TestCacheKeyCanonical(t *testing.T) {
 }
 
 func TestLRUCache(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache("test", 2)
 	c.Put("a", result{powerW: 1})
 	c.Put("b", result{powerW: 2})
 	if _, ok := c.Get("a"); !ok {
@@ -261,7 +261,7 @@ func TestLRUCache(t *testing.T) {
 	if off.Len() != 0 {
 		t.Fatal("nil cache has nonzero length")
 	}
-	if newLRUCache(0) != nil {
+	if newLRUCache("test", 0) != nil {
 		t.Fatal("capacity 0 should disable the cache")
 	}
 }
@@ -346,16 +346,17 @@ func TestSweepMatchesSingleShot(t *testing.T) {
 func TestCacheHitServesIdenticalBytes(t *testing.T) {
 	s, ts := newTestServer(t, Config{CacheSize: 8})
 	body := estBody(2)
+	shard := s.units[s.DefaultName()].cache
 	_, first := post(t, ts, "/estimate", body)
-	if s.cache.Len() != 1 {
-		t.Fatalf("cache holds %d entries after first request, want 1", s.cache.Len())
+	if shard.Len() != 1 {
+		t.Fatalf("cache holds %d entries after first request, want 1", shard.Len())
 	}
 	_, second := post(t, ts, "/estimate", body)
 	if !bytes.Equal(first, second) {
 		t.Fatal("cache hit served different bytes")
 	}
-	if s.cache.Len() != 1 {
-		t.Fatalf("cache holds %d entries after hit, want 1", s.cache.Len())
+	if shard.Len() != 1 {
+		t.Fatalf("cache holds %d entries after hit, want 1", shard.Len())
 	}
 }
 

@@ -4,11 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 
 	"accelwattch/internal/core"
 	"accelwattch/internal/shard"
 	"accelwattch/internal/tune"
+	"accelwattch/internal/zoo"
 )
 
 // Shard task kinds for the serving pipeline.
@@ -35,19 +35,15 @@ type taskSpec struct {
 }
 
 // modelFingerprint hashes a model's serialised form. Two processes that
-// loaded or tuned the same model agree on it; any coefficient drift breaks
-// it.
+// loaded, tuned, or derived the same model agree on it; any coefficient
+// drift breaks it. It is the same fingerprint zoo entries expose, so a
+// worker started from the same manifest as the gateway accepts tasks for
+// every entry it shares.
 func modelFingerprint(m *core.Model) string {
 	if m == nil {
 		return ""
 	}
-	b, err := json.Marshal(m)
-	if err != nil {
-		return "unmarshalable"
-	}
-	h := fnv.New64a()
-	_, _ = h.Write(b)
-	return fmt.Sprintf("%016x", h.Sum64())
+	return zoo.ModelFingerprint(m)
 }
 
 // TaskMux builds the worker-side handler set for the serving pipeline on a
