@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"accelwattch/internal/config"
+)
+
+// BatchEstimator is the zero-allocation estimation hot path: the model's
+// coefficient tables pre-resolved once into a struct-of-arrays layout, then
+// evaluated over whole batches of activities — or entire DVFS ladders — into
+// caller-provided buffers. Building one estimator per model (the serving
+// layer builds one per model fingerprint) hoists every per-request pointer
+// chase (Arch, Div, RefSMs) out of the loop; the Into methods then perform
+// no heap allocation on the warm path, which BenchmarkEstimateBatch and
+// BenchmarkSweepLadder assert via 0 allocs/op.
+//
+// Bit-identity contract: every number a BatchEstimator produces is
+// bit-identical to what Model.Estimate produces for the same activity,
+// including error positions when a batch contains an invalid vector. That
+// contract is what makes this path safe to substitute anywhere the scalar
+// path runs (the serving layer's responses, eval's validation loops), and
+// it pins the implementation in one crucial way: floating-point
+// multiplication is not associative, so the tables deliberately keep
+// BaseEnergyPJ and Scale as separate arrays rather than folding
+// base*scale*1e-12 into one coefficient. The dynamic term's multiplication
+// chain
+//
+//	(((((counts*base)*scale)*1e-12)*vRatio)*vRatio)/timeS
+//
+// is evaluated left-to-right exactly as the scalar path does; what the
+// ladder-specialized path hoists out of the rung loop is the clock-invariant
+// PREFIX of that chain (((counts*base)*scale)*1e-12), which is a pure
+// renaming of intermediates — no reassociation — and therefore bit-exact at
+// every rung. The differential fuzz target (FuzzBatchVsScalarEstimate) and
+// the determinism suites enforce the contract continuously.
+type BatchEstimator struct {
+	model *Model
+	arch  *config.Arch
+
+	// SoA component tables, copied out of the model once.
+	energyPJ [NumDynComponents]float64
+	scale    [NumDynComponents]float64
+	div      [NumMixCategories]DivModel
+
+	// Pre-resolved static coefficients.
+	constW    float64
+	idleSMW   float64
+	tempCoeff float64
+	refSMs    float64
+	numSMs    float64
+	baseClock float64
+	baseVolt  float64
+}
+
+// NewBatchEstimator validates the model and pre-resolves its tables. The
+// estimator holds the model's coefficients by value: a later mutation of the
+// model does not affect an already-built estimator, which is exactly the
+// immutability the serving layer's hot-swap relies on.
+func NewBatchEstimator(m *Model) (*BatchEstimator, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	e := &BatchEstimator{
+		model:     m,
+		arch:      m.Arch,
+		energyPJ:  m.BaseEnergyPJ,
+		scale:     m.Scale,
+		div:       m.Div,
+		constW:    m.ConstW,
+		idleSMW:   m.IdleSMW,
+		tempCoeff: m.TempCoeff,
+		refSMs:    float64(m.RefSMs),
+		numSMs:    float64(m.Arch.NumSMs),
+		baseClock: m.Arch.BaseClockMHz,
+		baseVolt:  m.Arch.BaseVoltage(),
+	}
+	return e, nil
+}
+
+// Model returns the model the estimator was built from.
+func (e *BatchEstimator) Model() *Model { return e.model }
+
+// EstimateInto evaluates one activity into a caller-provided breakdown with
+// no allocation on the success path. The result is bit-identical to
+// Model.Estimate; the returned error (for an invalid activity) carries the
+// same message.
+func (e *BatchEstimator) EstimateInto(a *Activity, b *Breakdown) error {
+	if err := a.Validate(); err != nil {
+		*b = Breakdown{}
+		return err
+	}
+	e.estimateValidated(a, b)
+	return nil
+}
+
+// estimateValidated is the validated-input core of EstimateInto: the same
+// operation sequence as Model.Estimate, reading the pre-resolved tables.
+func (e *BatchEstimator) estimateValidated(a *Activity, b *Breakdown) {
+	clock := a.ClockMHz
+	if clock == 0 {
+		clock = e.baseClock
+	}
+	volt := a.Voltage
+	if volt == 0 {
+		volt = e.arch.Voltage(clock)
+	}
+	vRatio := volt / e.baseVolt
+	timeS := a.Cycles / (clock * 1e6)
+
+	for i := 0; i < NumDynComponents; i++ {
+		b.Watts[i] = a.Counts[i] * e.energyPJ[i] * e.scale[i] * 1e-12 * vRatio * vRatio / timeS
+	}
+	for i := NumDynComponents; i < NumComponents; i++ {
+		b.Watts[i] = 0
+	}
+	k := a.ActiveSMs
+	if k > 0 {
+		tempF := 1.0
+		if e.tempCoeff != 0 && a.TemperatureC != 0 {
+			tempF = math.Exp(e.tempCoeff * (a.TemperatureC - 65))
+		}
+		perSM := e.div[a.Mix].ChipStaticW(a.AvgLanes) / e.refSMs
+		b.Watts[CompStatic] = perSM * k * vRatio * tempF
+		idle := e.numSMs - k
+		if idle < 0 {
+			idle = 0
+		}
+		b.Watts[CompIdleSM] = e.idleSMW * idle * vRatio * tempF
+	}
+	b.Watts[CompConst] = e.constW
+}
+
+// EstimateBatch evaluates a batch of activities into a caller-provided
+// breakdown slice, stopping at the first invalid activity exactly like the
+// scalar loop
+//
+//	for i := range acts { out[i], err = model.Estimate(acts[i]) }
+//
+// would. It returns the number of completed estimates; a non-nil error
+// belongs to acts[n] and matches the scalar path's error for that activity.
+// out[n:] is left untouched on error. len(out) must be >= len(acts).
+func (e *BatchEstimator) EstimateBatch(acts []Activity, out []Breakdown) (int, error) {
+	if len(out) < len(acts) {
+		return 0, fmt.Errorf("core: batch output holds %d breakdowns for %d activities", len(out), len(acts))
+	}
+	for i := range acts {
+		if err := acts[i].Validate(); err != nil {
+			return i, err
+		}
+		e.estimateValidated(&acts[i], &out[i])
+	}
+	return len(acts), nil
+}
+
+// SweepLadderInto evaluates one activity across a DVFS clock ladder, writing
+// the total watts of each rung into totals (len(totals) must be >=
+// len(clocksMHz)). Everything clock-invariant — validation, the dynamic
+// chain's prefix counts*base*scale*1e-12, the divergence model evaluation,
+// the temperature factor, and the idle-SM product — is hoisted out of the
+// rung loop; each rung then costs two multiplies and a divide per dynamic
+// component. Each totals[j] is bit-identical to evaluating Model.Estimate
+// with ClockMHz = clocksMHz[j] and summing the breakdown with
+// Breakdown.Total. A zero rung clock selects the base clock, and a zero
+// a.Voltage resolves per rung from the architecture's V-f curve, exactly as
+// in the scalar path.
+func (e *BatchEstimator) SweepLadderInto(a *Activity, clocksMHz []float64, totals []float64) error {
+	if len(totals) < len(clocksMHz) {
+		return fmt.Errorf("core: ladder output holds %d totals for %d rungs", len(totals), len(clocksMHz))
+	}
+	if err := a.Validate(); err != nil {
+		return err
+	}
+
+	// Clock-invariant hoists. dyn is the prefix of the scalar multiplication
+	// chain (see the type comment): hoisting it is renaming, not
+	// reassociation, so per-rung results stay bit-exact.
+	var dyn [NumDynComponents]float64
+	for i := 0; i < NumDynComponents; i++ {
+		dyn[i] = a.Counts[i] * e.energyPJ[i] * e.scale[i] * 1e-12
+	}
+	k := a.ActiveSMs
+	var hStatic, hIdle, tempF float64
+	if k > 0 {
+		tempF = 1.0
+		if e.tempCoeff != 0 && a.TemperatureC != 0 {
+			tempF = math.Exp(e.tempCoeff * (a.TemperatureC - 65))
+		}
+		perSM := e.div[a.Mix].ChipStaticW(a.AvgLanes) / e.refSMs
+		hStatic = perSM * k
+		idle := e.numSMs - k
+		if idle < 0 {
+			idle = 0
+		}
+		hIdle = e.idleSMW * idle
+	}
+
+	for j, clock := range clocksMHz {
+		if clock == 0 {
+			clock = e.baseClock
+		}
+		volt := a.Voltage
+		if volt == 0 {
+			volt = e.arch.Voltage(clock)
+		}
+		vRatio := volt / e.baseVolt
+		timeS := a.Cycles / (clock * 1e6)
+
+		// Accumulate in component-index order, exactly as Breakdown.Total
+		// sums Watts[0..24]: dynamic components, then static, idle-SM, and
+		// constant. When k <= 0 the static terms are literal zeros, matching
+		// the zero-valued breakdown slots the scalar path leaves behind.
+		t := 0.0
+		for i := 0; i < NumDynComponents; i++ {
+			t += dyn[i] * vRatio * vRatio / timeS
+		}
+		if k > 0 {
+			t += hStatic * vRatio * tempF
+			t += hIdle * vRatio * tempF
+		} else {
+			t += 0.0
+			t += 0.0
+		}
+		t += e.constW
+		totals[j] = t
+	}
+	return nil
+}
+
+// EstimateTraceInto evaluates the model over a sequence of sampling windows
+// (the cycle-level power trace of Section 5.2), writing per-window total
+// watts into out (len(out) must be >= len(windows)) and returning the
+// time-weighted average power. Bit-identical to Model.EstimateTrace, with no
+// allocation on the warm path.
+func (e *BatchEstimator) EstimateTraceInto(windows []Activity, out []float64) (float64, error) {
+	if len(out) < len(windows) {
+		return 0, fmt.Errorf("core: trace output holds %d totals for %d windows", len(out), len(windows))
+	}
+	var b Breakdown
+	var energy, time float64
+	for i := range windows {
+		if err := e.EstimateInto(&windows[i], &b); err != nil {
+			return 0, fmt.Errorf("window %d: %w", i, err)
+		}
+		p := b.Total()
+		out[i] = p
+		clock := windows[i].ClockMHz
+		if clock == 0 {
+			clock = e.baseClock
+		}
+		t := windows[i].Cycles / (clock * 1e6)
+		energy += p * t
+		time += t
+	}
+	if time == 0 {
+		return 0, nil
+	}
+	return energy / time, nil
+}
+
+// Scratch is a reusable batch-evaluation buffer: breakdown and total slices
+// that reset (reslice) rather than reallocate between uses. Callers obtain
+// one from GetScratch, size it with Grow, and return it with PutScratch —
+// the pooling discipline that keeps steady-state batch evaluation at zero
+// allocations once the pool is warm.
+type Scratch struct {
+	Breakdowns []Breakdown
+	Totals     []float64
+}
+
+// Grow ensures capacity for n entries and reslices both buffers to length n.
+// Existing backing arrays are reused whenever they are large enough.
+func (s *Scratch) Grow(n int) {
+	if cap(s.Breakdowns) < n {
+		s.Breakdowns = make([]Breakdown, n)
+	} else {
+		s.Breakdowns = s.Breakdowns[:n]
+	}
+	if cap(s.Totals) < n {
+		s.Totals = make([]float64, n)
+	} else {
+		s.Totals = s.Totals[:n]
+	}
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch takes a scratch buffer from the pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a scratch buffer to the pool. The buffer must not be
+// used after it is put back; contents are not cleared (every user writes
+// before reading by construction of the Into APIs).
+func PutScratch(s *Scratch) { scratchPool.Put(s) }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// splitmix64 is the corpus-stable PRNG the fuzz harness expands one seed
+// into a whole batch with.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fuzzActivity derives one activity from the PRNG stream. Roughly one in
+// eight is invalid (negative cycles, negative counts, out-of-range lanes),
+// so the error-position half of the contract is exercised continuously.
+func fuzzActivity(s *uint64) Activity {
+	f := func(scale float64) float64 {
+		return float64(splitmix64(s)%(1<<20)) / float64(1<<10) * scale
+	}
+	a := Activity{
+		Cycles:    1 + f(1e4),
+		ClockMHz:  f(2000),
+		Voltage:   f(1.2),
+		ActiveSMs: f(100),
+		AvgLanes:  f(32) / 32,
+		Mix:       MixCategory(splitmix64(s) % uint64(NumMixCategories)),
+	}
+	a.AvgLanes = math.Min(a.AvgLanes*32, 32)
+	if splitmix64(s)%4 == 0 {
+		a.TemperatureC = 40 + f(60)
+	}
+	for i := 0; i < NumDynComponents; i++ {
+		if splitmix64(s)%3 == 0 {
+			a.Counts[i] = f(1e9)
+		}
+	}
+	switch splitmix64(s) % 24 {
+	case 0:
+		a.Cycles = -a.Cycles
+	case 1:
+		a.Counts[splitmix64(s)%uint64(NumDynComponents)] = -1
+	case 2:
+		a.AvgLanes = 33
+	case 3:
+		a.ActiveSMs = -2
+	}
+	return a
+}
+
+// FuzzBatchVsScalarEstimate is the differential fuzz target of the batch
+// engine: for a randomly derived batch of activities, EstimateBatch must be
+// bit-identical to the scalar Estimate loop — every component of every
+// breakdown, the first-error position, and the error message — and
+// SweepLadderInto must match per-rung scalar totals on a ladder derived from
+// the same seed.
+func FuzzBatchVsScalarEstimate(f *testing.F) {
+	f.Add(uint64(1), uint64(4), 0.018, 1100.0)
+	f.Add(uint64(42), uint64(8), 0.0, 0.0)
+	f.Add(uint64(0xdeadbeef), uint64(1), -0.01, 835.5)
+	f.Add(uint64(7), uint64(13), 0.018, 1912.0)
+
+	model := testModel()
+	tmodel := tempModel()
+
+	f.Fuzz(func(t *testing.T, seed, n uint64, tempCoeff, clock float64) {
+		m := model
+		if tempCoeff != 0 {
+			if math.IsNaN(tempCoeff) || math.IsInf(tempCoeff, 0) {
+				t.Skip()
+			}
+			m = tmodel
+		}
+		be, err := NewBatchEstimator(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := seed
+		acts := make([]Activity, 1+n%16)
+		for i := range acts {
+			acts[i] = fuzzActivity(&s)
+		}
+
+		out := make([]Breakdown, len(acts))
+		bn, berr := be.EstimateBatch(acts, out)
+
+		// Scalar oracle loop.
+		sn, serr := len(acts), error(nil)
+		for i := range acts {
+			bd, err := m.Estimate(acts[i])
+			if err != nil {
+				sn, serr = i, err
+				break
+			}
+			for c := 0; c < NumComponents; c++ {
+				if math.Float64bits(out[i].Watts[c]) != math.Float64bits(bd.Watts[c]) {
+					t.Fatalf("activity %d component %v: batch %x scalar %x",
+						i, Component(c), math.Float64bits(out[i].Watts[c]), math.Float64bits(bd.Watts[c]))
+				}
+			}
+		}
+		if bn != sn {
+			t.Fatalf("batch stopped at %d, scalar at %d", bn, sn)
+		}
+		if (berr == nil) != (serr == nil) {
+			t.Fatalf("batch err %v, scalar err %v", berr, serr)
+		}
+		if berr != nil && berr.Error() != serr.Error() {
+			t.Fatalf("batch err %q, scalar err %q", berr, serr)
+		}
+
+		// Ladder differential on the first activity, valid or not.
+		if math.IsNaN(clock) || math.IsInf(clock, 0) {
+			t.Skip()
+		}
+		ladder := []float64{0, clock, clock * 1.5, 2 * clock}
+		totals := make([]float64, len(ladder))
+		lerr := be.SweepLadderInto(&acts[0], ladder, totals)
+		verr := acts[0].Validate()
+		if (lerr == nil) != (verr == nil) {
+			t.Fatalf("ladder err %v, validate err %v", lerr, verr)
+		}
+		if lerr == nil {
+			for j, c := range ladder {
+				pa := acts[0]
+				pa.ClockMHz = c
+				bd, err := m.Estimate(pa)
+				if err != nil {
+					t.Fatalf("scalar rung %d: %v", j, err)
+				}
+				if math.Float64bits(totals[j]) != math.Float64bits(bd.Total()) {
+					t.Fatalf("rung %d (%g MHz): ladder %x scalar %x",
+						j, c, math.Float64bits(totals[j]), math.Float64bits(bd.Total()))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// batchCases is a spread of activities covering every branch of the scalar
+// path: default and explicit DVFS points, explicit voltage, temperature
+// correction on and off, every mix category, zero active SMs (no static
+// terms), fractional SMs and lanes, over-subscribed SMs (idle clamp), and
+// empty count vectors.
+func batchCases() []Activity {
+	var acts []Activity
+	base := fullActivity()
+	acts = append(acts, base)
+
+	a := base
+	a.ClockMHz = 1100
+	acts = append(acts, a)
+
+	a = base
+	a.ClockMHz = 835
+	a.Voltage = 0.91
+	acts = append(acts, a)
+
+	a = base
+	a.TemperatureC = 71
+	acts = append(acts, a)
+
+	a = base
+	a.ActiveSMs = 0 // no static or idle-SM terms
+	acts = append(acts, a)
+
+	a = base
+	a.ActiveSMs = 97.5 // above NumSMs: idle clamps at zero
+	a.AvgLanes = 16.25
+	acts = append(acts, a)
+
+	for mix := MixCategory(0); mix < NumMixCategories; mix++ {
+		a = base
+		a.Mix = mix
+		a.AvgLanes = 17 // the half-warp model's dip point
+		acts = append(acts, a)
+	}
+
+	a = Activity{Cycles: 1, ActiveSMs: 0.5, AvgLanes: 0.5} // empty counts, sub-SM window
+	acts = append(acts, a)
+
+	return acts
+}
+
+// tempModel is testModel with a temperature coefficient, so the exp() branch
+// participates in the differential comparison.
+func tempModel() *Model {
+	m := testModel()
+	m.TempCoeff = 0.018
+	return m
+}
+
+func mustBatchEstimator(t *testing.T, m *Model) *BatchEstimator {
+	t.Helper()
+	be, err := NewBatchEstimator(m)
+	if err != nil {
+		t.Fatalf("NewBatchEstimator: %v", err)
+	}
+	return be
+}
+
+// TestBatchMatchesScalarBitExact is the oracle contract: EstimateBatch must
+// produce bit-identical breakdowns to the scalar Estimate loop, at every
+// batch size prefix.
+func TestBatchMatchesScalarBitExact(t *testing.T) {
+	for _, m := range []*Model{testModel(), tempModel()} {
+		be := mustBatchEstimator(t, m)
+		acts := batchCases()
+		out := make([]Breakdown, len(acts))
+		n, err := be.EstimateBatch(acts, out)
+		if err != nil || n != len(acts) {
+			t.Fatalf("EstimateBatch: n=%d err=%v", n, err)
+		}
+		for i := range acts {
+			want, err := m.Estimate(acts[i])
+			if err != nil {
+				t.Fatalf("scalar estimate %d: %v", i, err)
+			}
+			for c := 0; c < NumComponents; c++ {
+				if math.Float64bits(out[i].Watts[c]) != math.Float64bits(want.Watts[c]) {
+					t.Errorf("activity %d component %v: batch %x scalar %x", i, Component(c),
+						math.Float64bits(out[i].Watts[c]), math.Float64bits(want.Watts[c]))
+				}
+			}
+		}
+		// Single-shot EstimateInto agrees as well.
+		var b Breakdown
+		for i := range acts {
+			if err := be.EstimateInto(&acts[i], &b); err != nil {
+				t.Fatalf("EstimateInto %d: %v", i, err)
+			}
+			want, _ := m.Estimate(acts[i])
+			if math.Float64bits(b.Total()) != math.Float64bits(want.Total()) {
+				t.Errorf("activity %d: EstimateInto total %v, scalar %v", i, b.Total(), want.Total())
+			}
+		}
+	}
+}
+
+// TestSweepLadderMatchesScalarBitExact pins the ladder-specialized path:
+// each rung's total must be bit-identical to the scalar path evaluated at
+// that rung's clock.
+func TestSweepLadderMatchesScalarBitExact(t *testing.T) {
+	ladder := []float64{0, 510, 835, 1100, 1417, 1912} // 0 = base clock
+	for _, m := range []*Model{testModel(), tempModel()} {
+		be := mustBatchEstimator(t, m)
+		totals := make([]float64, len(ladder))
+		for i, a := range batchCases() {
+			if err := be.SweepLadderInto(&a, ladder, totals); err != nil {
+				t.Fatalf("SweepLadderInto %d: %v", i, err)
+			}
+			for j, clock := range ladder {
+				pa := a
+				pa.ClockMHz = clock
+				want, err := m.Estimate(pa)
+				if err != nil {
+					t.Fatalf("scalar rung %d: %v", j, err)
+				}
+				if math.Float64bits(totals[j]) != math.Float64bits(want.Total()) {
+					t.Errorf("activity %d rung %g MHz: ladder %x scalar %x", i, clock,
+						math.Float64bits(totals[j]), math.Float64bits(want.Total()))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchErrorPositions: a batch containing an invalid activity must stop
+// exactly where the scalar loop stops, with the scalar loop's error message,
+// leaving the prefix bit-identical and the suffix untouched.
+func TestBatchErrorPositions(t *testing.T) {
+	m := testModel()
+	be := mustBatchEstimator(t, m)
+	acts := batchCases()
+	bad := 3
+	acts[bad].Cycles = -1
+	out := make([]Breakdown, len(acts))
+	sentinel := Breakdown{}
+	sentinel.Watts[0] = math.Inf(1)
+	for i := bad; i < len(out); i++ {
+		out[i] = sentinel
+	}
+	n, err := be.EstimateBatch(acts, out)
+	if n != bad || err == nil {
+		t.Fatalf("EstimateBatch stopped at %d (err %v), want %d", n, err, bad)
+	}
+	_, serr := m.Estimate(acts[bad])
+	if serr == nil || serr.Error() != err.Error() {
+		t.Fatalf("batch error %q, scalar error %q", err, serr)
+	}
+	for i := 0; i < bad; i++ {
+		want, _ := m.Estimate(acts[i])
+		if math.Float64bits(out[i].Total()) != math.Float64bits(want.Total()) {
+			t.Errorf("prefix %d diverged after error", i)
+		}
+	}
+	for i := bad; i < len(out); i++ {
+		if out[i] != sentinel {
+			t.Errorf("entry %d written past the error position", i)
+		}
+	}
+
+	// Output shorter than the batch is an error, not a partial write.
+	if _, err := be.EstimateBatch(acts, out[:2]); err == nil {
+		t.Fatal("short output accepted")
+	}
+	// Invalid activity fails SweepLadderInto before any rung.
+	if err := be.SweepLadderInto(&acts[bad], []float64{1000}, []float64{0}); err == nil {
+		t.Fatal("invalid activity accepted by SweepLadderInto")
+	}
+	if err := be.SweepLadderInto(&acts[0], []float64{1000, 1100}, make([]float64, 1)); err == nil {
+		t.Fatal("short ladder output accepted")
+	}
+}
+
+// TestEstimateTraceMatchesBatch: the trace API (now running on the batch
+// engine) must agree with a hand-rolled scalar window loop bit-for-bit.
+func TestEstimateTraceMatchesBatch(t *testing.T) {
+	m := tempModel()
+	windows := batchCases()
+	out, avg, err := m.EstimateTrace(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var energy, time float64
+	for i := range windows {
+		b, err := m.Estimate(windows[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := b.Total()
+		if math.Float64bits(out[i]) != math.Float64bits(p) {
+			t.Errorf("window %d: trace %v scalar %v", i, out[i], p)
+		}
+		clock := windows[i].ClockMHz
+		if clock == 0 {
+			clock = m.Arch.BaseClockMHz
+		}
+		tS := windows[i].Cycles / (clock * 1e6)
+		energy += p * tS
+		time += tS
+	}
+	if math.Float64bits(avg) != math.Float64bits(energy/time) {
+		t.Errorf("trace average %v, scalar %v", avg, energy/time)
+	}
+
+	// Error positions carry the window index, as before the batch rewrite.
+	bad := windows
+	bad[2].Cycles = 0
+	if _, _, err := m.EstimateTrace(bad); err == nil {
+		t.Fatal("invalid window accepted")
+	} else if got := err.Error(); got[:9] != "window 2:" {
+		t.Fatalf("error %q does not carry the window position", got)
+	}
+}
+
+// TestNewBatchEstimatorRejectsInvalid: the estimator refuses what
+// Model.Validate refuses.
+func TestNewBatchEstimatorRejectsInvalid(t *testing.T) {
+	if _, err := NewBatchEstimator(nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	m := testModel()
+	m.ConstW = math.NaN()
+	if _, err := NewBatchEstimator(m); err == nil {
+		t.Fatal("NaN constant power accepted")
+	}
+}
+
+// TestScratchPoolReuse: Grow reslices without reallocating when capacity
+// suffices, so pooled buffers actually amortise.
+func TestScratchPoolReuse(t *testing.T) {
+	s := GetScratch()
+	s.Grow(64)
+	if len(s.Breakdowns) != 64 || len(s.Totals) != 64 {
+		t.Fatalf("Grow(64): len %d/%d", len(s.Breakdowns), len(s.Totals))
+	}
+	p := &s.Breakdowns[0]
+	s.Grow(16)
+	s.Grow(64)
+	if &s.Breakdowns[0] != p {
+		t.Fatal("Grow reallocated a buffer that already had capacity")
+	}
+	PutScratch(s)
+}
+
+// TestBatchZeroAllocs is the warm-path allocation contract: once buffers
+// exist, batch estimation, ladder sweeps, and trace evaluation allocate
+// nothing. (Skipped under the race detector, whose instrumentation
+// allocates.)
+func TestBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	m := tempModel()
+	be, err := NewBatchEstimator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := batchCases()
+	out := make([]Breakdown, len(acts))
+	ladder := []float64{510, 835, 1100, 1417}
+	totals := make([]float64, len(ladder))
+
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := be.EstimateBatch(acts, out); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("EstimateBatch allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := be.SweepLadderInto(&acts[0], ladder, totals); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("SweepLadderInto allocates %v per run, want 0", n)
+	}
+	traceOut := make([]float64, len(acts))
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := be.EstimateTraceInto(acts, traceOut); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("EstimateTraceInto allocates %v per run, want 0", n)
+	}
+	var b Breakdown
+	if n := testing.AllocsPerRun(100, func() {
+		if err := be.EstimateInto(&acts[0], &b); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("EstimateInto allocates %v per run, want 0", n)
+	}
+}

@@ -218,29 +218,20 @@ func (m *Model) EstimatePower(a Activity) (float64, error) {
 
 // EstimateTrace evaluates the model over a sequence of sampling windows
 // (the cycle-level power trace of Section 5.2) and returns per-window total
-// watts plus the time-weighted average power.
+// watts plus the time-weighted average power. It runs on the batch engine
+// (one table resolution for the whole trace); per-window powers are
+// bit-identical to calling Estimate window by window.
 func (m *Model) EstimateTrace(windows []Activity) ([]float64, float64, error) {
+	be, err := NewBatchEstimator(m)
+	if err != nil {
+		return nil, 0, err
+	}
 	out := make([]float64, len(windows))
-	var energy, time float64
-	for i := range windows {
-		b, err := m.Estimate(windows[i])
-		if err != nil {
-			return nil, 0, fmt.Errorf("window %d: %w", i, err)
-		}
-		p := b.Total()
-		out[i] = p
-		clock := windows[i].ClockMHz
-		if clock == 0 {
-			clock = m.Arch.BaseClockMHz
-		}
-		t := windows[i].Cycles / (clock * 1e6)
-		energy += p * t
-		time += t
+	avg, err := be.EstimateTraceInto(windows, out)
+	if err != nil {
+		return nil, 0, err
 	}
-	if time == 0 {
-		return out, 0, nil
-	}
-	return out, energy / time, nil
+	return out, avg, nil
 }
 
 // Derivation records how a derived model was produced from a tuned base —

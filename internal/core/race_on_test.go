@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions are skipped under it because its instrumentation allocates.
+const raceEnabled = true

@@ -33,8 +33,14 @@ func DeepBenchStudy(tb *tune.Testbench, model *core.Model, suite []workloads.Dee
 // operating point, not call order), so the figures are identical at every
 // worker count.
 func DeepBenchStudyExec(ex *tune.Exec, model *core.Model, suite []workloads.DeepBenchmark) ([]DeepBenchResult, float64, error) {
+	// One table resolution for the whole study; estimators are read-only
+	// after construction, so sharing one across the worker fan-out is safe.
+	be, err := core.NewBatchEstimator(model)
+	if err != nil {
+		return nil, 0, err
+	}
 	out, err := tune.Map(ex, suite, func(tb *tune.Testbench, db workloads.DeepBenchmark) (DeepBenchResult, error) {
-		return deepBenchOne(tb, model, db)
+		return deepBenchOne(tb, be, db)
 	})
 	if err != nil {
 		return nil, 0, err
@@ -53,7 +59,7 @@ func DeepBenchStudyExec(ex *tune.Exec, model *core.Model, suite []workloads.Deep
 
 // deepBenchOne replays one benchmark's kernel groups on silicon and on the
 // simulator and combines group powers energy-weighted.
-func deepBenchOne(tb *tune.Testbench, model *core.Model, db workloads.DeepBenchmark) (DeepBenchResult, error) {
+func deepBenchOne(tb *tune.Testbench, be *core.BatchEstimator, db workloads.DeepBenchmark) (DeepBenchResult, error) {
 	// Collect traces once per kernel (shared across replicas via the
 	// artifact store).
 	traces := make([]*trace.KernelTrace, len(db.Kernels))
@@ -84,10 +90,11 @@ func deepBenchOne(tb *tune.Testbench, model *core.Model, db workloads.DeepBenchm
 		if err != nil {
 			return DeepBenchResult{}, err
 		}
-		p, err := model.EstimatePower(r.Aggregate)
-		if err != nil {
+		var bd core.Breakdown
+		if err := be.EstimateInto(&r.Aggregate, &bd); err != nil {
 			return DeepBenchResult{}, fmt.Errorf("eval: deepbench %s: %w", db.Name, err)
 		}
+		p := bd.Total()
 		t := r.Cycles / (tb.Arch.BaseClockMHz * 1e6)
 		eEnergy += p * t
 		eTime += t

@@ -71,6 +71,22 @@ func EstimateOne(model *core.Model, name string, measuredW float64, a core.Activ
 	return KernelResult{Name: name, MeasuredW: measuredW, EstimatedW: bd.Total(), Breakdown: bd}, nil
 }
 
+// EstimateOneInto is EstimateOne through a pre-resolved batch estimator: the
+// zero-allocation hot path the validation loop below and the serving layer
+// use when they evaluate many activities against one model. The breakdown
+// is written in place into the returned KernelResult — no heap allocation —
+// and the result (values, error message, everything) is bit-identical to
+// EstimateOne on the estimator's model; the scalar path stays the oracle the
+// batch path is differentially tested against.
+func EstimateOneInto(be *core.BatchEstimator, name string, measuredW float64, a core.Activity) (KernelResult, error) {
+	kr := KernelResult{Name: name, MeasuredW: measuredW}
+	if err := be.EstimateInto(&a, &kr.Breakdown); err != nil {
+		return KernelResult{}, fmt.Errorf("eval: %s: %w", name, err)
+	}
+	kr.EstimatedW = kr.Breakdown.Total()
+	return kr, nil
+}
+
 // ValidationResult aggregates one variant's run over a suite.
 type ValidationResult struct {
 	Variant tune.Variant
@@ -131,6 +147,12 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 	kernelsDone := mKernels.With(v.String())
 	errHist := mAbsErrPct.With(v.String())
 	led := obs.ActiveLedger()
+	// One table resolution for the whole suite: the loop below estimates
+	// every kernel through the batch engine (bit-identical to EstimateOne).
+	be, err := core.NewBatchEstimator(model)
+	if err != nil {
+		return nil, fmt.Errorf("eval: variant %v: %w", v, err)
+	}
 	var meas, est []float64
 	var compSum [core.NumComponents]float64
 	for i := range suite {
@@ -147,7 +169,7 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 		if err != nil {
 			return nil, err
 		}
-		kr, err := EstimateOne(model, k.Name, m.AvgPowerW, a)
+		kr, err := EstimateOneInto(be, k.Name, m.AvgPowerW, a)
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +197,6 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 	for c := 0; c < core.NumComponents; c++ {
 		mComponentW.With(core.Component(c).String(), v.String()).Set(compSum[c] / float64(len(meas)))
 	}
-	var err error
 	res.MAPE, res.CI95, err = stats.MAPEWithCI(meas, est)
 	if err != nil {
 		return nil, err

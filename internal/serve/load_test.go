@@ -85,6 +85,7 @@ func BenchmarkServeMixedLoad(b *testing.B) {
 		s.Close()
 	}()
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 128}}
+	b.ReportAllocs()
 
 	// GOMAXPROCS x SetParallelism goroutines; 16x oversubscription clears
 	// 64 concurrent clients on any runner with >=4 procs.

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+
+	"accelwattch/internal/core"
+	"accelwattch/internal/eval"
+	"accelwattch/internal/tune"
+)
+
+// sweepScratch is the reusable per-computation buffer set of the batched
+// sweep path: the clock ladder, the per-rung totals the core ladder engine
+// writes into, and the response points handed to the JSON encoder. Buffers
+// reset (reslice to zero) rather than reallocate, so a warm server computes
+// sweeps of any previously-seen size without growing the heap. The
+// marshalled body copies everything out, which is what makes returning the
+// scratch to the pool safe the moment Marshal returns.
+type sweepScratch struct {
+	clocks []float64
+	totals []float64
+	points []SweepPoint
+}
+
+var sweepScratchPool = sync.Pool{New: func() any { return new(sweepScratch) }}
+
+// estimateResultBatched is estimateResult on the unit's pre-resolved batch
+// estimator: the same eval wrapper (EstimateOneInto is bit-identical to
+// EstimateOne), the same response struct, the same marshalling — so the body
+// bytes are provably equal to the scalar reference path's, which the golden
+// and determinism suites assert end to end.
+func estimateResultBatched(be *core.BatchEstimator, req *EstimateRequest) (result, error) {
+	a, err := req.Activity()
+	if err != nil {
+		return result{}, err
+	}
+	kr, err := eval.EstimateOneInto(be, req.Name, 0, a)
+	if err != nil {
+		return result{}, err
+	}
+	resp := EstimateResponse{Variant: req.Variant, PowerW: kr.EstimatedW, Breakdown: kr.Breakdown.Map()}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		return result{}, err
+	}
+	return result{body: body, powerW: kr.EstimatedW, breakdown: resp.Breakdown}, nil
+}
+
+// sweepResultBatched is sweepResult through the ladder-specialized batch
+// path: the ladder, rung totals, and response points all live in pooled
+// buffers, and the whole DVFS curve is evaluated in one pass with the
+// clock-invariant work hoisted out of the rung loop. Each rung's power is
+// bit-identical to the scalar path's EstimateOne total, so the marshalled
+// bytes match sweepResult exactly.
+func sweepResultBatched(be *core.BatchEstimator, req *SweepRequest) (result, error) {
+	a, err := req.Activity()
+	if err != nil {
+		return result{}, err
+	}
+	sc := sweepScratchPool.Get().(*sweepScratch)
+	defer sweepScratchPool.Put(sc)
+	fs := tune.FreqSweep{MinMHz: req.MinMHz, MaxMHz: req.MaxMHz, StepMHz: req.StepMHz}
+	sc.clocks = fs.AppendPoints(sc.clocks[:0])
+	if cap(sc.totals) < len(sc.clocks) {
+		sc.totals = make([]float64, len(sc.clocks))
+	} else {
+		sc.totals = sc.totals[:len(sc.clocks)]
+	}
+	if err := be.SweepLadderInto(&a, sc.clocks, sc.totals); err != nil {
+		return result{}, err
+	}
+	sc.points = sc.points[:0]
+	for j, mhz := range sc.clocks {
+		sc.points = append(sc.points, SweepPoint{ClockMHz: mhz, PowerW: sc.totals[j]})
+	}
+	resp := SweepResponse{Variant: req.Variant, Points: sc.points}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		return result{}, err
+	}
+	return result{body: body}, nil
+}

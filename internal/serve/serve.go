@@ -122,12 +122,32 @@ type unit struct {
 	fps     [tune.NumVariants]string
 	cache   *lruCache
 	flights *flightGroup
+
+	// bes are the per-variant batch estimators: the model's coefficient
+	// tables pre-resolved once per model fingerprint at install time, so the
+	// request hot path never re-derives them. Variants sharing one model
+	// (the legacy single-model configuration) share one estimator. A nil
+	// slot (unserved variant, or a model the estimator refused) falls back
+	// to the scalar path, which is bit-identical by contract.
+	bes [tune.NumVariants]*core.BatchEstimator
 }
 
 func newUnit(e *zoo.Entry, cacheSize int) *unit {
 	u := &unit{entry: e, cache: newLRUCache(e.Name, cacheSize), flights: newFlightGroup()}
 	for _, v := range e.Variants() {
 		u.fps[v] = e.Fingerprint(v)
+		m := e.Model(v)
+		for w, prev := range u.bes {
+			if prev != nil && prev.Model() == m {
+				u.bes[v] = u.bes[w]
+				break
+			}
+		}
+		if u.bes[v] == nil {
+			if be, err := core.NewBatchEstimator(m); err == nil {
+				u.bes[v] = be
+			}
+		}
 	}
 	return u
 }
@@ -673,6 +693,9 @@ func (s *Server) computeEstimate(u *unit, req *EstimateRequest) (result, error) 
 			}
 		}
 	}
+	if be := u.bes[v]; be != nil {
+		return estimateResultBatched(be, req)
+	}
 	return estimateResult(m, req)
 }
 
@@ -695,13 +718,18 @@ func (s *Server) computeSweep(u *unit, req *SweepRequest) (result, error) {
 			}
 		}
 	}
+	if be := u.bes[v]; be != nil {
+		return sweepResultBatched(be, req)
+	}
 	return sweepResult(m, req)
 }
 
 // estimateResult evaluates one request against a model and marshals the
-// response. Every serving path — batched, cached, remote, or the
-// single-shot reference below — flows through this one function, for every
-// zoo entry, which is what makes the per-model bit-identity contract hold.
+// response — the scalar reference path. The request hot path runs
+// estimateResultBatched (pool.go) instead, against the unit's pre-resolved
+// batch estimator; the two produce bit-identical bytes (the batch engine's
+// core contract), so the single-shot reference below and the served
+// responses remain provably the same computation for every zoo entry.
 func estimateResult(m *core.Model, req *EstimateRequest) (result, error) {
 	a, err := req.Activity()
 	if err != nil {
@@ -719,7 +747,8 @@ func estimateResult(m *core.Model, req *EstimateRequest) (result, error) {
 	return result{body: body, powerW: kr.EstimatedW, breakdown: resp.Breakdown}, nil
 }
 
-// sweepResult evaluates the activity across the frequency ladder.
+// sweepResult evaluates the activity across the frequency ladder — the
+// scalar reference path; the hot path is sweepResultBatched (pool.go).
 func sweepResult(m *core.Model, req *SweepRequest) (result, error) {
 	a, err := req.Activity()
 	if err != nil {
