@@ -16,19 +16,25 @@
 // engine/tune/faults/eval series keep moving for a scraping Prometheus;
 // without it the pipeline runs once and the final state stays up for
 // scraping. -once skips the HTTP server entirely and dumps the exposition
-// to stdout, which is what the golden CI check consumes.
+// to stdout, which is what the golden CI check consumes. In serve mode,
+// SIGINT/SIGTERM drains the HTTP server, writes the -metrics-out snapshot,
+// and flushes the trace/ledger artifacts with run_end reason "sigterm"
+// before exiting.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"accelwattch"
@@ -75,6 +81,26 @@ func (st *state) serveIndex(w http.ResponseWriter, r *http.Request) {
 		"/debug/pprof/  Go profiling endpoints\n", st.archName)
 }
 
+// shutdownFlush is the exporter's exit path, shared by -once and the signal
+// handler: write the final metrics snapshot and flush the run artifacts
+// (trace and ledger) with the given close reason. A scraped exporter killed
+// by its supervisor leaves its last telemetry behind instead of losing
+// everything since the previous scrape.
+func shutdownFlush(reg *obs.Registry, run *cli.Run, metricsOut, reason string) error {
+	var first error
+	if metricsOut != "" {
+		if err := reg.WriteJSONFile(metricsOut); err != nil {
+			first = err
+		} else {
+			run.Log.Info("wrote metrics snapshot", "path", metricsOut)
+		}
+	}
+	if err := run.CloseReason(reason); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
 // newMux assembles the exporter's HTTP surface: metrics, health, the pprof
 // profiling endpoints, and the index. Factored out of main so tests can
 // drive the exact mux the exporter serves.
@@ -103,7 +129,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count")
 		interval  = flag.Duration("interval", 0, "re-run the pipeline on a fresh session at this period (0 = run once)")
 		once      = flag.Bool("once", false, "run the pipeline once, print /metrics output to stdout, and exit")
-		out       = flag.String("metrics-out", "", "also write the JSON telemetry snapshot to this file on exit (with -once)")
+		out       = flag.String("metrics-out", "", "write the JSON telemetry snapshot to this file on exit (with -once, or on SIGTERM in serve mode)")
 	)
 	traceOut, ledgerOut := cli.Artifacts()
 	flag.Parse()
@@ -165,22 +191,23 @@ func main() {
 		if err := reg.WritePrometheus(os.Stdout); err != nil {
 			run.Fatal(err)
 		}
-		if *out != "" {
-			if err := reg.WriteJSONFile(*out); err != nil {
-				run.Fatal(err)
-			}
-		}
 		if e := st.lastErr.Load().(string); e != "" {
 			run.Fatalf("pipeline failed: %s", e)
 		}
-		if err := run.Close(); err != nil {
+		if err := shutdownFlush(reg, run, *out, "ok"); err != nil {
 			logger.Error("writing artifacts", "err", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	mux := newMux(reg, st)
+	httpSrv := &http.Server{Addr: *addr, Handler: newMux(reg, st)}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	go func() {
 		for {
 			start := time.Now()
@@ -189,13 +216,32 @@ func main() {
 				return
 			}
 			if sleep := *interval - time.Since(start); sleep > 0 {
-				time.Sleep(sleep)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(sleep):
+				}
 			}
 		}
 	}()
 
 	logger.Info("serving telemetry",
 		"arch", arch.Name, "addr", *addr, "workers", *workers, "faults", *faultName)
-	err = http.ListenAndServe(*addr, mux)
-	run.Fatalf("server exited: %v", err)
+	select {
+	case <-ctx.Done():
+		logger.Info("signal received; flushing telemetry")
+	case err := <-errc:
+		run.Fatalf("server exited: %v", err)
+	}
+	stopSignals()
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		logger.Error("http shutdown", "err", err)
+	}
+	if err := shutdownFlush(reg, run, *out, "sigterm"); err != nil {
+		logger.Error("writing artifacts", "err", err)
+		os.Exit(1)
+	}
 }

@@ -5,11 +5,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	"accelwattch"
+	"accelwattch/internal/cli"
 	"accelwattch/internal/obs"
 )
 
@@ -147,5 +150,58 @@ func TestConcurrentScrapesDuringTune(t *testing.T) {
 	wg.Wait()
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShutdownFlush is the SIGTERM-path regression test: the shared exit
+// helper must settle the ledger to its JSONL artifact with run_end reason
+// "sigterm" and write the final metrics snapshot, so a supervisor-killed
+// exporter loses no telemetry.
+func TestShutdownFlush(t *testing.T) {
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "ledger.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	run := cli.Start("awexport-test", "volta", "", ledgerPath)
+	reg := obs.Default()
+	reg.GaugeVec("aw_export_ready",
+		"1 once the exporter's pipeline has completed at least one run.", "arch").With("volta").Set(1)
+	if led := obs.ActiveLedger(); led != nil {
+		led.Emit(obs.Event{Kind: obs.KindFit, Stage: "test", Detail: "pre-sigterm"})
+	} else {
+		t.Fatal("cli.Start did not install a ledger")
+	}
+
+	if err := shutdownFlush(reg, run, metricsPath, "sigterm"); err != nil {
+		t.Fatal(err)
+	}
+
+	evs, err := obs.ReadLedgerFile(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNote bool
+	var end *obs.Event
+	for i, ev := range evs {
+		switch {
+		case ev.Kind == obs.KindFit && ev.Detail == "pre-sigterm":
+			sawNote = true
+		case ev.Kind == obs.KindRunEnd:
+			end = &evs[i]
+		}
+	}
+	if !sawNote {
+		t.Fatal("pre-shutdown ledger event lost in flush")
+	}
+	if end == nil || end.Reason != "sigterm" {
+		t.Fatalf("run_end missing or wrong reason: %+v", end)
+	}
+
+	snap, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(snap), "aw_export_ready") {
+		t.Fatal("metrics snapshot missing exporter series")
 	}
 }

@@ -11,11 +11,24 @@
 // components sum bit-identically to its estimated total — the attribution
 // invariant the eval tests enforce — and awreport re-checks it on the way
 // in, so a corrupted ledger is reported rather than rendered.
+//
+// -energy switches to the chargeback report: the per-tenant joules ledger
+// accumulated by awmeterd's attribution windows and awserve's per-request
+// energy charges, split by idle/active power domain with each tenant's
+// share of the fleet total:
+//
+//	awmeterd -once -ticks 500 -ledger-out ledger.jsonl >/dev/null
+//	awreport -energy -ledger ledger.jsonl
+//
+// The same corruption stance applies: every ingested event's joules_total
+// must equal joules_active+joules_idle bit-for-bit (the encoding
+// round-trips floats exactly), or the ledger is rejected.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -44,6 +57,7 @@ func main() {
 	var (
 		ledgerPath = flag.String("ledger", "", "read breakdowns from this JSONL ledger instead of running the pipeline")
 		components = flag.Bool("components", false, "print all 25 raw components instead of the Figure 8/9 groups")
+		energy     = flag.Bool("energy", false, "render the per-tenant energy chargeback table from the ledger's attribution events")
 		variant    = flag.String("variant", "", "only report this variant (SASS_SIM, PTX_SIM, HW, HYBRID)")
 		archName   = flag.String("arch", "volta", "architecture for live runs (volta, pascal, turing)")
 		full       = flag.Bool("full", false, "use the full-fidelity workload scale for live runs")
@@ -51,6 +65,18 @@ func main() {
 	)
 	traceOut, ledgerOut := cli.Artifacts()
 	flag.Parse()
+
+	if *energy {
+		if *ledgerPath == "" {
+			log.Fatal("-energy needs -ledger (attribution events come from awmeterd or awserve, not live runs)")
+		}
+		rows, err := energyFromLedger(*ledgerPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printChargeback(os.Stdout, rows)
+		return
+	}
 
 	var byVariant map[string][]row
 	var err error
@@ -164,6 +190,84 @@ func fromLiveRun(archName string, full bool, workers int, traceOut, ledgerOut st
 		return nil, err
 	}
 	return out, nil
+}
+
+// chargeRow is one tenant's accumulated energy ledger position.
+type chargeRow struct {
+	Tenant  string
+	Events  int
+	Ticks   int64
+	ActiveJ float64
+	IdleJ   float64
+	TotalJ  float64
+}
+
+// energyFromLedger folds the ledger's energy-carrying events — KindEnergy
+// attribution windows from the streaming collector, plus KindBreakdown
+// estimate events awserve charged (Tenant set) — into per-tenant ledger
+// positions. Each event's domain-split invariant is re-verified bit-for-bit
+// on ingestion: the JSONL encoding round-trips floats exactly, so any
+// mismatch means a corrupted or hand-edited ledger, not rounding.
+func energyFromLedger(path string) ([]chargeRow, error) {
+	events, err := obs.ReadLedgerFile(path)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[string]int)
+	var rows []chargeRow
+	for i, ev := range events {
+		if ev.Tenant == "" {
+			continue
+		}
+		if math.Float64bits(ev.JoulesTotal) != math.Float64bits(ev.JoulesActive+ev.JoulesIdle) {
+			return nil, fmt.Errorf("%s: event %d (tenant %s): joules_total %g is not bit-exactly active %g + idle %g — corrupted ledger",
+				path, i, ev.Tenant, ev.JoulesTotal, ev.JoulesActive, ev.JoulesIdle)
+		}
+		j, ok := idx[ev.Tenant]
+		if !ok {
+			j = len(rows)
+			idx[ev.Tenant] = j
+			rows = append(rows, chargeRow{Tenant: ev.Tenant})
+		}
+		r := &rows[j]
+		r.Events++
+		r.Ticks += ev.Ticks
+		r.ActiveJ += ev.JoulesActive
+		r.IdleJ += ev.JoulesIdle
+		r.TotalJ += ev.JoulesTotal
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no energy attribution events (was the ledger written by awmeterd or awserve?)", path)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Tenant < rows[j].Tenant })
+	return rows, nil
+}
+
+// printChargeback renders the per-tenant chargeback table: joules by power
+// domain, each tenant's share of the fleet total, and a fleet footer.
+func printChargeback(out io.Writer, rows []chargeRow) {
+	var fleetA, fleetI, fleetT float64
+	var fleetEvents int
+	for _, r := range rows {
+		fleetA += r.ActiveJ
+		fleetI += r.IdleJ
+		fleetT += r.TotalJ
+		fleetEvents += r.Events
+	}
+	fmt.Fprintf(out, "== per-tenant energy chargeback (%d tenants) ==\n", len(rows))
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "tenant\tevents\tticks\tactive J\tidle J\ttotal J\tshare\t")
+	for _, r := range rows {
+		share := 0.0
+		if fleetT > 0 {
+			share = 100 * r.TotalJ / fleetT
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.6g\t%.6g\t%.6g\t%.1f%%\t\n",
+			r.Tenant, r.Events, r.Ticks, r.ActiveJ, r.IdleJ, r.TotalJ, share)
+	}
+	fmt.Fprintf(w, "TOTAL\t%d\t\t%.6g\t%.6g\t%.6g\t\t\n", fleetEvents, fleetA, fleetI, fleetT)
+	w.Flush()
+	fmt.Fprintln(out)
 }
 
 func printTable(variant string, rows []row, perComponent bool) {

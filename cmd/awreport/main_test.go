@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"accelwattch/internal/attr"
 	"accelwattch/internal/config"
 	"accelwattch/internal/core"
 	"accelwattch/internal/obs"
@@ -221,5 +222,130 @@ func TestLedgerRowsMatchModelEstimate(t *testing.T) {
 	}
 	if got["HW"][0].TotalW != bd.Total() {
 		t.Fatal("total did not survive the ledger round trip")
+	}
+}
+
+func energyEvent(tenant string, ticks int64, activeJ, idleJ float64) obs.Event {
+	return obs.Event{
+		Kind: obs.KindEnergy, Stage: "attr", Tenant: tenant, Ticks: ticks,
+		JoulesActive: activeJ, JoulesIdle: idleJ, JoulesTotal: activeJ + idleJ,
+	}
+}
+
+func TestEnergyFromLedger(t *testing.T) {
+	// A mixed ledger: collector windows (KindEnergy), a serve-charged
+	// estimate (KindBreakdown with Tenant set), and unrelated events that
+	// must be skipped.
+	bd := testBreakdown(1)
+	served := breakdownEvent("gemm", "SASS_SIM", bd, 120)
+	served.Tenant = "model-a"
+	served.Ticks = 1
+	served.JoulesActive, served.JoulesIdle = 0.25, 0.05
+	served.JoulesTotal = 0.25 + 0.05
+	path := writeLedger(t,
+		obs.Event{Kind: obs.KindRunStart, Stage: "awmeterd"},
+		energyEvent("tenant-b", 100, 10, 2),
+		energyEvent("tenant-a", 100, 4, 1),
+		served,
+		energyEvent("tenant-b", 50, 5, 1),
+		breakdownEvent("stream", "HW", bd, 200), // uncharged: no tenant
+		obs.Event{Kind: obs.KindRunEnd, Reason: "ok"},
+	)
+	rows, err := energyFromLedger(path)
+	if err != nil {
+		t.Fatalf("energyFromLedger: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d tenants, want 3: %+v", len(rows), rows)
+	}
+	// Sorted by tenant name.
+	if rows[0].Tenant != "model-a" || rows[1].Tenant != "tenant-a" || rows[2].Tenant != "tenant-b" {
+		t.Fatalf("tenant order: %+v", rows)
+	}
+	b := rows[2]
+	if b.Events != 2 || b.Ticks != 150 || b.ActiveJ != 15 || b.IdleJ != 3 || b.TotalJ != 18 {
+		t.Fatalf("tenant-b position: %+v", b)
+	}
+	if rows[0].TotalJ != 0.3 || rows[0].Ticks != 1 {
+		t.Fatalf("serve-charged row: %+v", rows[0])
+	}
+}
+
+func TestEnergyFromLedgerRejectsBrokenSplit(t *testing.T) {
+	ev := energyEvent("tenant-x", 10, 3, 1)
+	ev.JoulesTotal = 4.0000001 // not active+idle
+	path := writeLedger(t, ev)
+	if _, err := energyFromLedger(path); err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("broken domain split not rejected: %v", err)
+	}
+}
+
+func TestEnergyFromLedgerEmpty(t *testing.T) {
+	path := writeLedger(t, obs.Event{Kind: obs.KindRunStart})
+	if _, err := energyFromLedger(path); err == nil || !strings.Contains(err.Error(), "no energy attribution") {
+		t.Fatalf("empty ledger not diagnosed: %v", err)
+	}
+}
+
+func TestPrintChargeback(t *testing.T) {
+	var sb strings.Builder
+	printChargeback(&sb, []chargeRow{
+		{Tenant: "a", Events: 2, Ticks: 20, ActiveJ: 30, IdleJ: 10, TotalJ: 40},
+		{Tenant: "b", Events: 1, Ticks: 10, ActiveJ: 45, IdleJ: 15, TotalJ: 60},
+	})
+	out := sb.String()
+	for _, want := range []string{"2 tenants", "active J", "60.0%", "40.0%", "TOTAL", "100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chargeback table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The chargeback loop closes end to end: a ledger produced by a real
+// collector run ingests with every invariant intact and the fleet total
+// matching the collector's own snapshot.
+func TestChargebackFromCollectorLedger(t *testing.T) {
+	led := obs.NewLedger("chargeback-e2e")
+	reg := obs.NewRegistry()
+	reg.SetLedger(led)
+	m, err := attr.ReferenceModel(config.Volta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := attr.New(attr.Config{
+		Model: m, Registry: reg, Tenants: 6, Workers: 2, Seed: 7,
+		TickSeconds: 1e-3, WindowTicks: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(50)
+	c.Flush()
+
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := led.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := energyFromLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d tenants, want 6", len(rows))
+	}
+	snap := c.Snapshot()
+	byName := make(map[string]float64, len(snap))
+	for _, te := range snap {
+		byName[te.Tenant] = te.TotalJ
+	}
+	for _, r := range rows {
+		want, ok := byName[r.Tenant]
+		if !ok {
+			t.Fatalf("ledger tenant %s unknown to the collector", r.Tenant)
+		}
+		if !closeEnough(r.TotalJ, want) {
+			t.Fatalf("%s: ledger total %g vs collector %g", r.Tenant, r.TotalJ, want)
+		}
 	}
 }

@@ -1,0 +1,264 @@
+package attr
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"accelwattch/internal/faults"
+	"accelwattch/internal/obs"
+)
+
+// runFleet drives a fresh collector for ticks ticks and returns its final
+// snapshot plus the KindEnergy events it emitted (Seq/time/run-ID
+// normalised away, as the ledger contract allows).
+func runFleet(t testing.TB, tenants, workers, ticks int, chaos *faults.Profile, obsOn bool) ([]TenantEnergy, []obs.Event) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.SetEnabled(obsOn)
+	led := obs.NewLedger("det")
+	reg.SetLedger(led)
+	c, err := New(Config{
+		Model:       testModel(t),
+		Registry:    reg,
+		Tenants:     tenants,
+		Workers:     workers,
+		Seed:        1234,
+		WindowTicks: 32,
+		Chaos:       chaos,
+		LifetimeTicks: func(i int) int64 {
+			if i%5 == 0 {
+				return 70 // a fifth of the fleet churns mid-run
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(ticks)
+	c.Flush()
+	var evs []obs.Event
+	for _, ev := range led.Events() {
+		if ev.Kind != obs.KindEnergy {
+			continue
+		}
+		ev.Seq, ev.TimeUnixNano, ev.RunID = 0, 0, ""
+		evs = append(evs, ev)
+	}
+	return c.Snapshot(), evs
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// The acceptance matrix: per-tenant joules totals and attribution event
+// sets are bit-identical at workers 1 vs 8, with obs on or off, clean and
+// under chaos. Run with -race to also prove the parallel phase is
+// data-race-free.
+func TestCollectorDeterminism(t *testing.T) {
+	const tenants, ticks = 60, 150
+	chaos, err := faults.Named("chaos", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		chaos *faults.Profile
+	}{
+		{"clean", nil},
+		{"chaos", &chaos},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			refSnap, refEvs := runFleet(t, tenants, 1, ticks, tc.chaos, true)
+			if len(refEvs) == 0 {
+				t.Fatal("reference run emitted no energy events")
+			}
+			for _, workers := range []int{2, 8} {
+				snap, evs := runFleet(t, tenants, workers, ticks, tc.chaos, true)
+				compareSnapshots(t, refSnap, snap, workers)
+				if len(evs) != len(refEvs) {
+					t.Fatalf("workers=%d: %d events vs %d", workers, len(evs), len(refEvs))
+				}
+				for i := range evs {
+					if !reflect.DeepEqual(evs[i], refEvs[i]) {
+						t.Fatalf("workers=%d event %d:\n got %+v\nwant %+v", workers, i, evs[i], refEvs[i])
+					}
+				}
+			}
+			// Disabling observability must not change a single output bit
+			// (it only suppresses the ledger).
+			snap, evs := runFleet(t, tenants, 4, ticks, tc.chaos, false)
+			compareSnapshots(t, refSnap, snap, -1)
+			if len(evs) != 0 {
+				t.Fatalf("obs off still emitted %d events", len(evs))
+			}
+		})
+	}
+}
+
+func compareSnapshots(t *testing.T, want, got []TenantEnergy, workers int) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("workers=%d: snapshot sizes differ", workers)
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Tenant != w.Tenant || g.Retired != w.Retired ||
+			!bitsEqual(g.ActiveJ, w.ActiveJ) || !bitsEqual(g.IdleJ, w.IdleJ) ||
+			!bitsEqual(g.TotalJ, w.TotalJ) || !bitsEqual(g.LastW, w.LastW) {
+			t.Fatalf("workers=%d tenant %d not bit-identical:\n got %+v\nwant %+v", workers, i, g, w)
+		}
+	}
+}
+
+// Every ledger position and every window event satisfies the bit-exact
+// domain-split invariant (total == active+idle, not ≈), and joules only
+// ever grow.
+func TestDomainSplitAndMonotonicity(t *testing.T) {
+	reg := obs.NewRegistry()
+	led := obs.NewLedger("inv")
+	reg.SetLedger(led)
+	c, err := New(Config{
+		Model: testModel(t), Registry: reg,
+		Tenants: 24, Workers: 3, Seed: 7, WindowTicks: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	prev := make([]TenantEnergy, 24)
+	for seg := 0; seg < 10; seg++ {
+		c.Run(13)
+		snap := c.Snapshot()
+		for i, te := range snap {
+			if !bitsEqual(te.TotalJ, te.ActiveJ+te.IdleJ) {
+				t.Fatalf("tenant %s: total %v != active+idle", te.Tenant, te.TotalJ)
+			}
+			if te.ActiveJ < prev[i].ActiveJ || te.IdleJ < prev[i].IdleJ {
+				t.Fatalf("tenant %s: joules decreased", te.Tenant)
+			}
+		}
+		prev = snap
+	}
+	c.Flush()
+	evs := led.Events()
+	nrg := 0
+	perTenant := map[string]struct{ a, i float64 }{}
+	for _, ev := range evs {
+		if ev.Kind != obs.KindEnergy {
+			continue
+		}
+		nrg++
+		if !bitsEqual(ev.JoulesTotal, ev.JoulesActive+ev.JoulesIdle) {
+			t.Fatalf("event %d: joules_total %v != active+idle", ev.Seq, ev.JoulesTotal)
+		}
+		if ev.JoulesActive < 0 || ev.JoulesIdle < 0 || ev.Ticks <= 0 {
+			t.Fatalf("degenerate event: %+v", ev)
+		}
+		s := perTenant[ev.Tenant]
+		s.a += ev.JoulesActive
+		s.i += ev.JoulesIdle
+		perTenant[ev.Tenant] = s
+	}
+	if nrg == 0 {
+		t.Fatal("no energy events")
+	}
+	// Settled windows partition the run: per-tenant event sums reproduce
+	// the ledger position (to float re-association across windows).
+	for i, te := range prev {
+		s := perTenant[te.Tenant]
+		if diff := math.Abs(s.a - te.ActiveJ); diff > 1e-9*math.Max(1, te.ActiveJ) {
+			t.Fatalf("tenant %d: windows sum to %v active J, ledger %v", i, s.a, te.ActiveJ)
+		}
+		if diff := math.Abs(s.i - te.IdleJ); diff > 1e-9*math.Max(1, te.IdleJ) {
+			t.Fatalf("tenant %d: windows sum to %v idle J, ledger %v", i, s.i, te.IdleJ)
+		}
+	}
+}
+
+// Retirement settles the tenant's final window, freezes its totals, GCs
+// its labels from the exposition, and stops sampling it.
+func TestCollectorRetirement(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := New(Config{
+		Model: testModel(t), Registry: reg,
+		Tenants: 8, Seed: 3, WindowTicks: 0,
+		LifetimeTicks: func(i int) int64 {
+			if i == 2 {
+				return 10
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(10)
+	frozen := c.Snapshot()[2]
+	if !frozen.Retired || frozen.TotalJ <= 0 {
+		t.Fatalf("tenant 2 not retired with energy: %+v", frozen)
+	}
+	c.Run(40)
+	if after := c.Snapshot()[2]; !bitsEqual(after.TotalJ, frozen.TotalJ) {
+		t.Fatalf("retired tenant kept integrating: %v -> %v", frozen.TotalJ, after.TotalJ)
+	}
+	if got := promText(t, reg); strings.Contains(got, `tenant="tenant-0002"`) {
+		t.Fatalf("retired tenant label survived exposition:\n%s", got)
+	}
+	if c.Live() != 7 {
+		t.Fatalf("live %d, want 7", c.Live())
+	}
+}
+
+// The steady-state tick path allocates nothing, at one worker and at
+// several — the acceptance criterion backing the bench-gate's allocs/op=0
+// line. (Window settlement ticks may allocate: events are data.)
+func TestTickZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	for _, workers := range []int{1, 4} {
+		reg := obs.NewRegistry()
+		reg.SetLedger(obs.NewLedger("alloc"))
+		c, err := New(Config{
+			Model: testModel(t), Registry: reg,
+			Tenants: 64, Workers: workers, Seed: 5,
+			WindowTicks: 1 << 30, // no boundary inside the measurement
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(3) // warm up: prime accumulators and counter series
+		if n := testing.AllocsPerRun(200, c.Tick); n != 0 {
+			t.Errorf("workers=%d: tick allocates %v per run, want 0", workers, n)
+		}
+		c.Close()
+	}
+}
+
+// BenchmarkAttrTick is the heavy-traffic scenario the bench gate holds:
+// a 1000-tenant fleet sampled through the shared estimator every tick.
+// allocs/op must stay 0.
+func BenchmarkAttrTick(b *testing.B) {
+	reg := obs.NewRegistry()
+	c, err := New(Config{
+		Model: testModel(b), Registry: reg,
+		Tenants: 1000, Workers: 4, Seed: 11,
+		WindowTicks: 0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick()
+	}
+}

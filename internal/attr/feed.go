@@ -1,0 +1,140 @@
+package attr
+
+import (
+	"math"
+
+	"accelwattch/internal/core"
+	"accelwattch/internal/faults"
+	"accelwattch/internal/workloads"
+)
+
+// TenantFeed is one tenant's synthetic counter feed: a pure function from
+// tick number to the activity vector the tenant reported for that sampling
+// window. Purity — every draw is keyed only by (fleet seed, tenant index,
+// tick) through a splitmix64 chain — is what makes the whole pipeline's
+// determinism contract cheap: any worker may evaluate any tenant at any
+// time and get bit-identical samples, and chaos (noise, drops, stuck and
+// spiked windows from a faults.Profile) perturbs the feed without
+// introducing cross-tick state.
+type TenantFeed struct {
+	profile workloads.ActivityProfile
+	key     uint64  // per-tenant base key
+	chaosK  uint64  // separate stream so chaos draws never shift clean ones
+	phase   float64 // diurnal phase offset in [0,1)
+	chaos   faults.Profile
+	chaosOn bool
+}
+
+// NewTenantFeed builds tenant i's feed over a behavioural profile set
+// (typically workloads.InferenceProfiles). The profile assignment, phase
+// and every subsequent window are deterministic in (seed, i).
+func NewTenantFeed(profiles []workloads.ActivityProfile, i int, seed int64, chaos faults.Profile) TenantFeed {
+	key := splitmix64(splitmix64(uint64(seed)^0xa5a5a5a55a5a5a5a) + uint64(i))
+	f := TenantFeed{
+		profile: profiles[int(splitmix64(key)%uint64(len(profiles)))],
+		key:     key,
+		chaosK:  splitmix64(key ^ 0xc4a5c4a5c4a5c4a5),
+		phase:   unitFromBits(splitmix64(key + 1)),
+		chaos:   chaos,
+		chaosOn: chaos.Enabled(),
+	}
+	return f
+}
+
+// Profile returns the behavioural class this tenant was assigned.
+func (f *TenantFeed) Profile() string { return f.profile.Name }
+
+// At evaluates the feed at a tick. Allocation-free: the draw chain lives
+// on the stack and the activity is returned by value.
+func (f *TenantFeed) At(tick int64) core.Activity {
+	util := f.utilAt(tick)
+	if f.chaosOn {
+		r := rng{s: f.chaosK ^ uint64(tick)*0x9e3779b97f4a7c15}
+		if r.unit() < f.chaos.StuckRate {
+			// A stuck window repeats the previous window's clean
+			// utilisation (one level only, so the function stays pure).
+			util = f.utilAt(tick - 1)
+		}
+		if r.unit() < f.chaos.DropRate {
+			// A dropped window reports nothing: the feed shows the tenant
+			// parked, and only the idle floor integrates.
+			util = 0
+		}
+		act := f.profile.At(util)
+		if f.chaos.NoiseSigma > 0 {
+			g := 1 + f.chaos.NoiseSigma*r.gauss()
+			if g < 0 {
+				g = 0
+			}
+			for i := range act.Counts {
+				act.Counts[i] *= g
+			}
+		}
+		if f.chaos.SpikeRate > 0 && r.unit() < f.chaos.SpikeRate {
+			for i := range act.Counts {
+				act.Counts[i] *= f.chaos.SpikeFactor
+			}
+		}
+		return act
+	}
+	return f.profile.At(util)
+}
+
+// utilAt is the clean utilisation signal: a per-tenant-phased diurnal wave
+// with jittered amplitude, gated by the profile's duty cycle (windows past
+// the duty draw are parked). Pure in (feed key, tick).
+func (f *TenantFeed) utilAt(tick int64) float64 {
+	if tick < 0 {
+		return 0
+	}
+	if f.profile.DutyCycle <= 0 {
+		return 0
+	}
+	r := rng{s: f.key ^ uint64(tick)*0xbf58476d1ce4e5b9}
+	if r.unit() >= f.profile.DutyCycle {
+		return 0
+	}
+	util := 0.55 + 0.35*math.Sin(2*math.Pi*(float64(tick)/256+f.phase))
+	util += 0.1 * (r.unit() - 0.5)
+	if util < 0 {
+		return 0
+	}
+	if util > 1 {
+		return 1
+	}
+	return util
+}
+
+// rng is a tiny stateless-by-construction draw chain: splitmix64 seeded
+// from a pure key, advanced per draw. Unlike math/rand it allocates
+// nothing and has no shared state to lock.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit draws a uniform float64 in [0, 1).
+func (r *rng) unit() float64 { return unitFromBits(r.next()) }
+
+// gauss draws a standard normal via Box-Muller.
+func (r *rng) gauss() float64 {
+	u1 := r.unit()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*r.unit())
+}
+
+func unitFromBits(v uint64) float64 { return float64(v>>11) / (1 << 53) }
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,158 @@
+package attr
+
+import (
+	"sync"
+
+	"accelwattch/internal/obs"
+)
+
+// OverflowTenant is the label value charged for every tenant beyond the
+// meter's series cap. Energy attributed past the cap is still conserved —
+// it lands on this shared series — it just loses per-tenant resolution,
+// which is the standard cardinality-vs-fidelity trade every bounded
+// exporter makes.
+const OverflowTenant = "_overflow"
+
+// DefaultMaxTenantSeries is the default cardinality budget: the maximum
+// number of distinct tenant label values (the overflow series is extra)
+// the meter will mint. With two joules series and one watts series per
+// tenant, the default keeps the whole attribution exposition under ~1540
+// series — the budget the CI cardinality gate enforces.
+const DefaultMaxTenantSeries = 512
+
+// Handle is one tenant's pre-resolved metric series. Resolving label
+// tuples once at admission keeps the per-tick update path free of map
+// lookups and allocation; updates are the atomic counter/gauge operations.
+type Handle struct {
+	activeJ  *obs.Counter
+	idleJ    *obs.Counter
+	watts    *obs.Gauge
+	overflow bool
+}
+
+// Account adds one settled interval's joules per domain.
+func (h *Handle) Account(activeJ, idleJ float64) {
+	h.activeJ.Add(activeJ)
+	h.idleJ.Add(idleJ)
+}
+
+// SetWatts publishes the tenant's most recent total power sample.
+func (h *Handle) SetWatts(w float64) { h.watts.Set(w) }
+
+// Overflow reports whether this handle is the shared beyond-cap series.
+// Callers aggregating instantaneous watts must special-case it: many
+// tenants setting one gauge is last-write-wins noise, so the collector
+// sums overflow tenants' watts itself and sets the gauge once per tick.
+func (h *Handle) Overflow() bool { return h.overflow }
+
+// Meter manages the bounded per-tenant attribution series:
+//
+//	aw_tenant_joules_total{tenant,domain}  counter
+//	aw_tenant_watts{tenant}                gauge
+//
+// Admission mints series until the cardinality cap, after which tenants
+// share the OverflowTenant series; retirement garbage-collects a tenant's
+// label values with DeleteLabel and returns its cap slot, so a churning
+// fleet's exposition stays bounded by the cap, not by the number of
+// tenants ever seen. Both family registrations are idempotent on a
+// registry, so independent meters (the awserve per-model meter and an
+// awmeterd collector) share the same families.
+type Meter struct {
+	joules *obs.CounterVec
+	watts  *obs.GaugeVec
+
+	series  *obs.Gauge
+	overG   *obs.Gauge
+	retired *obs.Counter
+
+	mu      sync.Mutex
+	max     int
+	handles map[string]*Handle
+	over    *Handle
+	overN   int
+}
+
+// NewMeter builds a meter on a registry with the given cardinality cap
+// (maxSeries < 1 selects DefaultMaxTenantSeries).
+func NewMeter(reg *obs.Registry, maxSeries int) *Meter {
+	if maxSeries < 1 {
+		maxSeries = DefaultMaxTenantSeries
+	}
+	m := &Meter{
+		joules: reg.CounterVec("aw_tenant_joules_total",
+			"Energy attributed to a tenant, in joules, split by power domain (active vs idle floor).",
+			"tenant", "domain"),
+		watts: reg.GaugeVec("aw_tenant_watts",
+			"Most recently sampled total power of a tenant, in watts.",
+			"tenant"),
+		series: reg.Gauge("aw_attr_tenant_series",
+			"Distinct tenant label values currently exported (excludes the overflow series)."),
+		overG: reg.Gauge("aw_attr_overflow_tenants",
+			"Live tenants folded into the shared overflow series because the cardinality cap is reached."),
+		retired: reg.Counter("aw_attr_tenants_retired_total",
+			"Tenants retired and garbage-collected from the exposition."),
+		max:     maxSeries,
+		handles: make(map[string]*Handle),
+	}
+	m.over = &Handle{
+		activeJ:  m.joules.With(OverflowTenant, DomainActive),
+		idleJ:    m.joules.With(OverflowTenant, DomainIdle),
+		watts:    m.watts.With(OverflowTenant),
+		overflow: true,
+	}
+	return m
+}
+
+// Max returns the cardinality cap.
+func (m *Meter) Max() int { return m.max }
+
+// Labeled returns how many tenants currently own dedicated series.
+func (m *Meter) Labeled() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.handles)
+}
+
+// Handle admits a tenant, returning its dedicated handle or — once the cap
+// is reached — the shared overflow handle. Idempotent per tenant name.
+func (m *Meter) Handle(tenant string) *Handle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.handles[tenant]; ok {
+		return h
+	}
+	if len(m.handles) >= m.max {
+		m.overN++
+		m.overG.Set(float64(m.overN))
+		return m.over
+	}
+	h := &Handle{
+		activeJ: m.joules.With(tenant, DomainActive),
+		idleJ:   m.joules.With(tenant, DomainIdle),
+		watts:   m.watts.With(tenant),
+	}
+	m.handles[tenant] = h
+	m.series.Set(float64(len(m.handles)))
+	return h
+}
+
+// Retire garbage-collects a tenant: its series vanish from every future
+// exposition and its cap slot frees up for the next admission. Retiring a
+// tenant that was living on the overflow series just decrements the
+// overflow population (the shared series itself is permanent). The caller
+// must stop using the tenant's Handle — a retained handle keeps accepting
+// updates but is orphaned from exposition.
+func (m *Meter) Retire(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.handles[tenant]; ok {
+		delete(m.handles, tenant)
+		m.joules.DeleteLabel("tenant", tenant)
+		m.watts.DeleteLabel("tenant", tenant)
+		m.series.Set(float64(len(m.handles)))
+	} else if m.overN > 0 {
+		m.overN--
+		m.overG.Set(float64(m.overN))
+	}
+	m.retired.Inc()
+}

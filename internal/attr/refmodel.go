@@ -1,0 +1,47 @@
+package attr
+
+import (
+	"fmt"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+)
+
+// ReferenceModel builds an untuned power model for an architecture from the
+// paper's published constants, for collectors that attribute energy without
+// a tuning run on hand: the initial per-access energies of Eq. (12), the
+// GV100 constant power (32.5 W, Section 4.2), the per-idle-SM leakage of
+// Eq. (8), and a divergence-aware static model with the FirstLaneW=30 W /
+// AddLaneW=0.7 W shape of the shipped tuned models. Correction factors are
+// a uniform 0.1 — the same resting point the tuned examples land near — so
+// reference estimates sit in the right regime (a loaded GV100 lands in the
+// low hundreds of watts, a parked one at the constant floor) even though no
+// per-component fit backs them.
+//
+// Attribution does not need tuned accuracy: the chargeback ledger's
+// invariants (monotonicity, bit-exact domain splits, determinism) hold for
+// any valid model, and awmeterd accepts a tuned artifact via -model when
+// accuracy matters.
+func ReferenceModel(arch *config.Arch) (*core.Model, error) {
+	if arch == nil {
+		return nil, fmt.Errorf("attr: reference model needs an architecture")
+	}
+	m := &core.Model{
+		Arch:         arch,
+		BaseEnergyPJ: core.InitialEnergiesPJ(),
+		ConstW:       32.5,
+		IdleSMW:      0.1,
+		RefSMs:       arch.NumSMs,
+	}
+	for i := range m.Scale {
+		m.Scale[i] = 0.1
+	}
+	div := core.FitDivModel(30, 30+0.7*31, false)
+	for i := range m.Div {
+		m.Div[i] = div
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("attr: reference model for %s: %w", arch.Name, err)
+	}
+	return m, nil
+}

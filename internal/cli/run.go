@@ -58,15 +58,19 @@ func StartCapped(tool, detail, traceOut, ledgerOut string, ledgerCap int) *Run {
 	return start(tool, detail, traceOut, ledgerOut, ledgerCap)
 }
 
-// ledgerMetricsOnce guards the aw_ledger_dropped_total registration: the
-// OnCollect hook survives ledger swaps, so one per process is exactly right.
+// ledgerMetricsOnce guards the aw_ledger_dropped_total and aw_build_info
+// registrations: the OnCollect hook survives ledger swaps and the build
+// identity is a process constant, so one per process is exactly right.
 var ledgerMetricsOnce sync.Once
 
 func start(tool, detail, traceOut, ledgerOut string, ledgerCap int) *Run {
 	id := obs.NewRunID()
 	led := obs.NewLedgerCap(id, ledgerCap)
 	obs.SetLedger(led)
-	ledgerMetricsOnce.Do(func() { obs.RegisterLedgerMetrics(obs.Default()) })
+	ledgerMetricsOnce.Do(func() {
+		obs.RegisterLedgerMetrics(obs.Default())
+		obs.RegisterBuildInfo(obs.Default())
+	})
 	r := &Run{
 		ID:        id,
 		Led:       led,

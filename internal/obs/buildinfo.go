@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo registers the aw_build_info info-style gauge: constant
+// value 1 with the process's build identity in the labels, following the
+// *_build_info convention of the Prometheus exporters this scheme mirrors
+// (joinable onto any other series in a query without changing its value).
+// The labels are process constants, so repeat calls are harmless — the
+// family registration is idempotent and the series just re-sets to 1.
+func RegisterBuildInfo(r *Registry) {
+	r.GaugeVec("aw_build_info",
+		"Build identity of this binary; always 1, with the identity carried by the labels.",
+		"go_version", "module").
+		With(runtime.Version(), buildModule()).Set(1)
+}
+
+// buildModule reports the main module path stamped into the binary, or
+// "unknown" when build info is absent (some test binaries and stripped
+// builds).
+func buildModule() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		return bi.Main.Path
+	}
+	return "unknown"
+}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	RegisterBuildInfo(r) // idempotent: constants re-set, nothing duplicates
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp := sb.String()
+	if !strings.Contains(exp, `aw_build_info{go_version="go`) {
+		t.Fatalf("exposition missing go_version label:\n%s", exp)
+	}
+	if strings.Count(exp, "aw_build_info{") != 1 {
+		t.Fatalf("build info registered more than one series:\n%s", exp)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(exp), "1") {
+		t.Fatalf("info gauge value must be the constant 1:\n%s", exp)
+	}
+	if mod := buildModule(); mod == "" {
+		t.Fatal("buildModule returned an empty module path")
+	}
+}

@@ -147,6 +147,11 @@ type SeriesSnapshot struct {
 	Buckets []BucketSnapshot `json:"buckets,omitempty"`
 	Sum     *float64         `json:"sum,omitempty"`
 	Count   *int64           `json:"count,omitempty"`
+	// Quantiles are derived p50/p95/p99 estimates interpolated from the
+	// cumulative buckets (histograms with observations only) — the offline
+	// counterpart of PromQL's histogram_quantile, so the JSON artifact
+	// answers latency questions without a query engine.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // BucketSnapshot is one cumulative histogram bucket; UpperBound is +Inf on
@@ -235,6 +240,13 @@ func (r *Registry) TakeSnapshot() *Snapshot {
 				ss.Buckets = append(ss.Buckets, BucketSnapshot{jsonFloat(math.Inf(1)), cum[len(cum)-1]})
 				sum, count := m.Sum(), m.Count()
 				ss.Sum, ss.Count, vals = &sum, &count, m.vals
+				if count > 0 && len(f.buckets) > 0 {
+					ss.Quantiles = map[string]float64{
+						"p50": quantileFromBuckets(f.buckets, cum, 0.50),
+						"p95": quantileFromBuckets(f.buckets, cum, 0.95),
+						"p99": quantileFromBuckets(f.buckets, cum, 0.99),
+					}
+				}
 			}
 			if len(f.labels) > 0 {
 				ss.Labels = make(map[string]string, len(f.labels))
@@ -248,6 +260,33 @@ func (r *Registry) TakeSnapshot() *Snapshot {
 	}
 	snap.Spans, snap.SpansTotal = r.Spans()
 	return snap
+}
+
+// quantileFromBuckets estimates the q-quantile from a histogram's
+// cumulative bucket counts following the histogram_quantile convention:
+// locate the bucket the target rank falls in and interpolate linearly
+// inside it, with the first bucket interpolating up from zero. A rank
+// landing in the +Inf overflow bucket reports the highest finite bound —
+// the buckets cannot resolve anything above it. bounds holds the finite
+// upper bounds (non-empty), cum one cumulative count per bound plus the
+// +Inf total; the caller guarantees the total is positive.
+func quantileFromBuckets(bounds []float64, cum []int64, q float64) float64 {
+	rank := q * float64(cum[len(cum)-1])
+	for i, bound := range bounds {
+		if float64(cum[i]) < rank {
+			continue
+		}
+		lower, below := 0.0, int64(0)
+		if i > 0 {
+			lower, below = bounds[i-1], cum[i-1]
+		}
+		in := cum[i] - below
+		if in == 0 {
+			return bound
+		}
+		return lower + (bound-lower)*(rank-float64(below))/float64(in)
+	}
+	return bounds[len(bounds)-1]
 }
 
 // WriteJSON renders the snapshot as indented JSON.

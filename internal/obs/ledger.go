@@ -38,6 +38,7 @@ const (
 	KindQuarantine = "quarantine"  // workload removed from the flow: Reason
 	KindFit        = "fit"         // a stage's fitted coefficients: Stage, Coeffs
 	KindBreakdown  = "breakdown"   // per-kernel attribution: Breakdown sums to PowerW
+	KindEnergy     = "energy"      // per-tenant energy over one window: Tenant, JoulesActive/Idle/Total
 )
 
 // Event is one structured ledger record. Zero-valued fields are omitted
@@ -65,6 +66,18 @@ type Event struct {
 
 	Reason string `json:"reason,omitempty"`
 	Error  string `json:"error,omitempty"`
+
+	// Energy-attribution payload (KindEnergy): the tenant charged, the
+	// window length in sampling ticks, and the trapezoidally integrated
+	// joules per power domain. JoulesTotal is defined as
+	// JoulesActive+JoulesIdle evaluated in exactly that order, so consumers
+	// (awreport) re-verify the domain split bit-exactly, not within a
+	// tolerance. PowerW carries the window's average total power.
+	Tenant       string  `json:"tenant,omitempty"`
+	Ticks        int64   `json:"ticks,omitempty"`
+	JoulesActive float64 `json:"joules_active,omitempty"`
+	JoulesIdle   float64 `json:"joules_idle,omitempty"`
+	JoulesTotal  float64 `json:"joules_total,omitempty"`
 
 	// Coeffs carries fit coefficients ("const_w": 32.5); Breakdown carries
 	// per-component watts keyed by core.Component names and provably sums

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestQuantileFromBuckets(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	cases := []struct {
+		name string
+		cum  []int64 // per finite bound, plus the +Inf total
+		q    float64
+		want float64
+	}{
+		// 10 observations uniform over the first bucket: p50 interpolates
+		// from zero to the bound.
+		{"first bucket from zero", []int64{10, 10, 10, 10}, 0.5, 0.5},
+		// rank 5 of 10 sits at the middle of bucket (1,2]: 1 + 1*(5-2)/6.
+		{"interior interpolation", []int64{2, 8, 10, 10}, 0.5, 1.5},
+		// rank lands exactly on a cumulative boundary: the bound itself.
+		{"exact boundary", []int64{5, 10, 10, 10}, 0.5, 1},
+		// everything beyond the buckets: clamp to the highest finite bound.
+		{"overflow clamps", []int64{0, 0, 1, 10}, 0.99, 4},
+		// rank strictly inside a bucket after an empty one.
+		{"after empty bucket", []int64{5, 5, 10, 10}, 0.6, 2.4},
+		// q=0 with an empty first bucket: degenerate in-bucket count.
+		{"zero quantile", []int64{0, 5, 10, 10}, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := quantileFromBuckets(bounds, tc.cum, tc.q); got != tc.want {
+			t.Errorf("%s: q%g = %g, want %g", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// goldenQuantiles pins the derived-quantile JSON for a deterministic
+// histogram: 100 observations evenly filling buckets 1/2/4 (60, 30, 10).
+const goldenQuantiles = `{"p50":0.8333333333333334,"p95":3,"p99":3.8}`
+
+func TestSnapshotQuantilesGolden(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("aw_demo_q_seconds", "Quantile demo.", []float64{1, 2, 4})
+	for i := 0; i < 60; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	snap := r.TakeSnapshot()
+	if len(snap.Metrics) != 1 || len(snap.Metrics[0].Series) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", snap.Metrics)
+	}
+	got, err := json.Marshal(snap.Metrics[0].Series[0].Quantiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != goldenQuantiles {
+		t.Errorf("quantiles mismatch:\n got %s\nwant %s", got, goldenQuantiles)
+	}
+
+	// The full artifact carries them under the documented key.
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"quantiles"`) {
+		t.Errorf("JSON snapshot missing quantiles field:\n%s", sb.String())
+	}
+}
+
+func TestSnapshotQuantilesAbsentWhenEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("aw_demo_empty_seconds", "Never observed.", []float64{1})
+	// Force the family to resolve a series without observations.
+	r.HistogramVec("aw_demo_emptyvec_seconds", "Resolved, unobserved.", []float64{1}, "k").With("a")
+	for _, ms := range r.TakeSnapshot().Metrics {
+		for _, s := range ms.Series {
+			if s.Quantiles != nil {
+				t.Errorf("%s: quantiles on a zero-count histogram: %v", ms.Name, s.Quantiles)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "quantiles") {
+		t.Error("empty histograms must omit the quantiles key entirely")
+	}
+}

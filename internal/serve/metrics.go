@@ -1,6 +1,9 @@
 package serve
 
-import "accelwattch/internal/obs"
+import (
+	"accelwattch/internal/attr"
+	"accelwattch/internal/obs"
+)
 
 // Serving telemetry, following the obs naming scheme with subsystem
 // "serve". Label cardinality is bounded by construction: route is one of
@@ -37,4 +40,15 @@ var (
 		"Estimates answered by a model under a variant other than the one it records being tuned for.", "model")
 	mAdminOps = obs.Default().CounterVec("aw_serve_admin_total",
 		"Admin operations on the model registry, by op (add, replace, retire) and outcome (ok, error).", "op", "outcome")
+
+	// mEnergy attributes live estimate traffic to serving models as energy:
+	// every answered /estimate (cache hits included — a replayed response
+	// still represents a served execution window) charges the request's
+	// virtual window joules to the model's tenant series in
+	// aw_tenant_joules_total{tenant,domain}, split into active vs idle power
+	// domains. Models are the gateway's tenants; Retire garbage-collects
+	// their label values exactly like the other per-model families. The
+	// families are shared with the internal/attr collectors (awmeterd), so
+	// one scrape config covers both sources of the chargeback ledger.
+	mEnergy = attr.NewMeter(obs.Default(), attr.DefaultMaxTenantSeries)
 )

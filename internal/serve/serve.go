@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
+	"accelwattch/internal/attr"
 	"accelwattch/internal/core"
 	"accelwattch/internal/engine"
 	"accelwattch/internal/eval"
@@ -123,6 +125,11 @@ type unit struct {
 	cache   *lruCache
 	flights *flightGroup
 
+	// energy is the model's pre-resolved energy-attribution series (the
+	// model is the gateway's "tenant"); resolved once at install so the
+	// per-request accounting is two atomic adds.
+	energy *attr.Handle
+
 	// bes are the per-variant batch estimators: the model's coefficient
 	// tables pre-resolved once per model fingerprint at install time, so the
 	// request hot path never re-derives them. Variants sharing one model
@@ -133,7 +140,12 @@ type unit struct {
 }
 
 func newUnit(e *zoo.Entry, cacheSize int) *unit {
-	u := &unit{entry: e, cache: newLRUCache(e.Name, cacheSize), flights: newFlightGroup()}
+	u := &unit{
+		entry:   e,
+		cache:   newLRUCache(e.Name, cacheSize),
+		flights: newFlightGroup(),
+		energy:  mEnergy.Handle(e.Name),
+	}
 	for _, v := range e.Variants() {
 		u.fps[v] = e.Fingerprint(v)
 		m := e.Model(v)
@@ -468,6 +480,7 @@ func (s *Server) Retire(name string) error {
 	mEstimates.DeleteLabel("model", name)
 	mCacheEvents.DeleteLabel("model", name)
 	mVariantMismatch.DeleteLabel("model", name)
+	mEnergy.Retire(name)
 	s.pruneTombstonesLocked()
 	return nil
 }
@@ -802,13 +815,26 @@ func SweepOnce(m *core.Model, body []byte) ([]byte, error) {
 	return res.body, nil
 }
 
-// emitEstimate records one served estimate in the attribution ledger: one
-// KindBreakdown event per answered /estimate request (cache hits included),
-// run-ID correlated like every other ledger event, tagged with the serving
-// model's name. Sweeps carry no attribution payload and emit nothing.
+// emitEstimate records one served estimate in the attribution ledger and
+// the energy meter: one KindBreakdown event per answered /estimate request
+// (cache hits included), run-ID correlated like every other ledger event,
+// tagged with the serving model's name and carrying the request window's
+// joules split by power domain. Sweeps carry no attribution payload and
+// emit nothing.
+//
+// Energy accounting treats each request as one execution window of
+// Cycles/clock seconds: the breakdown's active and idle domain watts times
+// the window length are charged to the model's tenant series. Per-model
+// joules totals are deterministic for a given request set (each request's
+// charge is a pure function of its body and model), though the interleaving
+// of concurrent counter adds is not ordered — the collector pipeline in
+// internal/attr is the bit-reproducibility reference, this is the live
+// traffic view.
 func emitEstimate(u *unit, req *EstimateRequest, res result) {
 	name := u.entry.Name
 	mEstimates.With(name, req.Variant).Inc()
+	var activeJ, idleJ float64
+	charged := false
 	if v, err := ParseVariant(req.Variant); err == nil {
 		// A model tagged as tuned under one variant answering for another
 		// is a modelling smell the operator opted into (all_variants);
@@ -816,12 +842,32 @@ func emitEstimate(u *unit, req *EstimateRequest, res result) {
 		if _, mismatch := u.entry.TunedVariantMismatch(v); mismatch {
 			mVariantMismatch.With(name).Inc()
 		}
+		if m := u.entry.Model(v); m != nil && res.breakdown != nil {
+			clock := req.ClockMHz
+			if clock == 0 {
+				clock = m.Arch.BaseClockMHz
+			}
+			if dtS := req.Cycles / (clock * 1e6); dtS > 0 && !math.IsInf(dtS, 0) {
+				s := attr.SplitMap(res.breakdown)
+				activeJ, idleJ = s.ActiveW*dtS, s.IdleW*dtS
+				u.energy.Account(activeJ, idleJ)
+				u.energy.SetWatts(res.powerW)
+				charged = true
+			}
+		}
 	}
 	if led := obs.ActiveLedger(); led != nil && res.breakdown != nil {
-		led.Emit(obs.Event{
+		ev := obs.Event{
 			Kind: obs.KindBreakdown, Stage: "serve/estimate",
 			Workload: req.Name, Variant: req.Variant, Detail: name,
 			PowerW: res.powerW, Breakdown: res.breakdown,
-		})
+		}
+		if charged {
+			ev.Tenant = name
+			ev.Ticks = 1
+			ev.JoulesActive, ev.JoulesIdle = activeJ, idleJ
+			ev.JoulesTotal = activeJ + idleJ
+		}
+		led.Emit(ev)
 	}
 }
