@@ -56,6 +56,14 @@ type (
 	ValidationResult = eval.ValidationResult
 	// Kernel is one validation-suite workload.
 	Kernel = workloads.Kernel
+	// Category is the behavioural class of an AI-inference pack kernel
+	// (gemm, attention, tensorcore, memory, parked).
+	Category = workloads.Category
+	// CategoryResult is one category's error row of a by-category run.
+	CategoryResult = eval.CategoryResult
+	// CategoryValidation pairs a validation result with its per-category
+	// error table.
+	CategoryValidation = eval.CategoryValidation
 	// TuneResult is the complete output of the tuning pipeline.
 	TuneResult = tune.Result
 	// FaultProfile configures the deterministic power-meter fault
@@ -264,6 +272,33 @@ func (s *Session) Testbench() *tune.Testbench { return s.tb }
 // ValidationSuite returns the Table 4 kernels for this architecture.
 func (s *Session) ValidationSuite() ([]Kernel, error) {
 	return workloads.ValidationSuite(s.arch, s.scale)
+}
+
+// InferencePack returns the AI-inference workload pack for this
+// architecture: GEMM batch/sequence sweeps, attention kernels, tensor-core
+// density mixes, memory-bound serving kernels, and the parked-model
+// scenarios, each tagged with its Category.
+func (s *Session) InferencePack() ([]Kernel, error) {
+	return workloads.InferencePack(s.arch, s.scale)
+}
+
+// ValidateByCategory validates the AI-inference pack under one variant and
+// reports error statistics per category alongside the aggregate result.
+func (s *Session) ValidateByCategory(v Variant) (*CategoryValidation, error) {
+	pack, err := s.InferencePack()
+	if err != nil {
+		return nil, err
+	}
+	return eval.ValidateByCategory(s.ex, s.tuned.Model(v), v, pack)
+}
+
+// ValidateAllByCategory runs ValidateByCategory for all four variants.
+func (s *Session) ValidateAllByCategory() (map[Variant]*CategoryValidation, error) {
+	pack, err := s.InferencePack()
+	if err != nil {
+		return nil, err
+	}
+	return eval.ValidateAllByCategory(s.ex, s.tuned, pack)
 }
 
 // Validate runs the validation suite under one variant (Figure 7).

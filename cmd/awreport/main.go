@@ -37,15 +37,20 @@ import (
 	"text/tabwriter"
 
 	"accelwattch"
+	"accelwattch/internal/attr"
 	"accelwattch/internal/cli"
 	"accelwattch/internal/core"
 	"accelwattch/internal/eval"
 	"accelwattch/internal/obs"
+	"accelwattch/internal/workloads"
 )
 
-// row is one kernel's attribution line, variant-scoped.
+// row is one kernel's attribution line, variant-scoped. Category is set
+// only for inference-pack rows (ledger events and by-category live runs
+// carry the tag; classic Table 4 rows leave it empty).
 type row struct {
 	Kernel    string
+	Category  string
 	MeasuredW float64
 	TotalW    float64
 	Breakdown core.Breakdown
@@ -59,6 +64,7 @@ func main() {
 		components = flag.Bool("components", false, "print all 25 raw components instead of the Figure 8/9 groups")
 		energy     = flag.Bool("energy", false, "render the per-tenant energy chargeback table from the ledger's attribution events")
 		variant    = flag.String("variant", "", "only report this variant (SASS_SIM, PTX_SIM, HW, HYBRID)")
+		byCategory = flag.Bool("by-category", false, "fold attribution rows by inference-pack category instead of per kernel (live runs validate the inference pack)")
 		archName   = flag.String("arch", "volta", "architecture for live runs (volta, pascal, turing)")
 		full       = flag.Bool("full", false, "use the full-fidelity workload scale for live runs")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count for live runs")
@@ -86,7 +92,7 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		byVariant, err = fromLiveRun(*archName, *full, *workers, *traceOut, *ledgerOut)
+		byVariant, err = fromLiveRun(*archName, *full, *workers, *byCategory, *traceOut, *ledgerOut)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -104,6 +110,12 @@ func main() {
 	}
 	sort.Strings(variants)
 	for _, v := range variants {
+		if *byCategory {
+			if err := printCategoryTable(v, byVariant[v]); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
 		printTable(v, byVariant[v], *components)
 	}
 }
@@ -137,7 +149,7 @@ func fromLedger(path string) (map[string][]row, error) {
 				path, i, ev.Workload, sum, ev.PowerW)
 		}
 		out[ev.Variant] = append(out[ev.Variant], row{
-			Kernel: ev.Workload, MeasuredW: ev.MeasuredW, TotalW: ev.PowerW, Breakdown: bd,
+			Kernel: ev.Workload, Category: ev.Category, MeasuredW: ev.MeasuredW, TotalW: ev.PowerW, Breakdown: bd,
 		})
 	}
 	return out, nil
@@ -151,8 +163,10 @@ func closeEnough(a, b float64) bool {
 }
 
 // fromLiveRun tunes a session and converts its four-variant validation
-// results — attribution straight from the model, no ledger needed.
-func fromLiveRun(archName string, full bool, workers int, traceOut, ledgerOut string) (map[string][]row, error) {
+// results — attribution straight from the model, no ledger needed. With
+// byCategory the run validates the category-tagged AI-inference pack
+// instead of the classic Table 4 suite.
+func fromLiveRun(archName string, full bool, workers int, byCategory bool, traceOut, ledgerOut string) (map[string][]row, error) {
 	var arch *accelwattch.Arch
 	switch archName {
 	case "volta":
@@ -174,16 +188,30 @@ func fromLiveRun(archName string, full bool, workers int, traceOut, ledgerOut st
 	if err != nil {
 		return nil, err
 	}
-	all, err := sess.ValidateAll()
-	if err != nil {
-		return nil, err
-	}
 	out := make(map[string][]row)
-	for v, res := range all {
-		for _, k := range res.Kernels {
-			out[v.String()] = append(out[v.String()], row{
-				Kernel: k.Name, MeasuredW: k.MeasuredW, TotalW: k.EstimatedW, Breakdown: k.Breakdown,
-			})
+	if byCategory {
+		all, err := sess.ValidateAllByCategory()
+		if err != nil {
+			return nil, err
+		}
+		for v, res := range all {
+			for _, k := range res.Kernels {
+				out[v.String()] = append(out[v.String()], row{
+					Kernel: k.Name, Category: string(k.Category), MeasuredW: k.MeasuredW, TotalW: k.EstimatedW, Breakdown: k.Breakdown,
+				})
+			}
+		}
+	} else {
+		all, err := sess.ValidateAll()
+		if err != nil {
+			return nil, err
+		}
+		for v, res := range all {
+			for _, k := range res.Kernels {
+				out[v.String()] = append(out[v.String()], row{
+					Kernel: k.Name, MeasuredW: k.MeasuredW, TotalW: k.EstimatedW, Breakdown: k.Breakdown,
+				})
+			}
 		}
 	}
 	if err := run.Close(); err != nil {
@@ -268,6 +296,78 @@ func printChargeback(out io.Writer, rows []chargeRow) {
 	fmt.Fprintf(w, "TOTAL\t%d\t\t%.6g\t%.6g\t%.6g\t\t\n", fleetEvents, fleetA, fleetI, fleetT)
 	w.Flush()
 	fmt.Fprintln(out)
+}
+
+// printCategoryTable folds one variant's attribution rows by their
+// inference-pack category tag: kernel count, mean measured and estimated
+// watts, MAPE, and the category's mean idle-domain share (the parked rows
+// are all idle by construction). Rows without a category tag mean the
+// source was a classic Table 4 run, which is an error — the caller asked
+// for a by-category report the data cannot support.
+func printCategoryTable(variant string, rows []row) error {
+	type agg struct {
+		n           int
+		measW, estW float64
+		apeSum      float64
+		idleW, totW float64
+	}
+	byCat := map[string]*agg{}
+	var order []string
+	for _, cat := range workloads.Categories() {
+		order = append(order, string(cat))
+	}
+	tagged := 0
+	for _, r := range rows {
+		if r.Category == "" {
+			continue
+		}
+		tagged++
+		a := byCat[r.Category]
+		if a == nil {
+			a = &agg{}
+			byCat[r.Category] = a
+			found := false
+			for _, c := range order {
+				if c == r.Category {
+					found = true
+				}
+			}
+			if !found {
+				order = append(order, r.Category)
+			}
+		}
+		a.n++
+		a.measW += r.MeasuredW
+		a.estW += r.TotalW
+		if r.MeasuredW != 0 {
+			a.apeSum += 100 * math.Abs(r.TotalW-r.MeasuredW) / math.Abs(r.MeasuredW)
+		}
+		s := attr.Split(&r.Breakdown)
+		a.idleW += s.IdleW
+		a.totW += s.TotalW()
+	}
+	if tagged == 0 {
+		return fmt.Errorf("variant %s: no category-tagged rows (ledger written before the inference pack, or a Table 4 run?)", variant)
+	}
+	fmt.Printf("== %s: per-category power attribution (%d kernels) ==\n", variant, tagged)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "category\tkernels\tmeas W\test W\tMAPE\tidle share\t")
+	for _, cat := range order {
+		a := byCat[cat]
+		if a == nil {
+			continue
+		}
+		n := float64(a.n)
+		idleShare := 0.0
+		if a.totW > 0 {
+			idleShare = 100 * a.idleW / a.totW
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.2f%%\t%.1f%%\t\n",
+			cat, a.n, a.measW/n, a.estW/n, a.apeSum/n, idleShare)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
 }
 
 func printTable(variant string, rows []row, perComponent bool) {

@@ -11,6 +11,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"text/tabwriter"
 
 	"accelwattch"
@@ -18,6 +19,7 @@ import (
 	"accelwattch/internal/eval"
 	"accelwattch/internal/obs"
 	"accelwattch/internal/tune"
+	"accelwattch/internal/workloads"
 )
 
 func main() {
@@ -32,6 +34,8 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "execution-engine worker count (results are identical at any setting)")
 		strict     = flag.Bool("strict", false, "exit non-zero on partial failure (quarantined workloads or kernels without a defined error)")
 		metricsOut = flag.String("metrics-out", "", "write the JSON telemetry snapshot (metrics + stage spans) to this file")
+		byCategory = flag.Bool("by-category", false, "validate the AI-inference pack and report MAPE per category (gemm, attention, tensorcore, memory, parked)")
+		catBounds  = flag.String("category-bounds", "", "gate per-category MAPE against a bound file (one \"category percent\" per line); implies -by-category")
 	)
 	shards := cli.ShardFlags()
 	traceOut, ledgerOut := cli.Artifacts()
@@ -92,6 +96,82 @@ func main() {
 			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%+.1f%%\n", k.Name, k.MeasuredW, k.EstimatedW, k.RelErrPct())
 		}
 		w.Flush()
+	}
+
+	if *byCategory || *catBounds != "" {
+		fmt.Println("\n== AI-inference pack: per-category validation ==")
+		byCat, err := sess.ValidateAllByCategory()
+		if err != nil {
+			run.Fatal(err)
+		}
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprint(w, "category\tkernels")
+		for _, v := range tune.Variants() {
+			fmt.Fprintf(w, "\t%v", v)
+		}
+		fmt.Fprintln(w)
+		for _, cat := range workloads.Categories() {
+			row := byCat[accelwattch.SASSSIM].Category(cat)
+			if row == nil {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%d", cat, row.Kernels)
+			for _, v := range tune.Variants() {
+				if cr := byCat[v].Category(cat); cr != nil {
+					fmt.Fprintf(w, "\t%.2f%%", cr.MAPE)
+				} else {
+					fmt.Fprint(w, "\t-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		w.Flush()
+		for _, v := range tune.Variants() {
+			if err := eval.CheckParkedInvariant(byCat[v].Kernels); err != nil {
+				run.Fatalf("parked-power invariant (%v): %v", v, err)
+			}
+		}
+		fmt.Println("parked-power invariant: estimate bit-equal to the idle domain under every variant")
+
+		if *catBounds != "" {
+			bounds, err := cli.LoadCategoryBounds(*catBounds)
+			if err != nil {
+				run.Fatal(err)
+			}
+			var broken []string
+			for _, v := range tune.Variants() {
+				seen := map[string]bool{}
+				for _, cr := range byCat[v].Categories {
+					seen[string(cr.Category)] = true
+					bound, gated := bounds[string(cr.Category)]
+					if !gated {
+						continue
+					}
+					if cr.Kernels == 0 {
+						broken = append(broken, fmt.Sprintf("%v/%s: zero kernels validated", v, cr.Category))
+					}
+					if cr.MAPE > bound {
+						broken = append(broken, fmt.Sprintf("%v/%s: MAPE %.2f%% exceeds the %.2f%% bound", v, cr.Category, cr.MAPE, bound))
+					}
+				}
+				// A bounded category that vanished from the suite is a
+				// silent pass the gate exists to prevent.
+				for cat := range bounds {
+					if !seen[cat] {
+						broken = append(broken, fmt.Sprintf("%v/%s: category absent from the validation run", v, cat))
+					}
+				}
+			}
+			sort.Strings(broken)
+			if len(broken) > 0 {
+				fmt.Println("\n== category gate: bounds exceeded ==")
+				for _, b := range broken {
+					fmt.Println("  " + b)
+				}
+				run.Fatalf("category gate failed (%d bound(s) exceeded, bounds from %s)", len(broken), *catBounds)
+			}
+			fmt.Printf("category gate: every category within the bounds of %s\n", *catBounds)
+		}
 	}
 
 	if *doCases {

@@ -46,6 +46,15 @@ type Sample struct {
 // (ledger events, awreport's re-verification) is stated against.
 func (s Sample) TotalW() float64 { return s.ActiveW + s.IdleW }
 
+// Parked reports whether the sample is a fully-parked window: no SM holds
+// resident work, so the active domain is exactly zero and every watt is
+// idle floor. For such a sample the breakdown it was split from is zero
+// everywhere except the idle-domain components, which makes the split a
+// bit-exact identity: TotalW equals the breakdown's own total with no
+// re-bracketing slack — the invariant the parked validation scenarios
+// (workloads.ParkedSuite) are gated on.
+func (s Sample) Parked() bool { return s.ActiveW == 0 }
+
 // Split folds a component breakdown into the two power domains. Each
 // domain sums its components left-to-right in component-index order, the
 // same association Breakdown.Total uses, so the split is a pure

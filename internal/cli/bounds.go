@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadCategoryBounds reads a per-category MAPE bound file (the CI
+// category-gate's checked-in contract, .github/category-mape-bounds.txt).
+// Format: one "category max-mape-percent" pair per line; blank lines and
+// #-comments are skipped. Every bound must be a positive finite percent
+// and no category may repeat.
+func LoadCategoryBounds(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	bounds := map[string]float64{}
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"category bound\", got %q", path, i+1, line)
+		}
+		cat := fields[0]
+		if _, dup := bounds[cat]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate category %q", path, i+1, cat)
+		}
+		b, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || !(b > 0) || b > 100 {
+			return nil, fmt.Errorf("%s:%d: bound %q is not a percent in (0, 100]", path, i+1, fields[1])
+		}
+		bounds[cat] = b
+	}
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("%s: no category bounds", path)
+	}
+	return bounds, nil
+}

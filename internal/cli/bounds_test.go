@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBounds(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bounds.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadCategoryBounds(t *testing.T) {
+	p := writeBounds(t, "# gate bounds\n\ngemm 20\nattention 20.5\nparked 10\n")
+	b, err := LoadCategoryBounds(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"gemm": 20, "attention": 20.5, "parked": 10}
+	if len(b) != len(want) {
+		t.Fatalf("got %v", b)
+	}
+	for k, v := range want {
+		if b[k] != v {
+			t.Errorf("%s = %v, want %v", k, b[k], v)
+		}
+	}
+}
+
+func TestLoadCategoryBoundsErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "# nothing here\n",
+		"malformed":    "gemm\n",
+		"non-numeric":  "gemm twenty\n",
+		"zero":         "gemm 0\n",
+		"negative":     "gemm -5\n",
+		"nan":          "gemm NaN\n",
+		"over-hundred": "gemm 250\n",
+		"duplicate":    "gemm 10\ngemm 20\n",
+		"extra-field":  "gemm 10 20\n",
+	}
+	for name, content := range cases {
+		if _, err := LoadCategoryBounds(writeBounds(t, content)); err == nil {
+			t.Errorf("%s: accepted %q", name, content)
+		}
+	}
+	if _, err := LoadCategoryBounds(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	} else if !strings.Contains(err.Error(), "missing.txt") {
+		t.Errorf("error does not name the file: %v", err)
+	}
+}

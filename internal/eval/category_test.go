@@ -1,0 +1,306 @@
+package eval
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"accelwattch/internal/attr"
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+	"accelwattch/internal/faults"
+	"accelwattch/internal/tune"
+	"accelwattch/internal/ubench"
+	"accelwattch/internal/workloads"
+)
+
+// inferenceFixture builds the standard category-test rig: a Volta
+// testbench at the tiny scale, the untuned reference model, and the
+// inference pack.
+func inferenceFixture(t *testing.T) (*tune.Testbench, *core.Model, []workloads.Kernel) {
+	t.Helper()
+	arch := config.Volta()
+	sc := ubench.Scale{Iters: 2, Unroll: 1, WarpsPerCTA: 2}
+	tb, err := tune.NewTestbench(arch, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := attr.ReferenceModel(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack, err := workloads.InferencePack(arch, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, model, pack
+}
+
+func kernelByName(cv *CategoryValidation, name string) *KernelResult {
+	for i := range cv.Kernels {
+		if cv.Kernels[i].Name == name {
+			return &cv.Kernels[i]
+		}
+	}
+	return nil
+}
+
+func TestValidateByCategoryShape(t *testing.T) {
+	tb, model, pack := inferenceFixture(t)
+	cv, err := ValidateByCategory(tb.Sequential(), model, tune.SASSSIM, pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Categories) != len(workloads.Categories()) {
+		t.Fatalf("got %d categories, want %d", len(cv.Categories), len(workloads.Categories()))
+	}
+	for i, cat := range workloads.Categories() {
+		cr := cv.Categories[i]
+		if cr.Category != cat {
+			t.Errorf("category %d is %s, want %s (reporting order)", i, cr.Category, cat)
+		}
+		if cr.Kernels == 0 {
+			t.Errorf("category %s validated no kernels", cat)
+		}
+		if math.IsNaN(cr.MAPE) || cr.MAPE < 0 {
+			t.Errorf("category %s MAPE %v", cat, cr.MAPE)
+		}
+		if cr.MaxAPE < cr.MAPE {
+			t.Errorf("category %s: max APE %v below MAPE %v", cat, cr.MaxAPE, cr.MAPE)
+		}
+		if cr.MeanAbsErrW < 0 {
+			t.Errorf("category %s: negative absolute error %v", cat, cr.MeanAbsErrW)
+		}
+	}
+	if got := cv.Category(workloads.CatParked); got == nil || got.Kernels != 4 {
+		t.Errorf("parked lookup: %+v, want 4 kernels", got)
+	}
+	if cv.Category(workloads.Category("nope")) != nil {
+		t.Error("unknown category lookup must return nil")
+	}
+}
+
+func TestValidateByCategoryRejectsUntaggedSuite(t *testing.T) {
+	tb, model, _ := inferenceFixture(t)
+	classic, err := workloads.ValidationSuite(tb.Arch, tb.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateByCategory(tb.Sequential(), model, tune.SASSSIM, classic); err == nil {
+		t.Fatal("classic Table 4 suite carries no category tags; want an error")
+	}
+}
+
+// TestInferencePhysicsInvariants pins the qualitative physics the pack was
+// designed to exercise, on the simulator-driven variants (SASS SIM and
+// PTX SIM, whose activity vectors come from the emulated traces; the
+// HW-counter reconstruction maps activity differently and does not owe us
+// these orderings):
+//
+//  1. estimated power is strictly monotone in batch size across the GEMM
+//     batch sweep — more resident work per tile must cost more watts;
+//  2. the tensor-core premium is strictly monotone in HMMA density, both
+//     in total watts and in the CompTENSOR component itself;
+//  3. parked power is strictly monotone in the number of resident SMs,
+//     with the fully-parked scenario as the floor.
+func TestInferencePhysicsInvariants(t *testing.T) {
+	tb, model, pack := inferenceFixture(t)
+	for _, v := range []tune.Variant{tune.SASSSIM, tune.PTXSIM} {
+		cv, err := ValidateByCategory(tb.Sequential(), model, v, pack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0.0
+		for _, name := range []string{"inf_gemm_b1", "inf_gemm_b2", "inf_gemm_b4", "inf_gemm_b8"} {
+			k := kernelByName(cv, name)
+			if k == nil {
+				t.Fatalf("%v: %s missing from results", v, name)
+			}
+			if k.EstimatedW <= prev {
+				t.Errorf("%v: %s estimate %.4fW not above the previous batch's %.4fW", v, name, k.EstimatedW, prev)
+			}
+			prev = k.EstimatedW
+		}
+		prev, prevTC := 0.0, 0.0
+		for _, name := range []string{"inf_tc_d02", "inf_tc_d06", "inf_tc_d12"} {
+			k := kernelByName(cv, name)
+			if k == nil {
+				t.Fatalf("%v: %s missing from results", v, name)
+			}
+			if k.EstimatedW <= prev {
+				t.Errorf("%v: %s estimate %.4fW not above the previous density's %.4fW", v, name, k.EstimatedW, prev)
+			}
+			if tc := k.Breakdown.Watts[core.CompTENSOR]; tc <= prevTC {
+				t.Errorf("%v: %s tensor component %.4fW not above the previous density's %.4fW", v, name, tc, prevTC)
+			} else {
+				prevTC = tc
+			}
+			prev = k.EstimatedW
+		}
+	}
+	// Parked monotonicity holds under every variant: the activity of a
+	// heartbeat spin on k SMs scales with k however it is derived.
+	for _, v := range tune.Variants() {
+		cv, err := ValidateByCategory(tb.Sequential(), model, v, pack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev float64
+		var seen int
+		for i := range cv.Kernels {
+			k := &cv.Kernels[i]
+			if k.Category != workloads.CatParked {
+				continue
+			}
+			// ParkedSuite orders scenarios by ascending residency.
+			if k.EstimatedW <= prev {
+				t.Errorf("%v: %s estimate %.4fW not above the previous residency's %.4fW", v, k.Name, k.EstimatedW, prev)
+			}
+			prev = k.EstimatedW
+			seen++
+		}
+		if seen != 4 {
+			t.Fatalf("%v: saw %d parked rows, want 4", v, seen)
+		}
+		if err := CheckParkedInvariant(cv.Kernels); err != nil {
+			t.Errorf("%v: %v", v, err)
+		}
+	}
+}
+
+// TestParkedBitEquality pins the parked-power identity at the breakdown
+// level, independent of the validation plumbing: a fully-parked activity
+// evaluated through the model leaves every component at zero except the
+// constant floor, so the attr domain split reproduces the estimate
+// bit-for-bit and matches the device's own idle reading path.
+func TestParkedBitEquality(t *testing.T) {
+	tb, model, pack := inferenceFixture(t)
+	var synth *core.Activity
+	for i := range pack {
+		if pack[i].SyntheticActivity != nil {
+			synth = pack[i].SyntheticActivity
+		}
+	}
+	if synth == nil {
+		t.Fatal("pack carries no fully-parked synthetic scenario")
+	}
+	bd, err := model.Estimate(*synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := attr.Split(&bd)
+	if !s.Parked() {
+		t.Fatalf("fully-parked activity yields active power %v", s.ActiveW)
+	}
+	if math.Float64bits(bd.Total()) != math.Float64bits(s.TotalW()) {
+		t.Fatalf("split total %v not bit-equal to breakdown total %v", s.TotalW(), bd.Total())
+	}
+	for c := 0; c < core.NumComponents; c++ {
+		if c != int(core.CompConst) && bd.Watts[c] != 0 {
+			t.Errorf("parked breakdown has %.6fW on %v", bd.Watts[c], core.Component(c))
+		}
+	}
+	if bd.Watts[core.CompConst] != model.ConstW {
+		t.Errorf("parked floor %v, want the model's constant %v", bd.Watts[core.CompConst], model.ConstW)
+	}
+	_ = tb
+}
+
+// CheckParkedInvariant unit coverage: a parked-tagged row whose estimate
+// was corrupted must be caught, and a run with no fully-parked row is
+// itself an error.
+func TestCheckParkedInvariantFailures(t *testing.T) {
+	mk := func(est, constW float64) KernelResult {
+		var b core.Breakdown
+		b.Watts[core.CompConst] = constW
+		return KernelResult{Name: "p", Category: workloads.CatParked, EstimatedW: est, Breakdown: b}
+	}
+	if err := CheckParkedInvariant([]KernelResult{mk(32.5, 32.5)}); err != nil {
+		t.Errorf("exact parked row rejected: %v", err)
+	}
+	if err := CheckParkedInvariant([]KernelResult{mk(32.5000001, 32.5)}); err == nil {
+		t.Error("corrupted parked estimate accepted")
+	}
+	if err := CheckParkedInvariant(nil); err == nil {
+		t.Error("a run with no parked rows must fail the invariant")
+	}
+	active := mk(40, 32.5)
+	active.Breakdown.Watts[core.CompALU] = 7.5
+	if err := CheckParkedInvariant([]KernelResult{active, mk(32.5, 32.5)}); err != nil {
+		t.Errorf("partially-parked rows must be exempt: %v", err)
+	}
+}
+
+// categoryRun executes one full by-category validation of the inference
+// pack at a worker count, on a fresh testbench (optionally under meter
+// chaos), and returns the result for bit-level comparison.
+func categoryRun(t *testing.T, workers int, chaos bool) *CategoryValidation {
+	t.Helper()
+	arch := config.Volta()
+	sc := ubench.Scale{Iters: 2, Unroll: 1, WarpsPerCTA: 2}
+	tb, err := tune.NewTestbench(arch, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos {
+		prof, err := faults.Named("chaos", 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm, err := faults.NewFaultyMeter(tb.Device, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.UseMeter(fm, tune.HardenedMeterPolicy())
+	}
+	model, err := attr.ReferenceModel(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := tune.NewExec(nil, tb, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack := workloads.MustInferencePack(arch, sc)
+	cv, err := ValidateByCategory(ex, model, tune.SASSSIM, pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cv
+}
+
+// TestCategoryDeterminismAcrossWorkers is the engine's bit-identical
+// parallelism contract applied to the new harness: the inference pack,
+// built fresh each run and validated through the execution engine at 1
+// and 8 workers — with a clean meter and again under deterministic meter
+// chaos — must produce byte-identical results down to every per-kernel
+// breakdown component. reflect.DeepEqual on float64 fields is exact bit
+// comparison (NaNs would fail it, which is itself a check).
+func TestCategoryDeterminismAcrossWorkers(t *testing.T) {
+	for _, chaos := range []bool{false, true} {
+		seq := categoryRun(t, 1, chaos)
+		par := categoryRun(t, 8, chaos)
+		if !reflect.DeepEqual(seq.Categories, par.Categories) {
+			t.Errorf("chaos=%v: per-category results differ between 1 and 8 workers:\n1: %+v\n8: %+v",
+				chaos, seq.Categories, par.Categories)
+		}
+		if len(seq.Kernels) != len(par.Kernels) {
+			t.Fatalf("chaos=%v: kernel row counts differ: %d vs %d", chaos, len(seq.Kernels), len(par.Kernels))
+		}
+		for i := range seq.Kernels {
+			a, b := &seq.Kernels[i], &par.Kernels[i]
+			if a.Name != b.Name || a.Category != b.Category {
+				t.Fatalf("chaos=%v: row %d ordering differs: %s vs %s", chaos, i, a.Name, b.Name)
+			}
+			if math.Float64bits(a.MeasuredW) != math.Float64bits(b.MeasuredW) ||
+				math.Float64bits(a.EstimatedW) != math.Float64bits(b.EstimatedW) {
+				t.Errorf("chaos=%v: %s: measured/estimated bits differ across worker counts", chaos, a.Name)
+			}
+			for c := range a.Breakdown.Watts {
+				if math.Float64bits(a.Breakdown.Watts[c]) != math.Float64bits(b.Breakdown.Watts[c]) {
+					t.Errorf("chaos=%v: %s: component %v differs across worker counts", chaos, a.Name, core.Component(c))
+				}
+			}
+		}
+	}
+}

@@ -44,6 +44,11 @@ type KernelResult struct {
 	MeasuredW  float64
 	EstimatedW float64
 	Breakdown  core.Breakdown
+
+	// Category carries the inference-pack behavioural class the kernel was
+	// tagged with (empty for the classic Table 4 suite); ValidateByCategory
+	// groups on it.
+	Category workloads.Category
 }
 
 // RelErrPct returns the signed relative error in percent. A degenerate
@@ -126,7 +131,7 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 	var tasks []func(*tune.Testbench) error
 	for i := range suite {
 		k := &suite[i]
-		if !inSuite(k, v) {
+		if !inSuite(k, v) || k.SyntheticActivity != nil {
 			continue
 		}
 		w := tune.Workload{Name: k.Name, Kernel: k.Kernel, Setup: k.Setup}
@@ -160,19 +165,32 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 		if !inSuite(k, v) {
 			continue
 		}
-		w := tune.Workload{Name: k.Name, Kernel: k.Kernel, Setup: k.Setup}
-		m, err := tb.Measure(w, 0)
+		var measuredW float64
+		var a core.Activity
+		if k.SyntheticActivity != nil {
+			// A fully-parked scenario: nothing to launch or simulate. The
+			// measured side is the device's idle NVML reading (Figure 3's
+			// first bar) and the activity vector is the entry's own — both
+			// variant-independent and deterministic, so the artifact store
+			// and worker pool have nothing to warm.
+			measuredW = tb.Device.MeasureIdle().AvgPowerW
+			a = *k.SyntheticActivity
+		} else {
+			w := tune.Workload{Name: k.Name, Kernel: k.Kernel, Setup: k.Setup}
+			m, err := tb.Measure(w, 0)
+			if err != nil {
+				return nil, err
+			}
+			measuredW = m.AvgPowerW
+			if a, err = tb.Activity(w, v); err != nil {
+				return nil, err
+			}
+		}
+		kr, err := EstimateOneInto(be, k.Name, measuredW, a)
 		if err != nil {
 			return nil, err
 		}
-		a, err := tb.Activity(w, v)
-		if err != nil {
-			return nil, err
-		}
-		kr, err := EstimateOneInto(be, k.Name, m.AvgPowerW, a)
-		if err != nil {
-			return nil, err
-		}
+		kr.Category = k.Category
 		bd := kr.Breakdown
 		res.Kernels = append(res.Kernels, kr)
 		meas = append(meas, kr.MeasuredW)
@@ -185,7 +203,7 @@ func ValidateExec(ex *tune.Exec, model *core.Model, v tune.Variant, suite []work
 			// ledger-less runs; EstimatedW is bd.Total(), so every
 			// breakdown event provably sums to its reported power.
 			led.Emit(obs.Event{Kind: obs.KindBreakdown, Stage: "eval/validate",
-				Workload: k.Name, Variant: v.String(),
+				Workload: k.Name, Variant: v.String(), Category: string(k.Category),
 				PowerW: kr.EstimatedW, MeasuredW: kr.MeasuredW, Breakdown: bd.Map()})
 		}
 		kernelsDone.Inc()

@@ -57,6 +57,11 @@ type Event struct {
 	Stage    string `json:"stage,omitempty"`
 	Workload string `json:"workload,omitempty"`
 	Variant  string `json:"variant,omitempty"`
+	// Category tags inference-pack breakdown events with the kernel's
+	// behavioural class (gemm, attention, tensorcore, memory, parked), so
+	// awreport can fold a ledger into per-category error tables. Empty for
+	// classic-suite events.
+	Category string `json:"category,omitempty"`
 	Detail   string `json:"detail,omitempty"`
 
 	ClockMHz  float64 `json:"clock_mhz,omitempty"`

@@ -1,0 +1,321 @@
+// The AI-inference workload pack: transformer-shaped kernel generators plus
+// parked-model scenarios, each tagged with a Category for the per-category
+// validation harness (internal/eval.ValidateByCategory). Where the Table 4
+// suite reconstructs the paper's validation workloads, this pack opens the
+// scenario space of the related work — EnergAIzer's AI workload classes and
+// "The Model Parking Tax"'s always-on deployments — as executable kernels:
+// GEMM sweeps across batch and sequence sizes, attention phases mixing SFU
+// softmax with FP32 score accumulation and KV-gather memory traffic,
+// tensor-core mixes at varying HMMA density, and resident-but-idle parked
+// scenarios exercising the §4.6 idle-SM and §4.2 constant-power terms.
+package workloads
+
+import (
+	"fmt"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/ubench"
+)
+
+// SuiteInference names the AI-inference pack in Kernel.Suite.
+const SuiteInference = "AI Inference Pack"
+
+// inferenceGemm is the FP32 analogue of the tensorGemm builder: stage A/B
+// tiles to shared memory, barrier, compute register-tiled FFMA fragments
+// against the staged tiles, barrier, advance K. frags parameterises the
+// per-tile compute density — batched inference reuses a staged weight tile
+// for every sequence in the batch, so fragments per tile grow linearly with
+// batch size while the staging overhead stays fixed.
+func inferenceGemm(name string, arch *config.Arch, sc ubench.Scale, grid, frags int) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(grid).Block(blockDim(sc)).Shared(8192)
+	prologue(b)
+	counted(b, sc.Iters)
+	// Stage the tile.
+	b.Ld(isa.OpLDG, rT1, rA, 0)
+	b.Ld(isa.OpLDG, rT2, rB, 0)
+	b.St(isa.OpSTS, rSh, rT1, 0)
+	b.St(isa.OpSTS, rSh, rT2, 4096)
+	b.Bar()
+	// One fragment pair per batched sequence against the staged tile.
+	for i := 0; i < frags; i++ {
+		acc := rAcc0 + isa.Reg(i%8)
+		b.Ld(isa.OpLDS, rT1, rSh, int64(4*(i%16)))
+		b.Op3(isa.OpFFMA, acc, rT1, rKF1, acc)
+		b.Op3(isa.OpFFMA, acc, acc, rKF2, rT1)
+	}
+	b.Bar()
+	// Advance the K tiles.
+	b.Op2i(isa.OpADDS64, rA, rA, 4096)
+	b.Op2i(isa.OpADDS64, rB, rB, 4096)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// attnSoftmax is the QK^T-plus-softmax phase: FFMA score accumulation
+// against a staged query row, then the streaming-softmax update — running
+// max, exp of the shifted score, denominator accumulation, normalisation —
+// interleaving SFU (EXP, DIV) with FP32 on every pass.
+func attnSoftmax(name string, arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(gridFrac(arch, 3, 4)).Block(blockDim(sc)).Shared(4096)
+	prologue(b)
+	counted(b, sc.Iters)
+	b.Ld(isa.OpLDG, rT1, rA, 0) // query row
+	b.St(isa.OpSTS, rSh, rT1, 0)
+	b.Bar()
+	for i := 0; i < 4; i++ {
+		b.Ld(isa.OpLDS, rT2, rSh, int64(4*i))
+		b.Op3(isa.OpFFMA, rAcc0, rT2, rKF1, rAcc0) // score dot product
+	}
+	b.Op2(isa.OpFMAX, rAcc0+1, rAcc0+1, rAcc0) // running max
+	b.Op2(isa.OpFADD, rT0, rAcc0, rKF2)        // shift by the max
+	b.Op1(isa.OpEXPF32, rT1, rT0)              // exp
+	b.Op2(isa.OpFADD, rAcc0+2, rAcc0+2, rT1)   // denominator
+	b.Op2(isa.OpDIVF32, rAcc0+3, rT1, rKF1)    // normalise
+	b.Bar()
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0+3, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// attnKVGather is the attention-times-V phase against a paged KV cache:
+// strided gather loads of value rows weighted into the output accumulator —
+// the memory phase of an attention layer, light on compute.
+func attnKVGather(name string, arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(gridFrac(arch, 3, 4)).Block(blockDim(sc))
+	prologue(b)
+	counted(b, sc.Iters)
+	for i := 0; i < 4; i++ {
+		b.Ld(isa.OpLDG, rT1, rB, int64(2048*i)) // gather a value row
+		b.Op3(isa.OpFFMA, rAcc0, rT1, rKF1, rAcc0)
+	}
+	b.Op2i(isa.OpADDS64, rB, rB, 16384)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// attnFull interleaves the two attention phases in one kernel: score
+// accumulation and softmax against staged queries, then gathered value
+// rows folded under the normalised weights.
+func attnFull(name string, arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(gridFrac(arch, 3, 4)).Block(blockDim(sc)).Shared(4096)
+	prologue(b)
+	counted(b, sc.Iters)
+	b.Ld(isa.OpLDG, rT1, rA, 0)
+	b.St(isa.OpSTS, rSh, rT1, 0)
+	b.Bar()
+	b.Ld(isa.OpLDS, rT2, rSh, 0)
+	b.Op3(isa.OpFFMA, rAcc0, rT2, rKF1, rAcc0) // score
+	b.Op1(isa.OpEXPF32, rT1, rAcc0)            // softmax weight
+	b.Op2(isa.OpDIVF32, rT1, rT1, rKF1)
+	b.Ld(isa.OpLDG, rT2, rB, 2048) // gathered value row
+	b.Op3(isa.OpFFMA, rAcc0+1, rT2, rT1, rAcc0+1)
+	b.Op2i(isa.OpADDS64, rB, rB, 8192)
+	b.Bar()
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0+1, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// kvStream is the KV-cache streaming read: coalesced bulk loads with a
+// trivial integer fold, the decode-phase memory wall of inference serving.
+func kvStream(name string, arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(gridFor(arch, 1)).Block(blockDim(sc))
+	prologue(b)
+	counted(b, sc.Iters)
+	for i := 0; i < 4; i++ {
+		b.Ld(isa.OpLDG, rT1, rA, int64(1024*i))
+		b.Op2(isa.OpIADD, rAcc0, rAcc0, rT1)
+	}
+	b.Op2i(isa.OpADDS64, rA, rA, 8192)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// embedGather is the embedding-table lookup: a token id load, index
+// arithmetic into the vocabulary table, and a dependent gather of the
+// embedding row — address-dependent loads with almost no FP work.
+func embedGather(name string, arch *config.Arch, sc ubench.Scale) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(gridFrac(arch, 1, 2)).Block(blockDim(sc))
+	prologue(b)
+	counted(b, sc.Iters)
+	b.Ld(isa.OpLDG, rT0, rA, 0)       // token id
+	b.Op2i(isa.OpAND, rT0, rT0, 4095) // vocabulary slot
+	b.Op2i(isa.OpSHL, rT0, rT0, 5)    // row offset
+	b.Op2i(isa.OpIADD, rT1, rT0, int64(baseB))
+	b.Ld(isa.OpLDG, rT2, rT1, 0) // embedding row
+	b.Op2(isa.OpFADD, rAcc0, rAcc0, rT2)
+	b.Op2i(isa.OpADDS64, rA, rA, 512)
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// residentSpin is a parked-but-resident scenario: k CTAs of a single warp
+// each, ticking a heartbeat counter — the minimal footprint of a model
+// held resident on k SMs while the rest of the chip is power-gated. The
+// kernel is deliberately independent of the workload scale: parked power
+// is about residency, not throughput.
+func residentSpin(name string, k int) *isa.Kernel {
+	b := isa.NewKernel(name).Grid(k).Block(32)
+	prologue(b)
+	counted(b, 2)
+	b.Op2i(isa.OpIADD, rAcc0, rAcc0, 1) // heartbeat tick
+	closeLoop(b)
+	b.St(isa.OpSTG, rC, rAcc0, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// InferenceSuite builds the transformer-shaped kernels of the AI-inference
+// pack for an architecture: the GEMM batch/sequence sweeps, the attention
+// phases, the tensor-core density mixes (omitted on architectures without
+// tensor cores, as in Section 7.1), and the memory-bound serving kernels.
+// Every kernel runs under all four variants.
+func InferenceSuite(arch *config.Arch, sc ubench.Scale) ([]Kernel, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Kernel
+	add := func(cat Category, bench string, k *isa.Kernel, tensor bool) {
+		out = append(out, Kernel{Name: k.Name, Benchmark: bench, Suite: SuiteInference,
+			Coverage: 1.00, Category: cat, UsesTensor: tensor,
+			PTXCompatible: true, HWProfilable: true, Kernel: k})
+	}
+
+	// GEMM batch sweep: fragments per staged tile grow with batch size at a
+	// fixed grid, so compute density per cycle — and power — rises with b.
+	for _, batch := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("inf_gemm_b%d", batch)
+		add(CatGemm, "transformer-gemm", inferenceGemm(name, arch, sc, gridFor(arch, 1), 2*batch), false)
+	}
+	// GEMM sequence sweep: longer sequences mean more row tiles, so the
+	// grid grows while per-tile density stays fixed at batch 4.
+	add(CatGemm, "transformer-gemm", inferenceGemm("inf_gemm_s128", arch, sc, gridFrac(arch, 1, 2), 8), false)
+	add(CatGemm, "transformer-gemm", inferenceGemm("inf_gemm_s512", arch, sc, gridFor(arch, 2), 8), false)
+
+	// Attention phases.
+	add(CatAttention, "transformer-attention", attnSoftmax("inf_attn_qk", arch, sc), false)
+	add(CatAttention, "transformer-attention", attnKVGather("inf_attn_av", arch, sc), false)
+	add(CatAttention, "transformer-attention", attnFull("inf_attn_full", arch, sc), false)
+
+	// Tensor-core density sweep, reusing the Table 4 tensorGemm builder
+	// with the HMMA-per-tile knob as the density parameter.
+	if arch.HasTensorCores {
+		for _, density := range []int{2, 6, 12} {
+			name := fmt.Sprintf("inf_tc_d%02d", density)
+			add(CatTensorCore, "tensorcore-mix", tensorGemm(name, arch, sc, gridFor(arch, 1), density), true)
+		}
+	}
+
+	// Memory-bound serving kernels.
+	add(CatMemory, "kv-cache", kvStream("inf_kv_stream", arch, sc), false)
+	add(CatMemory, "embedding", embedGather("inf_embed_gather", arch, sc), false)
+
+	want := 11
+	if arch.HasTensorCores {
+		want = 14
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("workloads: inference suite has %d kernels, want %d", len(out), want)
+	}
+	for i := range out {
+		if err := out[i].Kernel.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ParkedSuite builds the parked-model scenarios: the model is resident but
+// SMs are gated off, with 0, 1, and k-of-N SMs holding live CTAs. The
+// fully-parked entry (0 SMs active) carries a synthetic activity vector —
+// no kernel can express a zero-CTA launch — and is measured as the
+// device's idle NVML reading; its whole estimate lands in the idle power
+// domain (attr.Split), bit-exactly the idle-SM plus constant floor. The
+// k-of-N entries are real single-warp resident spins, so parked power is
+// monotone in k.
+func ParkedSuite(arch *config.Arch) ([]Kernel, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	// One millisecond of base-clock cycles: the sampling window continuous
+	// collectors publish at (see InferenceProfiles).
+	parked := core.Activity{Cycles: arch.BaseClockMHz * 1e6 * 1e-3}
+	out := []Kernel{{
+		Name: "inf_parked_00", Benchmark: "parked-model", Suite: SuiteInference,
+		Coverage: 1.00, Category: CatParked, PTXCompatible: true, HWProfilable: true,
+		SyntheticActivity: &parked,
+	}}
+
+	frac := arch.NumSMs / 8
+	if frac <= 1 {
+		frac = 2
+	}
+	half := arch.NumSMs / 2
+	if half <= frac {
+		half = frac + 1
+	}
+	for _, k := range []int{1, frac, half} {
+		name := fmt.Sprintf("inf_parked_%02d", k)
+		out = append(out, Kernel{
+			Name: name, Benchmark: "parked-model", Suite: SuiteInference,
+			Coverage: 1.00, Category: CatParked, PTXCompatible: true, HWProfilable: true,
+			Kernel: residentSpin(name, k),
+		})
+	}
+	for i := range out {
+		if out[i].Kernel == nil {
+			continue
+		}
+		if err := out[i].Kernel.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// InferencePack is the full AI-inference validation suite: the transformer
+// kernels plus the parked scenarios, duplicate-checked, for the
+// per-category harness.
+func InferencePack(arch *config.Arch, sc ubench.Scale) ([]Kernel, error) {
+	inf, err := InferenceSuite(arch, sc)
+	if err != nil {
+		return nil, err
+	}
+	parked, err := ParkedSuite(arch)
+	if err != nil {
+		return nil, err
+	}
+	out := append(inf, parked...)
+	names := map[string]bool{}
+	for i := range out {
+		if names[out[i].Name] {
+			return nil, fmt.Errorf("workloads: duplicate inference kernel %s", out[i].Name)
+		}
+		names[out[i].Name] = true
+		if out[i].Category == "" {
+			return nil, fmt.Errorf("workloads: inference kernel %s has no category", out[i].Name)
+		}
+	}
+	return out, nil
+}
+
+// MustInferencePack is InferencePack for stock architectures.
+func MustInferencePack(arch *config.Arch, sc ubench.Scale) []Kernel {
+	p, err := InferencePack(arch, sc)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

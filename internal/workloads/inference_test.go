@@ -1,0 +1,214 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/emu"
+	"accelwattch/internal/isa"
+	"accelwattch/internal/trace"
+)
+
+func TestInferencePackShape(t *testing.T) {
+	pack, err := InferencePack(config.Volta(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCat := map[Category]int{}
+	names := map[string]bool{}
+	for i := range pack {
+		k := &pack[i]
+		byCat[k.Category]++
+		if names[k.Name] {
+			t.Errorf("duplicate kernel %s", k.Name)
+		}
+		names[k.Name] = true
+		if !k.ForVariantPTX() || !k.ForVariantHW() {
+			t.Errorf("%s: inference kernels run under every variant", k.Name)
+		}
+		if k.Suite != SuiteInference {
+			t.Errorf("%s: suite %q", k.Name, k.Suite)
+		}
+		if k.SyntheticActivity != nil {
+			if k.Kernel != nil || k.Setup != nil {
+				t.Errorf("%s: synthetic entries carry no kernel", k.Name)
+			}
+			if k.SyntheticActivity.Cycles <= 0 {
+				t.Errorf("%s: synthetic window has no cycles", k.Name)
+			}
+			if k.SyntheticActivity.ActiveSMs != 0 {
+				t.Errorf("%s: fully-parked entry has %v active SMs", k.Name, k.SyntheticActivity.ActiveSMs)
+			}
+		} else if k.Kernel == nil {
+			t.Errorf("%s: no kernel and no synthetic activity", k.Name)
+		}
+	}
+	want := map[Category]int{CatGemm: 6, CatAttention: 3, CatTensorCore: 3, CatMemory: 2, CatParked: 4}
+	if !reflect.DeepEqual(byCat, want) {
+		t.Errorf("category inventory %v, want %v", byCat, want)
+	}
+	for _, cat := range Categories() {
+		if byCat[cat] == 0 {
+			t.Errorf("category %s has no kernels", cat)
+		}
+	}
+}
+
+func TestInferencePackPascalDropsTensor(t *testing.T) {
+	pack, err := InferencePack(config.Pascal(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pack {
+		if pack[i].Category == CatTensorCore || pack[i].UsesTensor {
+			t.Errorf("%s: tensor-core kernel on Pascal", pack[i].Name)
+		}
+	}
+	if len(pack) != 15 {
+		t.Errorf("Pascal pack has %d kernels, want 15 (no tensorcore sweep)", len(pack))
+	}
+}
+
+func TestInferencePackBuildsIdentically(t *testing.T) {
+	a := MustInferencePack(config.Volta(), tinyScale)
+	b := MustInferencePack(config.Volta(), tinyScale)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two builds of the inference pack differ")
+	}
+}
+
+func TestParkedSuiteShape(t *testing.T) {
+	for _, arch := range []*config.Arch{config.Volta(), config.Pascal(), config.Turing()} {
+		parked, err := ParkedSuite(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parked) != 4 {
+			t.Fatalf("%s: %d parked scenarios, want 4 (0, 1, k, N/2 SMs)", arch.Name, len(parked))
+		}
+		if parked[0].SyntheticActivity == nil {
+			t.Fatalf("%s: first parked scenario must be the fully-parked synthetic entry", arch.Name)
+		}
+		prev := 0
+		for _, k := range parked[1:] {
+			g := k.Kernel.Grid.X
+			if g <= prev {
+				t.Errorf("%s: parked residency %d not strictly above the previous %d", arch.Name, g, prev)
+			}
+			if g > arch.NumSMs {
+				t.Errorf("%s: parked residency %d exceeds the chip's %d SMs", arch.Name, g, arch.NumSMs)
+			}
+			prev = g
+		}
+	}
+}
+
+// TestInferenceKernelCharacteristics extends the Table 4 characteristics
+// assertions to every inference-pack generator: occupancy, functional-unit
+// mix, and the parameter sweeps (FFMA per batch, HMMA per density) are
+// asserted per named kernel, so a generator regression fails here with a
+// kernel name rather than as an unexplained MAPE drift downstream.
+func TestInferenceKernelCharacteristics(t *testing.T) {
+	arch := config.Volta()
+	pack := MustInferencePack(arch, tinyScale)
+	byName := map[string]*trace.Stats{}
+	grids := map[string]int{}
+	for i := range pack {
+		k := &pack[i]
+		if k.SyntheticActivity != nil {
+			continue
+		}
+		mem := emu.NewMemory()
+		if k.Setup != nil {
+			k.Setup(mem)
+		}
+		kt, err := emu.Run(isa.MustLower(k.Kernel), mem)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		s := trace.Summarize(kt)
+		byName[k.Name] = &s
+		grids[k.Name] = k.Kernel.Grid.X
+	}
+
+	// GEMM batch sweep: occupancy fixed at one full chip pass, FFMA volume
+	// strictly increasing with batch size.
+	prevFFMA := int64(0)
+	for _, name := range []string{"inf_gemm_b1", "inf_gemm_b2", "inf_gemm_b4", "inf_gemm_b8"} {
+		s := byName[name]
+		if grids[name] != arch.NumSMs {
+			t.Errorf("%s: grid %d, want a full chip pass (%d)", name, grids[name], arch.NumSMs)
+		}
+		if s.UnitCounts[isa.UnitFPU] == 0 {
+			t.Errorf("%s: executes no FP32 ops", name)
+		}
+		ffma := s.OpCounts[isa.OpFFMA]
+		if ffma <= prevFFMA {
+			t.Errorf("%s: FFMA volume %d does not grow with batch (previous %d)", name, ffma, prevFFMA)
+		}
+		prevFFMA = ffma
+		if s.OpCounts[isa.OpSTS] == 0 || s.OpCounts[isa.OpLDS] == 0 {
+			t.Errorf("%s: never stages tiles through shared memory", name)
+		}
+	}
+	// GEMM sequence sweep: density fixed, occupancy grows with sequence.
+	if grids["inf_gemm_s128"] >= grids["inf_gemm_s512"] {
+		t.Errorf("sequence sweep occupancy: s128 grid %d, s512 grid %d", grids["inf_gemm_s128"], grids["inf_gemm_s512"])
+	}
+
+	// Attention: the QK phase interleaves SFU softmax with FP32 scores; the
+	// AV phase gathers without SFU work; the full kernel does both.
+	if s := byName["inf_attn_qk"]; s.UnitCounts[isa.UnitSFU] == 0 || s.UnitCounts[isa.UnitFPU] == 0 {
+		t.Error("inf_attn_qk: softmax phase must mix SFU and FP32 ops")
+	}
+	if s := byName["inf_attn_av"]; s.UnitCounts[isa.UnitSFU] != 0 {
+		t.Error("inf_attn_av: the gather phase runs no SFU ops")
+	} else if s.OpCounts[isa.OpLDG] == 0 || s.OpCounts[isa.OpFFMA] == 0 {
+		t.Error("inf_attn_av: gathers value rows into an FFMA fold")
+	}
+	if s := byName["inf_attn_full"]; s.UnitCounts[isa.UnitSFU] == 0 || s.OpCounts[isa.OpLDG] == 0 {
+		t.Error("inf_attn_full: interleaves softmax with value gathers")
+	}
+
+	// Tensor-core sweep: HMMA volume strictly increasing with density.
+	prevHMMA := int64(0)
+	for _, name := range []string{"inf_tc_d02", "inf_tc_d06", "inf_tc_d12"} {
+		s := byName[name]
+		hmma := s.UnitCounts[isa.UnitTensor]
+		if hmma <= prevHMMA {
+			t.Errorf("%s: tensor volume %d does not grow with density (previous %d)", name, hmma, prevHMMA)
+		}
+		prevHMMA = hmma
+	}
+
+	// Memory kernels: load traffic dominates compute.
+	for _, name := range []string{"inf_kv_stream", "inf_embed_gather"} {
+		s := byName[name]
+		if s.OpCounts[isa.OpLDG] == 0 {
+			t.Errorf("%s: executes no global loads", name)
+		}
+		if s.UnitCounts[isa.UnitMem] <= s.UnitCounts[isa.UnitFPU] {
+			t.Errorf("%s: memory traffic (%d) does not dominate FP work (%d)",
+				name, s.UnitCounts[isa.UnitMem], s.UnitCounts[isa.UnitFPU])
+		}
+	}
+
+	// Parked spins: one full warp each, no divergence, trivial work.
+	for name, g := range grids {
+		if byName[name] == nil || len(name) < 10 || name[:10] != "inf_parked" {
+			continue
+		}
+		s := byName[name]
+		// The guarded loop-exit branch retires with its predicate false on
+		// the final iteration, which shaves the average below a perfect 32;
+		// anything lower than 31 would be real divergence.
+		if s.AvgLanes < 31 {
+			t.Errorf("%s: AvgLanes %v, want an undiverged warp", name, s.AvgLanes)
+		}
+		if s.UnitCounts[isa.UnitFPU] != 0 || s.UnitCounts[isa.UnitTensor] != 0 {
+			t.Errorf("%s: a parked spin runs no FP or tensor work", name)
+		}
+		_ = g
+	}
+}

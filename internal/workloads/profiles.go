@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"math"
+
 	"accelwattch/internal/config"
 	"accelwattch/internal/core"
 )
@@ -108,9 +110,13 @@ func InferenceProfiles(arch *config.Arch) []ActivityProfile {
 
 // At evaluates the profile at a utilisation in [0, 1]: counts and active
 // SMs scale linearly, the window length and per-class context stay fixed.
-// Utilisation 0 is the parked window shape regardless of class.
+// Utilisation 0 is the parked window shape regardless of class. Inputs
+// outside [0, 1] clamp to the nearest bound, and NaN — which would pass
+// both ordered comparisons and poison every scaled field — is treated as
+// a parked window (0), so the returned activity is always finite and
+// within the profile's own bounds.
 func (p *ActivityProfile) At(util float64) core.Activity {
-	if util < 0 {
+	if math.IsNaN(util) || util < 0 {
 		util = 0
 	}
 	if util > 1 {

@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"accelwattch/internal/config"
+	"accelwattch/internal/core"
+)
+
+// TestActivityProfileAtEdgeCases pins the clamping contract of
+// ActivityProfile.At: utilisations outside [0, 1] clamp to the nearest
+// bound, and NaN — which passes both ordered comparisons — is treated as a
+// parked window rather than poisoning every scaled field.
+func TestActivityProfileAtEdgeCases(t *testing.T) {
+	arch := config.Volta()
+	profiles := InferenceProfiles(arch)
+	gemm := &profiles[0]
+	if gemm.Name != "gemm-inference" {
+		t.Fatalf("profile order changed: %s", gemm.Name)
+	}
+	cases := []struct {
+		name string
+		util float64
+		want float64 // effective utilisation after clamping
+	}{
+		{"zero", 0, 0},
+		{"half", 0.5, 0.5},
+		{"one", 1, 1},
+		{"negative", -0.25, 0},
+		{"negative-inf", math.Inf(-1), 0},
+		{"above-one", 1.75, 1},
+		{"positive-inf", math.Inf(1), 1},
+		{"nan", math.NaN(), 0},
+		{"tiny", 1e-300, 1e-300},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := gemm.At(tc.util)
+			if a.Cycles != gemm.Base.Cycles {
+				t.Errorf("window length changed: %v != %v", a.Cycles, gemm.Base.Cycles)
+			}
+			if want := gemm.Base.ActiveSMs * tc.want; a.ActiveSMs != want {
+				t.Errorf("ActiveSMs = %v, want %v", a.ActiveSMs, want)
+			}
+			for i := range a.Counts {
+				if want := gemm.Base.Counts[i] * tc.want; a.Counts[i] != want {
+					t.Errorf("count %v = %v, want %v", core.Component(i), a.Counts[i], want)
+				}
+			}
+			if tc.want == 0 && a.AvgLanes != 0 {
+				t.Errorf("parked window carries %v lanes, want 0", a.AvgLanes)
+			}
+			if err := a.Validate(); err != nil {
+				t.Errorf("At(%v) produced an invalid activity: %v", tc.util, err)
+			}
+		})
+	}
+}
+
+// TestActivityProfileAtParkedClass makes sure the parked profile stays
+// parked at every utilisation, including abusive inputs.
+func TestActivityProfileAtParkedClass(t *testing.T) {
+	arch := config.Volta()
+	profiles := InferenceProfiles(arch)
+	parked := &profiles[len(profiles)-1]
+	if parked.Name != "parked-model" {
+		t.Fatalf("profile order changed: %s", parked.Name)
+	}
+	for _, util := range []float64{0, 0.5, 1, -3, 7, math.NaN(), math.Inf(1)} {
+		a := parked.At(util)
+		if a.ActiveSMs != 0 || a.AvgLanes != 0 {
+			t.Errorf("At(%v): parked profile has %v SMs / %v lanes active", util, a.ActiveSMs, a.AvgLanes)
+		}
+		for i := range a.Counts {
+			if a.Counts[i] != 0 {
+				t.Errorf("At(%v): parked profile counts %v accesses on %v", util, a.Counts[i], core.Component(i))
+			}
+		}
+	}
+}
+
+// FuzzActivityProfileAt feeds arbitrary utilisations — including NaN,
+// infinities, subnormals, and huge values — through every inference
+// profile and asserts the returned activity is always finite, within the
+// architecture's bounds, and between the parked and fully-loaded shapes.
+func FuzzActivityProfileAt(f *testing.F) {
+	for _, seed := range []float64{0, 0.5, 1, -1, 2, 1e308, -1e308, math.NaN(), math.Inf(1), math.Inf(-1), 5e-324} {
+		f.Add(seed)
+	}
+	arch := config.Volta()
+	profiles := InferenceProfiles(arch)
+	sms := float64(arch.NumSMs)
+	f.Fuzz(func(t *testing.T, util float64) {
+		for i := range profiles {
+			p := &profiles[i]
+			a := p.At(util)
+			if a.Cycles != p.Base.Cycles {
+				t.Fatalf("%s: At(%v) changed the window length", p.Name, util)
+			}
+			if math.IsNaN(a.ActiveSMs) || a.ActiveSMs < 0 || a.ActiveSMs > sms {
+				t.Fatalf("%s: At(%v) ActiveSMs %v outside [0, %v]", p.Name, util, a.ActiveSMs, sms)
+			}
+			if a.ActiveSMs > p.Base.ActiveSMs {
+				t.Fatalf("%s: At(%v) ActiveSMs %v exceeds the profile's own %v", p.Name, util, a.ActiveSMs, p.Base.ActiveSMs)
+			}
+			if math.IsNaN(a.AvgLanes) || a.AvgLanes < 0 || a.AvgLanes > 32 {
+				t.Fatalf("%s: At(%v) AvgLanes %v outside [0, 32]", p.Name, util, a.AvgLanes)
+			}
+			for c := range a.Counts {
+				n := a.Counts[c]
+				if math.IsNaN(n) || math.IsInf(n, 0) || n < 0 {
+					t.Fatalf("%s: At(%v) count %v = %v", p.Name, util, core.Component(c), n)
+				}
+				if n > p.Base.Counts[c] {
+					t.Fatalf("%s: At(%v) count %v = %v exceeds the profile's own %v",
+						p.Name, util, core.Component(c), n, p.Base.Counts[c])
+				}
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("%s: At(%v) produced an invalid activity: %v", p.Name, util, err)
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"accelwattch/internal/config"
+	"accelwattch/internal/core"
 	"accelwattch/internal/emu"
 	"accelwattch/internal/isa"
 	"accelwattch/internal/ubench"
@@ -34,8 +35,39 @@ type Kernel struct {
 	// fails to provide hardware counters.
 	HWProfilable bool
 
+	// Category tags the behavioural class of an AI-inference pack entry
+	// (gemm, attention, tensorcore, memory, parked) for per-category
+	// validation; empty for the classic Table 4 suite.
+	Category Category
+
 	Kernel *isa.Kernel
 	Setup  func(*emu.Memory)
+
+	// SyntheticActivity marks a scenario with nothing to execute: the
+	// fully-parked deployment, where the model is resident but every SM is
+	// power-gated. No isa.Kernel can express a zero-CTA launch, so the
+	// entry carries its activity vector directly (evaluated as-is under
+	// every variant) and the measured side is the device's idle NVML
+	// reading. Kernel and Setup are nil when this is set.
+	SyntheticActivity *core.Activity
+}
+
+// Category is the behavioural class of an inference-pack kernel.
+type Category string
+
+// Inference-pack categories. Parked covers the always-on scenarios where
+// the model is resident but SMs are gated off.
+const (
+	CatGemm       Category = "gemm"
+	CatAttention  Category = "attention"
+	CatTensorCore Category = "tensorcore"
+	CatMemory     Category = "memory"
+	CatParked     Category = "parked"
+)
+
+// Categories lists the inference-pack categories in reporting order.
+func Categories() []Category {
+	return []Category{CatGemm, CatAttention, CatTensorCore, CatMemory, CatParked}
 }
 
 // Suite names.
